@@ -1,0 +1,103 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the paper-figure benchmark binaries: builds the
+/// six evaluation models with their synthetic datasets and compiles them
+/// under ACE or Expert options. Each bench binary accepts `--all` to
+/// cover every model (the defaults are sized to finish in minutes on one
+/// core) and `--models=N` / `--images=N` to scale coverage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_BENCH_BENCHUTIL_H
+#define ACE_BENCH_BENCHUTIL_H
+
+#include "codegen/CkksExecutor.h"
+#include "driver/AceCompiler.h"
+#include "expert/ExpertBaseline.h"
+#include "nn/ModelZoo.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ace {
+namespace bench {
+
+struct BenchModel {
+  nn::NanoResNetSpec Spec;
+  onnx::Model Model;
+  nn::Dataset Data;
+};
+
+inline std::vector<BenchModel> buildPaperModels(size_t Count,
+                                                uint64_t Seed = 7) {
+  std::vector<BenchModel> Out;
+  auto Specs = nn::paperModelSpecs();
+  if (Count > Specs.size())
+    Count = Specs.size();
+  for (size_t I = 0; I < Count; ++I) {
+    BenchModel M;
+    M.Spec = Specs[I];
+    M.Data = nn::makeSyntheticDataset(
+        {1, M.Spec.InputChannels, M.Spec.InputHW, M.Spec.InputHW},
+        static_cast<int>(M.Spec.Classes), 64, 0.12, Seed + I);
+    M.Model = nn::buildNanoResNet(M.Spec, M.Data, Seed * 31 + I);
+    Out.push_back(std::move(M));
+  }
+  return Out;
+}
+
+inline air::CompileOptions benchOptions(uint64_t Seed = 13) {
+  air::CompileOptions Opt;
+  Opt.ToyParameters = true;
+  Opt.LogScale = 45;
+  Opt.LogFirstModulus = 55;
+  Opt.Seed = Seed;
+  return Opt;
+}
+
+/// Parses `--models=N`, `--images=N`, `--all` style flags.
+struct BenchArgs {
+  size_t Models;
+  size_t Images;
+  BenchArgs(int Argc, char **Argv, size_t DefaultModels,
+            size_t DefaultImages)
+      : Models(DefaultModels), Images(DefaultImages) {
+    for (int I = 1; I < Argc; ++I) {
+      if (!std::strcmp(Argv[I], "--all"))
+        Models = 6;
+      else if (!std::strncmp(Argv[I], "--models=", 9))
+        Models = std::strtoul(Argv[I] + 9, nullptr, 10);
+      else if (!std::strncmp(Argv[I], "--images=", 9))
+        Images = std::strtoul(Argv[I] + 9, nullptr, 10);
+    }
+  }
+};
+
+inline std::unique_ptr<driver::CompileResult>
+compileOrDie(const onnx::Model &Model, const nn::Dataset &Data,
+             const air::CompileOptions &Opt) {
+  driver::AceCompiler Compiler(Opt);
+  std::vector<nn::Tensor> Calib(Data.Images.begin(),
+                                Data.Images.begin() +
+                                    std::min<size_t>(4, Data.Images.size()));
+  auto R = Compiler.compile(Model, Calib);
+  if (!R.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n", R.status().message().c_str());
+    std::exit(1);
+  }
+  return R.take();
+}
+
+} // namespace bench
+} // namespace ace
+
+#endif // ACE_BENCH_BENCHUTIL_H

@@ -1,0 +1,84 @@
+//===----------------------------------------------------------------------===//
+// Ablation study over the design choices DESIGN.md calls out: each of the
+// compiler automations (rotation-key analysis, minimal-level
+// bootstrapping, delayed rescale placement) is disabled in isolation on
+// nano-resnet-20; the deltas decompose the ACE-vs-Expert gap of Figs. 6-7.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace ace;
+using namespace ace::bench;
+
+namespace {
+
+struct Sample {
+  double Seconds = 0;
+  size_t KeyBytes = 0;
+  size_t KeyCount = 0;
+  size_t Rotations = 0;
+};
+
+Sample runOne(const BenchModel &M, const air::CompileOptions &Opt) {
+  auto R = compileOrDie(M.Model, M.Data, Opt);
+  codegen::CkksExecutor Exec(R->Program, R->State);
+  if (Status S = Exec.setup()) {
+    std::fprintf(stderr, "setup failed: %s\n", S.message().c_str());
+    std::exit(1);
+  }
+  WallTimer Clock;
+  auto Logits = Exec.infer(M.Data.Images[0]);
+  if (!Logits.ok())
+    std::exit(1);
+  Sample Out;
+  Out.Seconds = Clock.seconds();
+  Out.KeyBytes = Exec.memory().evaluationKeyBytes();
+  Out.KeyCount = Exec.evalKeys().rotationKeyCount();
+  Out.Rotations = Exec.counters().Rotate;
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  auto Models = buildPaperModels(1);
+  BenchModel &M = Models[0];
+
+  struct Config {
+    const char *Name;
+    air::CompileOptions Opt;
+  };
+  air::CompileOptions Base = benchOptions();
+  std::vector<Config> Configs;
+  Configs.push_back({"all-optimizations", Base});
+  {
+    auto O = Base;
+    O.EnableRotationKeyAnalysis = false;
+    Configs.push_back({"no-rotation-key-analysis", O});
+  }
+  {
+    auto O = Base;
+    O.EnableMinimalBootstrapLevel = false;
+    O.ExpertMarginLevels = 3;
+    Configs.push_back({"no-minimal-bootstrap", O});
+  }
+  {
+    auto O = Base;
+    O.EnableRescalePlacement = false;
+    Configs.push_back({"no-delayed-rescale", O});
+  }
+  Configs.push_back({"expert-(all-off)", expert::expertOptions(Base)});
+
+  std::printf("=== Ablation on %s: one encrypted inference ===\n",
+              M.Spec.Name.c_str());
+  std::printf("%-26s | %8s %8s %9s %12s\n", "configuration", "seconds",
+              "rotkeys", "rotations", "key-memory");
+  for (auto &C : Configs) {
+    Sample S = runOne(M, C.Opt);
+    std::printf("%-26s | %8.2f %8zu %9zu %12s\n", C.Name, S.Seconds,
+                S.KeyCount, S.Rotations, formatBytes(S.KeyBytes).c_str());
+  }
+  return 0;
+}

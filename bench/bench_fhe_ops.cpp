@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+// Microbenchmarks of the ACEfhe primitives backing the paper's cost
+// discussion (Sec. 2.3: multiplications and rotations are
+// O(N log N r^2) and dominate): add, ct-pt mul, ct-ct mul+relin,
+// rotation, rescale and a full bootstrap, across ring degrees.
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Bootstrapper.h"
+#include "fhe/Encryptor.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ace;
+using namespace ace::fhe;
+
+namespace {
+
+struct Fixture {
+  std::unique_ptr<Context> Ctx;
+  std::unique_ptr<Encoder> Enc;
+  std::unique_ptr<KeyGenerator> Gen;
+  PublicKey Pub;
+  EvalKeys Keys;
+  std::unique_ptr<Evaluator> Eval;
+  std::unique_ptr<Bootstrapper> Boot;
+  std::unique_ptr<Encryptor> Encrypt;
+  Ciphertext CtA, CtB;
+  Plaintext Pt;
+
+  explicit Fixture(size_t N, bool WithBootstrap = false) {
+    CkksParams P;
+    P.RingDegree = N;
+    P.Slots = N / 2;
+    P.LogScale = 45;
+    P.LogFirstModulus = 55;
+    P.NumRescaleModuli = WithBootstrap ? 22 : 8;
+    P.LogSpecialModulus = 60;
+    P.SparseSecret = WithBootstrap;
+    P.Seed = 5;
+    Ctx = std::make_unique<Context>(P);
+    Enc = std::make_unique<Encoder>(*Ctx);
+    Gen = std::make_unique<KeyGenerator>(*Ctx);
+    Pub = Gen->makePublicKey();
+    Eval = std::make_unique<Evaluator>(*Ctx, *Enc, Keys);
+    if (WithBootstrap) {
+      Boot = std::make_unique<Bootstrapper>(*Eval);
+      Gen->fillEvalKeys(Keys, Boot->requiredRotations(), true, true);
+      Gen->fillGaloisKeys(Keys, Boot->requiredGaloisElements());
+    } else {
+      Gen->fillEvalKeys(Keys, {1}, true, false);
+    }
+    Encrypt = std::make_unique<Encryptor>(*Ctx, Pub);
+
+    Rng R(3);
+    std::vector<double> X(Ctx->slots());
+    for (auto &V : X)
+      V = R.uniformReal(-0.5, 0.5);
+    CtA = Encrypt->encryptValues(*Enc, X, Ctx->chainLength());
+    CtB = Encrypt->encryptValues(*Enc, X, Ctx->chainLength());
+    Pt = Eval->encodeForMul(CtA, X);
+  }
+};
+
+void BM_Add(benchmark::State &State) {
+  Fixture F(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(F.Eval->add(F.CtA, F.CtB));
+}
+BENCHMARK(BM_Add)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_MulPlain(benchmark::State &State) {
+  Fixture F(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(F.Eval->mulPlain(F.CtA, F.Pt));
+}
+BENCHMARK(BM_MulPlain)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_MulRelin(benchmark::State &State) {
+  Fixture F(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(F.Eval->mul(F.CtA, F.CtB));
+}
+BENCHMARK(BM_MulRelin)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_Rotate(benchmark::State &State) {
+  Fixture F(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(F.Eval->rotate(F.CtA, 1));
+}
+BENCHMARK(BM_Rotate)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_Rescale(benchmark::State &State) {
+  Fixture F(State.range(0));
+  for (auto _ : State) {
+    Ciphertext C = F.CtA;
+    F.Eval->rescaleInPlace(C);
+    benchmark::DoNotOptimize(C);
+  }
+}
+BENCHMARK(BM_Rescale)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_Bootstrap(benchmark::State &State) {
+  Fixture F(State.range(0), /*WithBootstrap=*/true);
+  Ciphertext Low = F.CtA;
+  F.Eval->modSwitchTo(Low, 1);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(F.Boot->bootstrap(Low, 3));
+}
+BENCHMARK(BM_Bootstrap)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

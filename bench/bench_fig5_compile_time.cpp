@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+// Paper Figure 5: ANT-ACE compile times per model with the percentage
+// breakdown across IR phases (NN / VECTOR / SIHE / CKKS / Others).
+// Expected shape: compilation takes seconds, with the VECTOR phase
+// (cleartext-to-vector transformation, i.e. weight/mask processing)
+// dominating - exactly what the paper reports.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace ace;
+using namespace ace::bench;
+
+int main(int argc, char **argv) {
+  BenchArgs Args(argc, argv, /*DefaultModels=*/6, /*DefaultImages=*/0);
+  auto Models = buildPaperModels(Args.Models);
+
+  std::printf("=== Figure 5: compile time per model (seconds) ===\n");
+  std::printf("%-18s %8s | %6s %7s %6s %6s %7s\n", "model", "total",
+              "NN%", "VECTOR%", "SIHE%", "CKKS%", "Others%");
+  for (auto &M : Models) {
+    auto R = compileOrDie(M.Model, M.Data, benchOptions());
+    const TimingRegistry &T = R->State.Timing;
+    double Total = T.total();
+    double Known = T.get("NN") + T.get("VECTOR") + T.get("SIHE") +
+                   T.get("CKKS");
+    auto Pct = [&](const char *Phase) {
+      return Total > 0 ? 100.0 * T.get(Phase) / Total : 0.0;
+    };
+    std::printf("%-18s %8.3f | %6.1f %7.1f %6.1f %6.1f %7.1f\n",
+                M.Spec.Name.c_str(), Total, Pct("NN"), Pct("VECTOR"),
+                Pct("SIHE"), Pct("CKKS"),
+                Total > 0 ? 100.0 * (Total - Known) / Total : 0.0);
+    std::printf("%-18s          | nodes: NN=%zu VECTOR=%zu SIHE=%zu "
+                "CKKS=%zu, bootstraps=%zu\n",
+                "", R->PhaseNodeCounts["NN"], R->PhaseNodeCounts["VECTOR"],
+                R->PhaseNodeCounts["SIHE"], R->PhaseNodeCounts["CKKS"],
+                R->State.BootstrapCount);
+  }
+  std::printf("\n(paper: seconds per model, VECTOR phase dominant)\n");
+  return 0;
+}

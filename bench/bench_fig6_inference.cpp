@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+// Paper Figure 6: per-image encrypted inference time, ANT-ACE (left)
+// versus the Expert hand-tuned baseline (right), broken down into Conv,
+// Bootstrap and ReLU. Expected shape: ACE wins on every model; the paper
+// reports Conv -31.5%, Bootstrap -63.3%, ReLU -44.6%, 2.24x average.
+//
+// Defaults cover the two smallest models (single-core friendly); pass
+// --all or --models=N for the full sweep.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace ace;
+using namespace ace::bench;
+
+namespace {
+
+struct RunResult {
+  double Conv = 0, Boot = 0, Relu = 0, Pool = 0, Gemm = 0, Other = 0;
+  double total() const { return Conv + Boot + Relu + Pool + Gemm + Other; }
+};
+
+RunResult runOne(const BenchModel &M, const air::CompileOptions &Opt) {
+  auto R = compileOrDie(M.Model, M.Data, Opt);
+  codegen::CkksExecutor Exec(R->Program, R->State);
+  if (Status S = Exec.setup()) {
+    std::fprintf(stderr, "setup failed: %s\n", S.message().c_str());
+    std::exit(1);
+  }
+  auto Logits = Exec.infer(M.Data.Images[0]);
+  if (!Logits.ok()) {
+    std::fprintf(stderr, "inference failed: %s\n",
+                 Logits.status().message().c_str());
+    std::exit(1);
+  }
+  const TimingRegistry &T = Exec.regionTimes();
+  RunResult Out;
+  Out.Conv = T.get("conv");
+  Out.Boot = T.get("bootstrap");
+  Out.Relu = T.get("relu");
+  Out.Pool = T.get("pool");
+  Out.Gemm = T.get("gemm");
+  Out.Other = T.get("add") + T.get("other") + T.get("input");
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchArgs Args(argc, argv, /*DefaultModels=*/2, /*DefaultImages=*/1);
+  auto Models = buildPaperModels(Args.Models);
+
+  std::printf("=== Figure 6: per-image inference time, ACE vs Expert "
+              "(seconds) ===\n");
+  std::printf("%-18s %-7s | %8s %8s %8s %8s | %8s\n", "model", "impl",
+              "conv", "bootstr", "relu", "rest", "total");
+  double SpeedupSum = 0;
+  for (auto &M : Models) {
+    RunResult Ace = runOne(M, benchOptions());
+    RunResult Exp = runOne(M, expert::expertOptions(benchOptions()));
+    auto Print = [&](const char *Impl, const RunResult &R) {
+      std::printf("%-18s %-7s | %8.2f %8.2f %8.2f %8.2f | %8.2f\n",
+                  M.Spec.Name.c_str(), Impl, R.Conv, R.Boot, R.Relu,
+                  R.Pool + R.Gemm + R.Other, R.total());
+    };
+    Print("ace", Ace);
+    Print("expert", Exp);
+    double Speedup = Exp.total() / Ace.total();
+    SpeedupSum += Speedup;
+    std::printf("%-18s %-7s | conv %+5.1f%%  bootstrap %+5.1f%%  relu "
+                "%+5.1f%%  speedup %.2fx\n",
+                "", "delta", 100.0 * (Ace.Conv - Exp.Conv) / Exp.Conv,
+                100.0 * (Ace.Boot - Exp.Boot) / Exp.Boot,
+                100.0 * (Ace.Relu - Exp.Relu) / Exp.Relu, Speedup);
+  }
+  std::printf("\naverage speedup: %.2fx (paper: 2.24x; Conv -31.5%%, "
+              "Bootstrap -63.3%%, ReLU -44.6%%)\n",
+              SpeedupSum / Models.size());
+  return 0;
+}

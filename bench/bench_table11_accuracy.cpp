@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+// Paper Table 11: inference accuracy, unencrypted vs encrypted. The paper
+// reports an average accuracy drop of 0.43% over 1000 CIFAR images; the
+// reproduction compares the cleartext executor with the compiled
+// encrypted pipeline on the synthetic dataset. Expected shape: encrypted
+// accuracy within a couple of points of cleartext, the loss coming from
+// CKKS precision plus the polynomial ReLU approximation.
+//
+// Defaults: one model, a handful of images (encrypted inference is
+// seconds per image single-core); scale with --models= / --images=.
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace ace;
+using namespace ace::bench;
+
+int main(int argc, char **argv) {
+  BenchArgs Args(argc, argv, /*DefaultModels=*/1, /*DefaultImages=*/6);
+  auto Models = buildPaperModels(Args.Models);
+
+  std::printf("=== Table 11: accuracy, unencrypted vs encrypted ===\n");
+  std::printf("%-18s %7s | %12s %10s %8s\n", "model", "images",
+              "unencrypted", "encrypted", "loss");
+  for (auto &M : Models) {
+    size_t Count = std::min<size_t>(Args.Images, M.Data.Images.size());
+    double Clear = nn::cleartextAccuracy(M.Model.MainGraph, M.Data,
+                                         static_cast<int>(Count));
+
+    auto R = compileOrDie(M.Model, M.Data, benchOptions());
+    codegen::CkksExecutor Exec(R->Program, R->State);
+    if (Status S = Exec.setup()) {
+      std::fprintf(stderr, "setup failed: %s\n", S.message().c_str());
+      return 1;
+    }
+    size_t Correct = 0;
+    for (size_t I = 0; I < Count; ++I) {
+      auto Logits = Exec.infer(M.Data.Images[I]);
+      if (!Logits.ok()) {
+        std::fprintf(stderr, "inference failed: %s\n",
+                     Logits.status().message().c_str());
+        return 1;
+      }
+      size_t Best = 0;
+      for (size_t K = 1; K < Logits->size(); ++K)
+        if ((*Logits)[K] > (*Logits)[Best])
+          Best = K;
+      Correct += Best == static_cast<size_t>(M.Data.Labels[I]);
+    }
+    double Enc = static_cast<double>(Correct) / Count;
+    std::printf("%-18s %7zu | %11.1f%% %9.1f%% %+7.1f%%\n",
+                M.Spec.Name.c_str(), Count, 100 * Clear, 100 * Enc,
+                100 * (Clear - Enc));
+  }
+  std::printf("\n(paper: average accuracy loss 0.43%% over 1000 images)\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Packed tensor layouts (paper Sec. 4.2: data layout selection in the
+/// VECTOR IR). A tensor (C, H, W) is flattened channel-major into the
+/// ciphertext slots; strided convolutions and pools do not compact the
+/// data but instead dilate the layout (StrideH/StrideW grow), so
+/// subsequent operators read with dilated rotation offsets. This is the
+/// "multiplexed" packing strategy of Lee et al. [35] that the paper's
+/// Expert baseline also uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_AIR_LAYOUT_H
+#define ACE_AIR_LAYOUT_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+namespace ace {
+namespace air {
+
+/// Where each logical tensor element lives inside the slot vector.
+struct CipherLayout {
+  /// Padded capacities fixed for the whole program; C0*H0*W0 slots used.
+  size_t C0 = 1, H0 = 1, W0 = 1;
+  /// Logical dimensions of the value.
+  size_t C = 1, H = 1, W = 1;
+  /// Dilation of the packed grid (grows across strided ops).
+  size_t StrideH = 1, StrideW = 1;
+
+  size_t slotCount() const { return C0 * H0 * W0; }
+  size_t channelStride() const { return H0 * W0; }
+
+  /// Slot index of logical element (c, h, w).
+  size_t slotOf(size_t Ch, size_t Row, size_t Col) const {
+    assert(Ch < C0 && Row * StrideH < H0 && Col * StrideW < W0 &&
+           "layout coordinate out of range");
+    return Ch * channelStride() + Row * StrideH * W0 + Col * StrideW;
+  }
+
+  /// Layout after a stride-S spatial downsampling (no data movement).
+  CipherLayout afterStride(size_t S) const {
+    CipherLayout L = *this;
+    L.H = (H + S - 1) / S;
+    L.W = (W + S - 1) / S;
+    L.StrideH *= S;
+    L.StrideW *= S;
+    return L;
+  }
+
+  bool sameGrid(const CipherLayout &O) const {
+    return C0 == O.C0 && H0 == O.H0 && W0 == O.W0 && C == O.C && H == O.H &&
+           W == O.W && StrideH == O.StrideH && StrideW == O.StrideW;
+  }
+};
+
+} // namespace air
+} // namespace ace
+
+#endif // ACE_AIR_LAYOUT_H

@@ -1,0 +1,103 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-process execution of a compiled CKKS-IR program against the ACEfhe
+/// runtime - the role the generated C program plays in the real ANT-ACE
+/// deployment (paper Fig. 2): setup generates exactly the keys the
+/// compiler's analysis requested; the encryptor packs and normalizes a
+/// tensor per the selected layout; run() interprets the CKKS IR; the
+/// decryptor unpacks the logits. Region timing by origin operator feeds
+/// the paper's Figure 6 breakdown, and key-material byte counts feed
+/// Figure 7.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_CODEGEN_CKKSEXECUTOR_H
+#define ACE_CODEGEN_CKKSEXECUTOR_H
+
+#include "air/Pass.h"
+#include "fhe/Bootstrapper.h"
+#include "fhe/Encryptor.h"
+#include "nn/Executor.h"
+#include "support/MemTrack.h"
+#include "support/Timer.h"
+
+#include <memory>
+
+namespace ace {
+namespace codegen {
+
+/// Executes one compiled program.
+class CkksExecutor {
+public:
+  /// \p F must be in the CKKS dialect; \p State the post-pipeline state.
+  /// Both must outlive the executor.
+  CkksExecutor(const air::IrFunction &F, const air::CompileState &State);
+  ~CkksExecutor();
+
+  /// Builds the context, generates keys (secret, public, relin,
+  /// rotation set from the key analysis, bootstrap Galois set), and
+  /// instantiates evaluator + bootstrapper.
+  Status setup();
+
+  /// Client-side: packs, normalizes, encodes and encrypts a tensor.
+  fhe::Ciphertext encryptInput(const nn::Tensor &Input);
+
+  /// Server-side: runs the encrypted inference.
+  StatusOr<fhe::Ciphertext> run(const fhe::Ciphertext &Input);
+
+  /// Client-side: decrypts and unpacks the logits.
+  std::vector<double> decryptLogits(const fhe::Ciphertext &Output);
+
+  /// Convenience: encrypt, run, decrypt.
+  StatusOr<std::vector<double>> infer(const nn::Tensor &Input);
+
+  /// Wall time per origin operator kind for the last run() (Fig. 6).
+  const TimingRegistry &regionTimes() const { return RegionTimes; }
+
+  /// Key/ciphertext memory by category (Fig. 7).
+  const MemTracker &memory() const { return Memory; }
+
+  /// Seconds spent in setup (key generation dominates).
+  double setupSeconds() const { return SetupSeconds; }
+
+  const fhe::Context &context() const { return *Ctx; }
+  const fhe::OpCounters &counters() const { return Eval->counters(); }
+  const fhe::EvalKeys &evalKeys() const { return Keys; }
+
+private:
+  const air::IrFunction &F;
+  const air::CompileState &State;
+
+  std::unique_ptr<fhe::Context> Ctx;
+  std::unique_ptr<fhe::Encoder> Enc;
+  std::unique_ptr<fhe::KeyGenerator> Gen;
+  fhe::PublicKey Pub;
+  fhe::EvalKeys Keys;
+  std::unique_ptr<fhe::Evaluator> Eval;
+  std::unique_ptr<fhe::Bootstrapper> Boot;
+  std::unique_ptr<fhe::Encryptor> Encrypt;
+  std::unique_ptr<fhe::Decryptor> Decrypt;
+
+  TimingRegistry RegionTimes;
+  MemTracker Memory;
+  double SetupSeconds = 0.0;
+
+  /// Encoded-plaintext cache: (node id, numQ, log2 scale bucket).
+  std::map<std::tuple<int, size_t, int64_t>, fhe::Plaintext> PlainCache;
+
+  const fhe::Plaintext &encodedConst(const air::IrNode *ConstNode,
+                                     const fhe::Ciphertext &For,
+                                     bool ForMul);
+};
+
+} // namespace codegen
+} // namespace ace
+
+#endif // ACE_CODEGEN_CKKSEXECUTOR_H

@@ -1,0 +1,60 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler facade (paper Fig. 3): ONNX-equivalent model in, CKKS
+/// program out, through the NN -> VECTOR -> SIHE -> CKKS pipeline with
+/// per-phase timing (Figure 5). The result bundles the final IR, the
+/// selected parameters (Table 10), the key-analysis summary (Figure 7),
+/// and node statistics per abstraction level.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_DRIVER_ACECOMPILER_H
+#define ACE_DRIVER_ACECOMPILER_H
+
+#include "air/Pass.h"
+#include "nn/Executor.h"
+#include "onnx/Model.h"
+
+#include <memory>
+
+namespace ace {
+namespace driver {
+
+/// Everything compilation produces.
+struct CompileResult {
+  air::IrFunction Program{"main"};
+  air::CompileState State;
+  /// Node counts after each phase (NN, VECTOR, SIHE, CKKS).
+  std::map<std::string, size_t> PhaseNodeCounts;
+  /// Pretty-printed IR snapshots per phase (debug/instrumentation).
+  std::map<std::string, std::string> PhaseDumps;
+};
+
+/// Compiles models under fixed options.
+class AceCompiler {
+public:
+  explicit AceCompiler(air::CompileOptions Options) : Options(Options) {}
+
+  /// Compiles \p Model; \p Calibration provides activation-bound samples
+  /// (pass the dataset's images). When \p KeepDumps is set, textual IR of
+  /// every phase is retained in the result.
+  StatusOr<std::unique_ptr<CompileResult>>
+  compile(const onnx::Model &Model,
+          const std::vector<nn::Tensor> &Calibration,
+          bool KeepDumps = false);
+
+private:
+  air::CompileOptions Options;
+};
+
+} // namespace driver
+} // namespace ace
+
+#endif // ACE_DRIVER_ACECOMPILER_H

@@ -1,0 +1,356 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Bootstrapper.h"
+
+#include "fhe/ModArith.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ace;
+using namespace ace::fhe;
+
+int ace::fhe::estimateBootstrapDepth(size_t RingDegree, size_t Slots,
+                                     const BootstrapConfig &Config,
+                                     int LogScale, int LogFirstModulus) {
+  size_t Span = (RingDegree / 2) / Slots;
+  int LogSpan = 0;
+  while ((size_t(1) << LogSpan) < Span)
+    ++LogSpan;
+  int Doubles = Config.DoubleAngleCount + LogSpan;
+  int K2 = Config.RangeK * static_cast<int>(Span);
+  int EvalModDepth =
+      ChebyshevEvaluator::depthForDegree(Config.ChebyshevDegree) + Doubles +
+      (Config.ArcsineCorrection ? 3 : 0);
+  double LogP = 2.0 * LogScale - LogFirstModulus -
+                std::log2(static_cast<double>(K2 + 1));
+  int DownscaleLevels = LogP < 25.0 ? 2 : 1;
+  return 1 + DownscaleLevels + EvalModDepth + 1 + 1;
+}
+
+Bootstrapper::Bootstrapper(const Evaluator &Eval, BootstrapConfig Config)
+    : Eval(Eval), Config(Config), Cheb(Eval) {
+  assert(Config.RangeK >= 1 && Config.DoubleAngleCount >= 0 &&
+         Config.ChebyshevDegree >= 3 && "invalid bootstrap configuration");
+  // The SubSum trace (which must run AFTER ModRaise so the overflow
+  // polynomial is projected onto the packing subring - off-grid overflow
+  // coefficients would otherwise fold back onto the grid inside EvalMod's
+  // squarings) multiplies the overflow bound by span. The extra factor is
+  // absorbed by log2(span) additional double-angle iterations, keeping
+  // the Chebyshev degree constant.
+  //
+  // Approximate h(u) = cos((2 pi (K2+1) u - pi/2) / 2^r) on [-1, 1]. After
+  // r double-angle steps, h becomes cos(2 pi t - pi/2) = sin(2 pi t) with
+  // t = (K2+1) u.
+  double K2Plus1 = static_cast<double>(rangeBound() + 1);
+  double Divisor = std::ldexp(1.0, doubleAngles());
+  SineCoeffs = chebyshevInterpolate(
+      [&](double U) {
+        return std::cos((2.0 * M_PI * K2Plus1 * U - M_PI / 2.0) / Divisor);
+      },
+      Config.ChebyshevDegree);
+}
+
+size_t Bootstrapper::span() const {
+  const Context &Ctx = Eval.context();
+  return (Ctx.degree() / 2) / Ctx.slots();
+}
+
+int Bootstrapper::rangeBound() const {
+  return Config.RangeK * static_cast<int>(span());
+}
+
+int Bootstrapper::doubleAngles() const {
+  int LogSpan = 0;
+  while ((size_t(1) << LogSpan) < span())
+    ++LogSpan;
+  return Config.DoubleAngleCount + LogSpan;
+}
+
+int Bootstrapper::depthCost() const {
+  int EvalModDepth = ChebyshevEvaluator::depthForDegree(Config.ChebyshevDegree) +
+                     doubleAngles() + (Config.ArcsineCorrection ? 3 : 0);
+  // The post-CoeffToSlot downscale consumes an extra level when its
+  // plaintext scale would otherwise be too coarse (see downscaleInPlace).
+  const CkksParams &P = Eval.context().params();
+  double LogP = 2.0 * P.LogScale - P.LogFirstModulus -
+                std::log2(static_cast<double>(rangeBound() + 1));
+  int DownscaleLevels = LogP < 25.0 ? 2 : 1;
+  return 1 + DownscaleLevels + EvalModDepth + 1 /*SlotToCoeff*/ +
+         1 /*final scale fix*/;
+}
+
+size_t Bootstrapper::babySteps() const {
+  size_t N = Eval.context().slots();
+  size_t BS = 1;
+  while (BS * BS < N)
+    BS <<= 1;
+  return BS;
+}
+
+std::vector<int64_t> Bootstrapper::requiredRotations() const {
+  size_t N = Eval.context().slots();
+  size_t BS = babySteps();
+  std::vector<int64_t> Steps;
+  for (size_t J = 1; J < BS; ++J)
+    Steps.push_back(static_cast<int64_t>(J));
+  for (size_t I = BS; I < N; I += BS)
+    Steps.push_back(static_cast<int64_t>(I));
+  return Steps;
+}
+
+std::vector<uint64_t> Bootstrapper::requiredGaloisElements() const {
+  const Context &Ctx = Eval.context();
+  size_t N = Ctx.degree();
+  size_t Slots = Ctx.slots();
+  size_t Span = (N / 2) / Slots;
+  std::vector<uint64_t> Elements;
+  uint64_t TwoN = 2 * N;
+  for (size_t Step = Slots; Step * 2 <= Slots * Span; Step *= 2) {
+    // Galois element 5^Step mod 2N: rotation by a multiple of the slot
+    // count, which fixes the subring.
+    uint64_t G = 1;
+    for (size_t I = 0; I < Step; ++I)
+      G = (G * 5) % TwoN;
+    Elements.push_back(G);
+  }
+  return Elements;
+}
+
+std::complex<double> Bootstrapper::matrixEntry(int MatrixId, size_t Row,
+                                               size_t Col) const {
+  const Encoder &Enc = Eval.encoder();
+  size_t N = Eval.context().slots();
+
+  // The large constants (q_0, K2, Delta) are applied as exact scale-
+  // metadata changes after each matvec, keeping the matrix entries O(1)
+  // so their plaintext quantization error stays negligible.
+  if (MatrixId == 0) {
+    // CoeffToSlot: (1/2) * (1/n) * U^H with U[j][k] = zeta_j^k;
+    // (U^H)[row][col] = conj(zeta_col^row). The 1/2 pre-halves the
+    // real/imag separation sums.
+    std::complex<double> Zeta = Enc.slotRoot(Col);
+    std::complex<double> Entry =
+        std::conj(std::pow(Zeta, static_cast<double>(Row)));
+    return Entry * (0.5 / static_cast<double>(N));
+  }
+  // SlotToCoeff: U * q0 / (2 pi * span * Delta).
+  std::complex<double> Zeta = Enc.slotRoot(Row);
+  std::complex<double> Entry = std::pow(Zeta, static_cast<double>(Col));
+  double Factor = Eval.context().firstModulus() /
+                  (2.0 * M_PI * static_cast<double>(span()) *
+                   Eval.context().scale());
+  return Entry * Factor;
+}
+
+const std::vector<Plaintext> &Bootstrapper::diagonals(int MatrixId,
+                                                      size_t NumQ) const {
+  auto Key = std::make_pair(MatrixId, NumQ);
+  auto It = DiagCache.find(Key);
+  if (It != DiagCache.end())
+    return It->second;
+
+  const Context &Ctx = Eval.context();
+  const Encoder &Enc = Eval.encoder();
+  size_t N = Ctx.slots();
+  size_t BS = babySteps();
+  // The plaintext scale is the prime the post-matvec rescale drops, so the
+  // ciphertext scale is preserved exactly.
+  double Scale = static_cast<double>(Ctx.qModulus(NumQ - 1));
+
+  std::vector<Plaintext> Diags;
+  Diags.reserve(N);
+  std::vector<std::complex<double>> DiagValues(N);
+  for (size_t D = 0; D < N; ++D) {
+    size_t GiantBase = (D / BS) * BS;
+    for (size_t T = 0; T < N; ++T) {
+      // diag_d[t] = M[t][(t+d) mod n], pre-rotated right by the giant
+      // base (rot_{-giant}) so the BSGS inner sums can be rotated as a
+      // block afterwards.
+      size_t Src = (T + N - GiantBase % N) % N;
+      DiagValues[T] = matrixEntry(MatrixId, Src, (Src + D) % N);
+    }
+    Diags.push_back(Enc.encode(DiagValues, Scale, NumQ));
+  }
+  auto [Inserted, Ok] = DiagCache.emplace(Key, std::move(Diags));
+  (void)Ok;
+  return Inserted->second;
+}
+
+Ciphertext Bootstrapper::matvec(const Ciphertext &Ct, int MatrixId) const {
+  size_t N = Ct.Slots;
+  size_t BS = babySteps();
+  size_t GS = (N + BS - 1) / BS;
+  const std::vector<Plaintext> &Diags = diagonals(MatrixId, Ct.numQ());
+
+  // Baby rotations of the input.
+  std::vector<Ciphertext> Rotated;
+  Rotated.reserve(BS);
+  Rotated.push_back(Ct);
+  for (size_t J = 1; J < BS; ++J)
+    Rotated.push_back(Eval.rotate(Ct, static_cast<int64_t>(J)));
+
+  bool HaveAcc = false;
+  Ciphertext Acc;
+  for (size_t I = 0; I < GS; ++I) {
+    bool HaveInner = false;
+    Ciphertext Inner;
+    for (size_t J = 0; J < BS; ++J) {
+      size_t D = I * BS + J;
+      if (D >= N)
+        break;
+      Ciphertext Term = Eval.mulPlain(Rotated[J], Diags[D]);
+      if (!HaveInner) {
+        Inner = std::move(Term);
+        HaveInner = true;
+      } else {
+        Eval.addInPlace(Inner, Term);
+      }
+    }
+    if (!HaveInner)
+      continue;
+    Ciphertext Shifted =
+        Eval.rotate(Inner, static_cast<int64_t>(I * BS));
+    if (!HaveAcc) {
+      Acc = std::move(Shifted);
+      HaveAcc = true;
+    } else {
+      Eval.addInPlace(Acc, Shifted);
+    }
+  }
+  assert(HaveAcc && "matrix-vector product over zero diagonals");
+  Eval.rescaleInPlace(Acc);
+  return Acc;
+}
+
+Ciphertext Bootstrapper::evalMod(const Ciphertext &U) const {
+  // Chebyshev series of the scaled cosine.
+  Ciphertext C = Cheb.evaluate(U, SineCoeffs);
+  // Double-angle reconstruction: cos(2x) = 2 cos^2 x - 1.
+  for (int R = 0; R < doubleAngles(); ++R) {
+    Ciphertext Sq = Eval.mul(C, C);
+    Eval.rescaleInPlace(Sq);
+    Eval.mulIntegerInPlace(Sq, 2);
+    Eval.addConstInPlace(Sq, -1.0);
+    C = std::move(Sq);
+  }
+  if (!Config.ArcsineCorrection)
+    return C;
+  // s + s^3/6 ~ arcsin(s): recovers 2 pi frac(t) from s = sin(2 pi t).
+  Ciphertext S2 = Eval.mul(C, C);
+  Eval.rescaleInPlace(S2);
+  Ciphertext T = Eval.mulScalar(S2, 1.0 / 6.0, C.Scale);
+  Eval.rescaleInPlace(T);
+  Eval.addConstInPlace(T, 1.0);
+  Eval.matchForAdd(C, T);
+  Ciphertext Y = Eval.mul(C, T);
+  Eval.rescaleInPlace(Y);
+  return Y;
+}
+
+Ciphertext Bootstrapper::modRaise(const Ciphertext &Ct, size_t NumQ) const {
+  const Context &Ctx = Eval.context();
+  assert(Ct.numQ() == 1 && "mod-raise expects a level-0 ciphertext");
+  size_t N = Ctx.degree();
+  uint64_t Q0 = Ctx.qModulus(0);
+
+  Ciphertext Out;
+  Out.Scale = Ct.Scale;
+  Out.Slots = Ct.Slots;
+  for (const RnsPoly &Poly : Ct.Polys) {
+    RnsPoly Coeff = Poly;
+    Coeff.toCoeff();
+    const uint64_t *Src = Coeff.component(0);
+    RnsPoly Raised(Ctx, NumQ, /*HasSpecial=*/false, /*NttForm=*/false);
+    for (size_t C = 0; C < NumQ; ++C) {
+      uint64_t Q = Ctx.qModulus(C);
+      uint64_t *Dst = Raised.component(C);
+      for (size_t K = 0; K < N; ++K) {
+        uint64_t V = Src[K];
+        // Centered lift: values above q0/2 represent negatives.
+        if (V <= Q0 / 2)
+          Dst[K] = V % Q;
+        else
+          Dst[K] = negMod((Q0 - V) % Q, Q);
+      }
+    }
+    Raised.toNtt();
+    Out.Polys.push_back(std::move(Raised));
+  }
+  return Out;
+}
+
+Ciphertext Bootstrapper::bootstrap(const Ciphertext &Ct,
+                                   size_t TargetNumQ) const {
+  const Context &Ctx = Eval.context();
+  assert(Ctx.params().SparseSecret &&
+         "bootstrapping requires the sparse secret (bounds RangeK)");
+  assert(scalesClose(Ct.Scale, Ctx.scale()) &&
+         "bootstrap input must be at the context scale");
+  size_t Raised = TargetNumQ + static_cast<size_t>(depthCost());
+  assert(Raised <= Ctx.chainLength() &&
+         "modulus chain too short for this bootstrap target");
+
+  double InputScale = Ct.Scale;
+
+  // 1. Down to q_0 and back up onto the working chain. The plaintext
+  //    becomes p + q_0 * I with |I| <= K.
+  Ciphertext Work = Ct;
+  Eval.modSwitchTo(Work, 1);
+  Work = modRaise(Work, Raised);
+
+  // 2. SubSum trace: projects the (general) overflow polynomial onto the
+  //    packing subring, multiplying message and overflow by span. The
+  //    overflow bound becomes K2 = span * K; EvalMod's extra double-angle
+  //    iterations absorb it.
+  for (uint64_t Galois : requiredGaloisElements()) {
+    Ciphertext Rotated = Eval.rotateGalois(Work, Galois);
+    Eval.addInPlace(Work, Rotated);
+  }
+
+  // 3. CoeffToSlot, then normalize into [-1, 1]: first a pure metadata
+  //    scale change (exact; see matrixEntry), then an exact downscale
+  //    back to Delta so EvalMod's multiplications stay on the rescale
+  //    waterline.
+  Ciphertext Z = matvec(Work, /*MatrixId=*/0);
+  Z.Scale = Eval.context().firstModulus() * (rangeBound() + 1);
+  Eval.downscaleInPlace(Z, Eval.context().scale());
+
+  // 4. Separate real and imaginary coefficient vectors.
+  Ciphertext ZConj = Eval.conjugate(Z);
+  Ciphertext CtA = Eval.add(Z, ZConj);
+  Ciphertext CtB = Eval.negate(Eval.mulByI(Eval.sub(Z, ZConj)));
+
+  // 5. EvalMod on both.
+  Ciphertext YA = evalMod(CtA);
+  Ciphertext YB = evalMod(CtB);
+
+  // 6. Recombine and SlotToCoeff (whose constants restore the original
+  //    message normalization).
+  Ciphertext YBi = Eval.mulByI(YB);
+  Eval.matchForAdd(YA, YBi);
+  Ciphertext Combined = Eval.add(YA, YBi);
+  Ciphertext Out = matvec(Combined, /*MatrixId=*/1);
+
+  // 7. The doubling chain's multiplicative scale drift lands the result
+  //    slightly off the input scale; one exact downscale restores it.
+  Eval.downscaleInPlace(Out, InputScale);
+
+  assert(Out.numQ() >= TargetNumQ && "bootstrap consumed more than planned");
+  Eval.modSwitchTo(Out, TargetNumQ);
+  return Out;
+}
+
+size_t Bootstrapper::cachedPlaintextBytes() const {
+  size_t Sum = 0;
+  for (const auto &[Key, Diags] : DiagCache)
+    for (const Plaintext &P : Diags)
+      Sum += P.byteSize();
+  return Sum;
+}

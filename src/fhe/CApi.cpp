@@ -1,0 +1,204 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "fhe/CApi.h"
+
+#include "fhe/Bootstrapper.h"
+#include "fhe/Encryptor.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+using namespace ace;
+using namespace ace::fhe;
+
+/// The C context bundles the whole runtime.
+struct AceFheContext {
+  std::unique_ptr<Context> Ctx;
+  std::unique_ptr<Encoder> Enc;
+  std::unique_ptr<KeyGenerator> Gen;
+  PublicKey Pub;
+  EvalKeys Keys;
+  std::unique_ptr<Evaluator> Eval;
+  std::unique_ptr<Bootstrapper> Boot;
+  std::unique_ptr<Encryptor> Encrypt;
+  std::unique_ptr<Decryptor> Decrypt;
+};
+
+struct AceFheCiphertext {
+  Ciphertext Ct;
+};
+
+AceFheContext *ace_create(size_t RingDegree, size_t Slots, int LogScale,
+                          int LogQ0, int NumRescale, int LogSpecial,
+                          int SparseSecret, uint64_t Seed) {
+  CkksParams P;
+  P.RingDegree = RingDegree;
+  P.Slots = Slots;
+  P.LogScale = LogScale;
+  P.LogFirstModulus = LogQ0;
+  P.NumRescaleModuli = NumRescale;
+  P.LogSpecialModulus = LogSpecial;
+  P.SparseSecret = SparseSecret != 0;
+  P.Seed = Seed;
+  if (!P.valid())
+    return nullptr;
+  auto *C = new AceFheContext();
+  C->Ctx = std::make_unique<Context>(P);
+  C->Enc = std::make_unique<Encoder>(*C->Ctx);
+  C->Gen = std::make_unique<KeyGenerator>(*C->Ctx);
+  C->Pub = C->Gen->makePublicKey();
+  C->Eval = std::make_unique<Evaluator>(*C->Ctx, *C->Enc, C->Keys);
+  C->Encrypt = std::make_unique<Encryptor>(*C->Ctx, C->Pub);
+  C->Decrypt = std::make_unique<Decryptor>(*C->Ctx, C->Gen->secretKey());
+  return C;
+}
+
+void ace_destroy(AceFheContext *Ctx) { delete Ctx; }
+
+void ace_keygen(AceFheContext *C, const int64_t *Steps,
+                const size_t *StepMaxQ, size_t NSteps, int NeedRelin,
+                int NeedConj, int Bootstrap, int BootK, int BootDa,
+                int BootDeg) {
+  if (Bootstrap) {
+    BootstrapConfig Cfg;
+    Cfg.RangeK = BootK;
+    Cfg.DoubleAngleCount = BootDa;
+    Cfg.ChebyshevDegree = BootDeg;
+    C->Boot = std::make_unique<Bootstrapper>(*C->Eval, Cfg);
+    C->Gen->fillEvalKeys(C->Keys, C->Boot->requiredRotations(),
+                         NeedRelin != 0, /*NeedConjugate=*/true);
+    C->Gen->fillGaloisKeys(C->Keys, C->Boot->requiredGaloisElements());
+  }
+  for (size_t I = 0; I < NSteps; ++I) {
+    uint64_t Galois =
+        galoisForRotation(C->Ctx->degree(), C->Ctx->slots(), Steps[I]);
+    if (Galois == 1 || C->Keys.Rotations.count(Galois))
+      continue;
+    size_t MaxQ = StepMaxQ ? StepMaxQ[I] : 0;
+    C->Keys.Rotations.emplace(Galois,
+                              C->Gen->makeRotationKey(Steps[I], MaxQ));
+  }
+  if (NeedRelin && !C->Keys.HasRelin) {
+    C->Keys.Relin = C->Gen->makeRelinKey();
+    C->Keys.HasRelin = true;
+  }
+  if (NeedConj && !C->Keys.HasConjugate) {
+    C->Keys.Conjugate = C->Gen->makeConjugationKey();
+    C->Keys.HasConjugate = true;
+  }
+}
+
+AceFheCiphertext *ace_encrypt(AceFheContext *C, const double *Slots,
+                              size_t N, size_t NumQ) {
+  std::vector<double> V(Slots, Slots + N);
+  V.resize(C->Ctx->slots(), 0.0);
+  return new AceFheCiphertext{C->Encrypt->encryptValues(*C->Enc, V, NumQ)};
+}
+
+void ace_decrypt(AceFheContext *C, const AceFheCiphertext *Ct, double *Out,
+                 size_t N) {
+  auto V = C->Decrypt->decryptRealValues(*C->Enc, Ct->Ct);
+  for (size_t I = 0; I < N && I < V.size(); ++I)
+    Out[I] = V[I];
+}
+
+void ace_ct_free(AceFheCiphertext *Ct) { delete Ct; }
+
+AceFheCiphertext *ace_rotate(AceFheContext *C, const AceFheCiphertext *A,
+                             int64_t Steps) {
+  return new AceFheCiphertext{C->Eval->rotate(A->Ct, Steps)};
+}
+
+AceFheCiphertext *ace_add(AceFheContext *C, const AceFheCiphertext *A,
+                          const AceFheCiphertext *B) {
+  Ciphertext X = A->Ct, Y = B->Ct;
+  C->Eval->matchForAdd(X, Y);
+  C->Eval->addInPlace(X, Y);
+  return new AceFheCiphertext{std::move(X)};
+}
+
+AceFheCiphertext *ace_sub(AceFheContext *C, const AceFheCiphertext *A,
+                          const AceFheCiphertext *B) {
+  Ciphertext X = A->Ct, Y = B->Ct;
+  C->Eval->matchForAdd(X, Y);
+  C->Eval->subInPlace(X, Y);
+  return new AceFheCiphertext{std::move(X)};
+}
+
+AceFheCiphertext *ace_mul(AceFheContext *C, const AceFheCiphertext *A,
+                          const AceFheCiphertext *B) {
+  Ciphertext X = A->Ct, Y = B->Ct;
+  C->Eval->matchForAdd(X, Y);
+  return new AceFheCiphertext{C->Eval->mul(X, Y)};
+}
+
+AceFheCiphertext *ace_mul_plain(AceFheContext *C, const AceFheCiphertext *A,
+                                const double *Vec, size_t N) {
+  std::vector<double> V(Vec, Vec + N);
+  V.resize(C->Ctx->slots(), 0.0);
+  Plaintext P = C->Eval->encodeForMul(A->Ct, V);
+  return new AceFheCiphertext{C->Eval->mulPlain(A->Ct, P)};
+}
+
+AceFheCiphertext *ace_add_plain(AceFheContext *C, const AceFheCiphertext *A,
+                                const double *Vec, size_t N) {
+  std::vector<double> V(Vec, Vec + N);
+  V.resize(C->Ctx->slots(), 0.0);
+  Plaintext P = C->Eval->encodeForAdd(A->Ct, V);
+  return new AceFheCiphertext{C->Eval->addPlain(A->Ct, P)};
+}
+
+AceFheCiphertext *ace_mul_const(AceFheContext *C, const AceFheCiphertext *A,
+                                double Value) {
+  return new AceFheCiphertext{
+      C->Eval->mulScalar(A->Ct, Value, A->Ct.Scale)};
+}
+
+AceFheCiphertext *ace_add_const(AceFheContext *C, const AceFheCiphertext *A,
+                                double Value) {
+  Ciphertext X = A->Ct;
+  C->Eval->addConstInPlace(X, Value);
+  return new AceFheCiphertext{std::move(X)};
+}
+
+AceFheCiphertext *ace_rescale(AceFheContext *C, const AceFheCiphertext *A) {
+  Ciphertext X = A->Ct;
+  C->Eval->rescaleInPlace(X);
+  return new AceFheCiphertext{std::move(X)};
+}
+
+AceFheCiphertext *ace_modswitch_to(AceFheContext *C,
+                                   const AceFheCiphertext *A, size_t NumQ) {
+  Ciphertext X = A->Ct;
+  C->Eval->modSwitchTo(X, NumQ);
+  return new AceFheCiphertext{std::move(X)};
+}
+
+AceFheCiphertext *ace_bootstrap(AceFheContext *C, const AceFheCiphertext *A,
+                                size_t Target) {
+  return new AceFheCiphertext{C->Boot->bootstrap(A->Ct, Target)};
+}
+
+double *ace_load_weights(const char *Path, size_t *Count) {
+  FILE *F = std::fopen(Path, "rb");
+  if (!F)
+    return nullptr;
+  std::fseek(F, 0, SEEK_END);
+  long Bytes = std::ftell(F);
+  std::fseek(F, 0, SEEK_SET);
+  size_t N = static_cast<size_t>(Bytes) / sizeof(double);
+  double *Data = static_cast<double *>(std::malloc(N * sizeof(double)));
+  size_t Read = std::fread(Data, sizeof(double), N, F);
+  std::fclose(F);
+  if (Count)
+    *Count = Read;
+  return Data;
+}

@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flat C API over the ACEfhe runtime - the surface the generated C
+/// programs call (paper Sec. 3.4: ANT-ACE converts ONNX models into C
+/// for CPU execution against its library). Handles are opaque; every
+/// ciphertext returned must be released with ace_ct_free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_FHE_CAPI_H
+#define ACE_FHE_CAPI_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct AceFheContext AceFheContext;
+typedef struct AceFheCiphertext AceFheCiphertext;
+
+/// Creates a runtime context (parameters as selected by the compiler).
+AceFheContext *ace_create(size_t ring_degree, size_t slots, int log_scale,
+                          int log_q0, int num_rescale, int log_special,
+                          int sparse_secret, uint64_t seed);
+void ace_destroy(AceFheContext *ctx);
+
+/// Generates keys: rotation steps (with optional per-step level caps via
+/// step_maxq, may be NULL), relinearization/conjugation, and - when
+/// bootstrap is nonzero - the bootstrapping key material with the given
+/// configuration.
+void ace_keygen(AceFheContext *ctx, const int64_t *steps,
+                const size_t *step_maxq, size_t nsteps, int need_relin,
+                int need_conj, int bootstrap, int boot_k, int boot_da,
+                int boot_deg);
+
+/// Encrypts slot values (length = slot count) at numq active primes.
+AceFheCiphertext *ace_encrypt(AceFheContext *ctx, const double *slots,
+                              size_t n, size_t numq);
+/// Decrypts into out (length = slot count).
+void ace_decrypt(AceFheContext *ctx, const AceFheCiphertext *ct,
+                 double *out, size_t n);
+void ace_ct_free(AceFheCiphertext *ct);
+
+/// Homomorphic operations (paper Table 6). Results are fresh handles.
+AceFheCiphertext *ace_rotate(AceFheContext *ctx, const AceFheCiphertext *a,
+                             int64_t steps);
+AceFheCiphertext *ace_add(AceFheContext *ctx, const AceFheCiphertext *a,
+                          const AceFheCiphertext *b);
+AceFheCiphertext *ace_sub(AceFheContext *ctx, const AceFheCiphertext *a,
+                          const AceFheCiphertext *b);
+AceFheCiphertext *ace_mul(AceFheContext *ctx, const AceFheCiphertext *a,
+                          const AceFheCiphertext *b); /* includes relin */
+AceFheCiphertext *ace_mul_plain(AceFheContext *ctx,
+                                const AceFheCiphertext *a,
+                                const double *vec, size_t n);
+AceFheCiphertext *ace_add_plain(AceFheContext *ctx,
+                                const AceFheCiphertext *a,
+                                const double *vec, size_t n);
+AceFheCiphertext *ace_mul_const(AceFheContext *ctx,
+                                const AceFheCiphertext *a, double c);
+AceFheCiphertext *ace_add_const(AceFheContext *ctx,
+                                const AceFheCiphertext *a, double c);
+AceFheCiphertext *ace_rescale(AceFheContext *ctx, const AceFheCiphertext *a);
+AceFheCiphertext *ace_modswitch_to(AceFheContext *ctx,
+                                   const AceFheCiphertext *a, size_t numq);
+AceFheCiphertext *ace_bootstrap(AceFheContext *ctx,
+                                const AceFheCiphertext *a, size_t target);
+
+/// Loads the external weight blob written next to the generated program
+/// (paper Sec. 3.4 stores weights externally). Returns a malloc'd array
+/// the caller frees; count receives the number of doubles.
+double *ace_load_weights(const char *path, size_t *count);
+
+#ifdef __cplusplus
+} // extern "C"
+#endif
+
+#endif // ACE_FHE_CAPI_H

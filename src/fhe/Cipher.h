@@ -1,0 +1,71 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plaintext and ciphertext value types. A Plaintext holds one RNS
+/// polynomial; a Ciphertext holds two (or, transiently after a
+/// ciphertext-ciphertext product, three) polynomials. Both carry the CKKS
+/// scale and the logical slot count. These types correspond one-to-one to
+/// the Plain / Cipher / Cipher3 types of the SIHE and CKKS IRs (paper
+/// Tables 5 and 6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_FHE_CIPHER_H
+#define ACE_FHE_CIPHER_H
+
+#include "fhe/RnsPoly.h"
+
+#include <cassert>
+#include <vector>
+
+namespace ace {
+namespace fhe {
+
+/// An encoded (but not encrypted) message: one polynomial plus metadata.
+struct Plaintext {
+  RnsPoly Poly;
+  double Scale = 0.0;
+  size_t Slots = 0;
+
+  size_t numQ() const { return Poly.numQ(); }
+  size_t byteSize() const { return Poly.byteSize(); }
+};
+
+/// An RLWE ciphertext: k polynomials (k = 2 normally, 3 after an
+/// unrelinearized multiplication - the paper's Cipher3), a scale, and the
+/// logical slot count.
+struct Ciphertext {
+  std::vector<RnsPoly> Polys;
+  double Scale = 0.0;
+  size_t Slots = 0;
+
+  /// Number of polynomial components (2 = Cipher, 3 = Cipher3).
+  size_t size() const { return Polys.size(); }
+
+  /// Active chain-prime count; the compiler's "level" is numQ() - 1.
+  size_t numQ() const {
+    assert(!Polys.empty() && "empty ciphertext");
+    return Polys[0].numQ();
+  }
+
+  /// Remaining multiplicative depth (rescales) before q_0 is reached.
+  size_t level() const { return numQ() - 1; }
+
+  size_t byteSize() const {
+    size_t Sum = 0;
+    for (const auto &P : Polys)
+      Sum += P.byteSize();
+    return Sum;
+  }
+};
+
+} // namespace fhe
+} // namespace ace
+
+#endif // ACE_FHE_CIPHER_H

@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Context.h"
+
+#include "fhe/ModArith.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ace;
+using namespace ace::fhe;
+
+bool CkksParams::valid() const {
+  if (RingDegree < 8 || (RingDegree & (RingDegree - 1)) != 0)
+    return false;
+  if (Slots < 1 || Slots > RingDegree / 2 || (Slots & (Slots - 1)) != 0)
+    return false;
+  if (LogScale < 20 || LogScale > 60)
+    return false;
+  if (LogFirstModulus < LogScale || LogFirstModulus > 60)
+    return false;
+  if (NumRescaleModuli < 0 || NumRescaleModuli > 60)
+    return false;
+  if (LogSpecialModulus < LogFirstModulus || LogSpecialModulus > 60)
+    return false;
+  return true;
+}
+
+Context::Context(const CkksParams &P) : Params(P) {
+  assert(P.valid() && "invalid CKKS parameters");
+  uint64_t TwoN = 2 * P.RingDegree;
+
+  // Build the chain: one q_0 prime, NumRescaleModuli rescale primes, one
+  // special prime. Primes of equal bit width must be distinct, so each
+  // generation round excludes everything chosen so far.
+  std::vector<uint64_t> Exclude;
+  auto Take = [&](int Bits, size_t Count) {
+    std::vector<uint64_t> Got = generateNttPrimes(Bits, TwoN, Count, Exclude);
+    Exclude.insert(Exclude.end(), Got.begin(), Got.end());
+    return Got;
+  };
+
+  QModuli = Take(P.LogFirstModulus, 1);
+  if (P.NumRescaleModuli > 0) {
+    // Rescale primes balanced around 2^LogScale keep the scale close to
+    // Delta along the whole chain (bounding add-time scale drift).
+    std::vector<uint64_t> Rescale = generateBalancedNttPrimes(
+        P.LogScale, TwoN, static_cast<size_t>(P.NumRescaleModuli), Exclude);
+    Exclude.insert(Exclude.end(), Rescale.begin(), Rescale.end());
+    QModuli.insert(QModuli.end(), Rescale.begin(), Rescale.end());
+  }
+  SpecialPrime = Take(P.LogSpecialModulus, 1)[0];
+
+  for (uint64_t Q : QModuli)
+    NttTables.push_back(std::make_unique<NttTable>(P.RingDegree, Q));
+  NttTables.push_back(std::make_unique<NttTable>(P.RingDegree, SpecialPrime));
+
+  // Rescale precomputation: inv(q_l) mod q_j for every (l, j < l).
+  size_t L = QModuli.size();
+  InvQLastModQ.resize(L);
+  for (size_t Last = 0; Last < L; ++Last) {
+    InvQLastModQ[Last].resize(Last);
+    for (size_t J = 0; J < Last; ++J)
+      InvQLastModQ[Last][J] =
+          invMod(QModuli[Last] % QModuli[J], QModuli[J]);
+  }
+
+  InvSpecialModQ.resize(L);
+  for (size_t J = 0; J < L; ++J)
+    InvSpecialModQ[J] = invMod(SpecialPrime % QModuli[J], QModuli[J]);
+
+  Scale = std::ldexp(1.0, P.LogScale);
+}

@@ -1,0 +1,509 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Evaluator.h"
+
+#include "fhe/ModArith.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cmath>
+
+using namespace ace;
+using namespace ace::fhe;
+
+bool ace::fhe::scalesClose(double A, double B) {
+  return std::fabs(A - B) <= 1e-3 * std::fmax(A, B);
+}
+
+Evaluator::Evaluator(const Context &Ctx, const Encoder &Enc,
+                     const EvalKeys &Keys)
+    : Ctx(Ctx), Enc(Enc), Keys(Keys) {
+  MonomialNtt.resize(Ctx.chainLength() + 1);
+}
+
+void Evaluator::checkAddCompatible(const Ciphertext &A,
+                                   const Ciphertext &B) const {
+  assert(A.numQ() == B.numQ() && "additive operands at different levels");
+  assert(A.Slots == B.Slots && "additive operands with different slots");
+  assert(scalesClose(A.Scale, B.Scale) &&
+         "additive operands with mismatched scales");
+}
+
+//===----------------------------------------------------------------------===//
+// Additive operations
+//===----------------------------------------------------------------------===//
+
+void Evaluator::addInPlace(Ciphertext &A, const Ciphertext &B) const {
+  checkAddCompatible(A, B);
+  ++Counters.Add;
+  // Adding a Cipher and a Cipher3 is permitted: missing components are
+  // implicitly zero.
+  if (B.size() > A.size())
+    A.Polys.resize(B.size(),
+                   RnsPoly(Ctx, A.numQ(), /*HasSpecial=*/false,
+                           /*NttForm=*/true));
+  for (size_t I = 0; I < B.size(); ++I)
+    A.Polys[I].addInPlace(B.Polys[I]);
+}
+
+Ciphertext Evaluator::add(const Ciphertext &A, const Ciphertext &B) const {
+  Ciphertext R = A;
+  addInPlace(R, B);
+  return R;
+}
+
+void Evaluator::subInPlace(Ciphertext &A, const Ciphertext &B) const {
+  checkAddCompatible(A, B);
+  ++Counters.Add;
+  if (B.size() > A.size())
+    A.Polys.resize(B.size(),
+                   RnsPoly(Ctx, A.numQ(), /*HasSpecial=*/false,
+                           /*NttForm=*/true));
+  for (size_t I = 0; I < B.size(); ++I)
+    A.Polys[I].subInPlace(B.Polys[I]);
+}
+
+Ciphertext Evaluator::sub(const Ciphertext &A, const Ciphertext &B) const {
+  Ciphertext R = A;
+  subInPlace(R, B);
+  return R;
+}
+
+Ciphertext Evaluator::negate(const Ciphertext &A) const {
+  Ciphertext R = A;
+  for (auto &Poly : R.Polys)
+    Poly.negateInPlace();
+  return R;
+}
+
+void Evaluator::addPlainInPlace(Ciphertext &A, const Plaintext &P) const {
+  assert(P.numQ() >= A.numQ() && "plaintext level below ciphertext level");
+  assert(scalesClose(A.Scale, P.Scale) && "addPlain scale mismatch");
+  ++Counters.Add;
+  if (P.numQ() == A.numQ()) {
+    A.Polys[0].addInPlace(P.Poly);
+    return;
+  }
+  A.Polys[0].addInPlace(
+      P.Poly.restrictedCopy(A.numQ(), /*KeepSpecial=*/false));
+}
+
+Ciphertext Evaluator::addPlain(const Ciphertext &A, const Plaintext &P) const {
+  Ciphertext R = A;
+  addPlainInPlace(R, P);
+  return R;
+}
+
+void Evaluator::addConstInPlace(Ciphertext &A, double Value) const {
+  // A constant polynomial has the same value at every NTT evaluation
+  // point, so adding round(Value * Scale) to every residue of c0 adds the
+  // constant to every slot.
+  long double Raw = static_cast<long double>(Value) *
+                    static_cast<long double>(A.Scale);
+  assert(fabsl(Raw) < 0x1.0p62L && "constant too large for the scale");
+  int64_t V = static_cast<int64_t>(llroundl(Raw));
+  RnsPoly &C0 = A.Polys[0];
+  size_t N = Ctx.degree();
+  for (size_t I = 0; I < C0.numQ(); ++I) {
+    uint64_t Q = C0.modulus(I);
+    uint64_t R = V >= 0 ? static_cast<uint64_t>(V) % Q
+                        : Q - (static_cast<uint64_t>(-V) % Q);
+    if (R == Q)
+      R = 0;
+    uint64_t *Comp = C0.component(I);
+    for (size_t J = 0; J < N; ++J)
+      Comp[J] = addMod(Comp[J], R, Q);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Multiplicative operations
+//===----------------------------------------------------------------------===//
+
+Ciphertext Evaluator::mulNoRelin(const Ciphertext &A,
+                                 const Ciphertext &B) const {
+  assert(A.size() == 2 && B.size() == 2 &&
+         "ciphertext product requires two-polynomial operands");
+  assert(A.numQ() == B.numQ() && "product operands at different levels");
+  assert(A.Slots == B.Slots && "product operands with different slots");
+  ++Counters.MulCipher;
+
+  Ciphertext R;
+  R.Scale = A.Scale * B.Scale;
+  R.Slots = A.Slots;
+  // (a0 + a1 s)(b0 + b1 s) = a0b0 + (a0b1 + a1b0) s + a1b1 s^2.
+  RnsPoly P0 = A.Polys[0].mul(B.Polys[0]);
+  RnsPoly P1 = A.Polys[0].mul(B.Polys[1]);
+  P1.mulAddInPlace(A.Polys[1], B.Polys[0]);
+  RnsPoly P2 = A.Polys[1].mul(B.Polys[1]);
+  R.Polys.push_back(std::move(P0));
+  R.Polys.push_back(std::move(P1));
+  R.Polys.push_back(std::move(P2));
+  return R;
+}
+
+Ciphertext Evaluator::mul(const Ciphertext &A, const Ciphertext &B) const {
+  return relinearize(mulNoRelin(A, B));
+}
+
+void Evaluator::mulPlainInPlace(Ciphertext &A, const Plaintext &P) const {
+  assert(P.numQ() >= A.numQ() && "plaintext level below ciphertext level");
+  ++Counters.MulPlain;
+  if (P.numQ() == A.numQ()) {
+    for (auto &Poly : A.Polys)
+      Poly.mulInPlace(P.Poly);
+  } else {
+    RnsPoly Restricted =
+        P.Poly.restrictedCopy(A.numQ(), /*KeepSpecial=*/false);
+    for (auto &Poly : A.Polys)
+      Poly.mulInPlace(Restricted);
+  }
+  A.Scale *= P.Scale;
+}
+
+Ciphertext Evaluator::mulPlain(const Ciphertext &A, const Plaintext &P) const {
+  Ciphertext R = A;
+  mulPlainInPlace(R, P);
+  return R;
+}
+
+Ciphertext Evaluator::mulScalar(const Ciphertext &A, double Value,
+                                double TargetScale) const {
+  ++Counters.MulPlain;
+  Ciphertext R = A;
+  if (TargetScale <= 0.0)
+    TargetScale = A.Scale;
+  // Plaintext scale P such that Scale * P / q_last == TargetScale exactly;
+  // rounding the integer scalar to V only perturbs the VALUE (by at most
+  // 0.5/V relative), never the scale bookkeeping.
+  double P = TargetScale * mulPlainScale(A) / A.Scale;
+  long double Raw = static_cast<long double>(std::fabs(Value)) *
+                    static_cast<long double>(P);
+  assert(Raw < 0x1.0p62L && "scalar too large for the scale");
+  uint64_t V = static_cast<uint64_t>(llroundl(Raw));
+  for (auto &Poly : R.Polys)
+    Poly.mulScalarInt(V);
+  if (Value < 0)
+    for (auto &Poly : R.Polys)
+      Poly.negateInPlace();
+  R.Scale *= P;
+  return R;
+}
+
+void Evaluator::mulIntegerInPlace(Ciphertext &A, int64_t Value) const {
+  uint64_t Magnitude = static_cast<uint64_t>(Value < 0 ? -Value : Value);
+  for (auto &Poly : A.Polys)
+    Poly.mulScalarInt(Magnitude);
+  if (Value < 0)
+    for (auto &Poly : A.Polys)
+      Poly.negateInPlace();
+}
+
+const std::vector<uint64_t> &Evaluator::monomialNtt(size_t ModIndex) const {
+  auto &Cached = MonomialNtt[ModIndex];
+  if (!Cached.empty())
+    return Cached;
+  size_t N = Ctx.degree();
+  Cached.assign(N, 0);
+  Cached[N / 2] = 1;
+  Ctx.nttTable(ModIndex).forward(Cached.data());
+  return Cached;
+}
+
+Ciphertext Evaluator::mulByI(const Ciphertext &A) const {
+  // X^{N/2} evaluates to i at every slot root (zeta^{N/2} = i for all
+  // canonical roots), so monomial multiplication rotates the complex
+  // phase of every slot by 90 degrees exactly, without noise growth.
+  Ciphertext R = A;
+  size_t N = Ctx.degree();
+  for (auto &Poly : R.Polys) {
+    assert(Poly.isNtt() && "mulByI expects NTT form");
+    for (size_t I = 0, E = Poly.numComponents(); I < E; ++I) {
+      uint64_t Q = Poly.modulus(I);
+      const auto &Mono = monomialNtt(Poly.modIndex(I));
+      uint64_t *Comp = Poly.component(I);
+      for (size_t J = 0; J < N; ++J)
+        Comp[J] = mulMod(Comp[J], Mono[J], Q);
+    }
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Key switching
+//===----------------------------------------------------------------------===//
+
+std::pair<RnsPoly, RnsPoly> Evaluator::switchKey(const RnsPoly &D,
+                                                 const SwitchKey &Key) const {
+  assert(!D.isNtt() && !D.hasSpecial() &&
+         "switchKey input must be coeff-domain without special component");
+  assert(Key.Parts.size() >= D.numQ() &&
+         "switch key truncated below this ciphertext's level");
+  ++Counters.KeySwitch;
+
+  size_t L = D.numQ();
+  size_t N = Ctx.degree();
+  // Keys may be truncated to fewer digits than the full chain; their
+  // special component sits right after their chain components.
+  size_t KeySpecial = Key.Parts[0].first.numQ();
+
+  RnsPoly Acc0(Ctx, L, /*HasSpecial=*/true, /*NttForm=*/true);
+  RnsPoly Acc1(Ctx, L, /*HasSpecial=*/true, /*NttForm=*/true);
+
+  RnsPoly Ext(Ctx, L, /*HasSpecial=*/true, /*NttForm=*/false);
+  for (size_t Digit = 0; Digit < L; ++Digit) {
+    // Lift the digit residues (integers in [0, q_digit)) into the extended
+    // basis, transform, and accumulate against the key parts.
+    const uint64_t *Src = D.component(Digit);
+    for (size_t C = 0, E = Ext.numComponents(); C < E; ++C) {
+      uint64_t M = Ext.modulus(C);
+      uint64_t *Dst = Ext.component(C);
+      if (M == Ctx.qModulus(Digit)) {
+        std::copy(Src, Src + N, Dst);
+      } else {
+        for (size_t J = 0; J < N; ++J)
+          Dst[J] = Src[J] % M;
+      }
+    }
+    RnsPoly ExtNtt = Ext;
+    ExtNtt.toNtt();
+
+    const auto &Part = Key.Parts[Digit];
+    for (size_t C = 0, E = Acc0.numComponents(); C < E; ++C) {
+      // Chain prime c maps to key component c, the special prime to the
+      // key's own special slot.
+      size_t KeyComp = (C == L) ? KeySpecial : C;
+      uint64_t Q = Acc0.modulus(C);
+      uint64_t *A0 = Acc0.component(C);
+      uint64_t *A1 = Acc1.component(C);
+      const uint64_t *X = ExtNtt.component(C);
+      const uint64_t *K0 = Part.first.component(KeyComp);
+      const uint64_t *K1 = Part.second.component(KeyComp);
+      for (size_t J = 0; J < N; ++J) {
+        A0[J] = addMod(A0[J], mulMod(X[J], K0[J], Q), Q);
+        A1[J] = addMod(A1[J], mulMod(X[J], K1[J], Q), Q);
+      }
+    }
+  }
+
+  // Divide by the special prime P: out = round(acc / P), computed as
+  // (acc - [acc]_P) * P^{-1} per chain prime.
+  auto ModDown = [&](RnsPoly &Acc) {
+    std::vector<uint64_t> SpecialCoeffs(
+        Acc.component(L), Acc.component(L) + N);
+    Ctx.nttTable(Ctx.specialIndex()).inverse(SpecialCoeffs.data());
+
+    RnsPoly Out(Ctx, L, /*HasSpecial=*/false, /*NttForm=*/true);
+    std::vector<uint64_t> Tmp(N);
+    for (size_t C = 0; C < L; ++C) {
+      uint64_t Q = Ctx.qModulus(C);
+      for (size_t J = 0; J < N; ++J)
+        Tmp[J] = SpecialCoeffs[J] % Q;
+      Ctx.nttTable(C).forward(Tmp.data());
+      uint64_t InvP = Ctx.invSpecialModQ(C);
+      uint64_t InvPShoup = shoupPrecompute(InvP, Q);
+      const uint64_t *A = Acc.component(C);
+      uint64_t *O = Out.component(C);
+      for (size_t J = 0; J < N; ++J)
+        O[J] = mulModShoup(subMod(A[J], Tmp[J], Q), InvP, InvPShoup, Q);
+    }
+    return Out;
+  };
+
+  return {ModDown(Acc0), ModDown(Acc1)};
+}
+
+Ciphertext Evaluator::relinearize(const Ciphertext &A) const {
+  assert(A.size() == 3 && "relinearize expects a Cipher3");
+  assert(Keys.HasRelin && "relinearization key not generated");
+  ++Counters.Relinearize;
+
+  RnsPoly D = A.Polys[2];
+  D.toCoeff();
+  auto [D0, D1] = switchKey(D, Keys.Relin);
+
+  Ciphertext R;
+  R.Scale = A.Scale;
+  R.Slots = A.Slots;
+  R.Polys.push_back(A.Polys[0]);
+  R.Polys.push_back(A.Polys[1]);
+  R.Polys[0].addInPlace(D0);
+  R.Polys[1].addInPlace(D1);
+  return R;
+}
+
+Ciphertext Evaluator::applyGalois(const Ciphertext &A, uint64_t Galois,
+                                  const SwitchKey &Key) const {
+  assert(A.size() == 2 && "relinearize before applying automorphisms");
+
+  RnsPoly C0 = A.Polys[0];
+  RnsPoly C1 = A.Polys[1];
+  C0.toCoeff();
+  C1.toCoeff();
+  RnsPoly C0G = C0.automorphism(Galois);
+  RnsPoly C1G = C1.automorphism(Galois);
+
+  auto [D0, D1] = switchKey(C1G, Key);
+  C0G.toNtt();
+  D0.addInPlace(C0G);
+
+  Ciphertext R;
+  R.Scale = A.Scale;
+  R.Slots = A.Slots;
+  R.Polys.push_back(std::move(D0));
+  R.Polys.push_back(std::move(D1));
+  return R;
+}
+
+Ciphertext Evaluator::rotate(const Ciphertext &A, int64_t Steps) const {
+  size_t Slots = A.Slots;
+  int64_t K = ((Steps % static_cast<int64_t>(Slots)) +
+               static_cast<int64_t>(Slots)) %
+              static_cast<int64_t>(Slots);
+  if (K == 0)
+    return A;
+  ++Counters.Rotate;
+  uint64_t Galois = galoisForRotation(Ctx.degree(), Slots, K);
+  auto It = Keys.Rotations.find(Galois);
+  assert(It != Keys.Rotations.end() &&
+         "rotation key missing; key analysis did not request this step");
+  return applyGalois(A, Galois, It->second);
+}
+
+Ciphertext Evaluator::rotateGalois(const Ciphertext &A,
+                                   uint64_t Galois) const {
+  if (Galois == 1)
+    return A;
+  ++Counters.Rotate;
+  auto It = Keys.Rotations.find(Galois);
+  assert(It != Keys.Rotations.end() && "Galois key missing");
+  return applyGalois(A, Galois, It->second);
+}
+
+Ciphertext Evaluator::conjugate(const Ciphertext &A) const {
+  assert(Keys.HasConjugate && "conjugation key not generated");
+  ++Counters.Conjugate;
+  return applyGalois(A, galoisForConjugation(Ctx.degree()), Keys.Conjugate);
+}
+
+//===----------------------------------------------------------------------===//
+// Scale and level management
+//===----------------------------------------------------------------------===//
+
+void Evaluator::rescaleInPlace(Ciphertext &A) const {
+  size_t L = A.numQ();
+  assert(L >= 2 && "cannot rescale past the base modulus");
+  ++Counters.Rescale;
+  size_t N = Ctx.degree();
+  size_t Last = L - 1;
+  uint64_t QLast = Ctx.qModulus(Last);
+
+  for (auto &Poly : A.Polys) {
+    assert(Poly.isNtt() && "rescale expects NTT form");
+    std::vector<uint64_t> LastCoeffs(Poly.component(Last),
+                                     Poly.component(Last) + N);
+    Ctx.nttTable(Last).inverse(LastCoeffs.data());
+
+    std::vector<uint64_t> Tmp(N);
+    for (size_t C = 0; C < Last; ++C) {
+      uint64_t Q = Ctx.qModulus(C);
+      for (size_t J = 0; J < N; ++J)
+        Tmp[J] = LastCoeffs[J] % Q;
+      Ctx.nttTable(C).forward(Tmp.data());
+      uint64_t Inv = Ctx.invQLastModQ(Last, C);
+      uint64_t InvShoup = shoupPrecompute(Inv, Q);
+      uint64_t *Comp = Poly.component(C);
+      for (size_t J = 0; J < N; ++J)
+        Comp[J] = mulModShoup(subMod(Comp[J], Tmp[J], Q), Inv, InvShoup, Q);
+    }
+    Poly.dropLastQ();
+  }
+  A.Scale /= static_cast<double>(QLast);
+}
+
+void Evaluator::modSwitchInPlace(Ciphertext &A) const {
+  assert(A.numQ() >= 2 && "cannot mod-switch past the base modulus");
+  ++Counters.ModSwitch;
+  for (auto &Poly : A.Polys)
+    Poly.dropLastQ();
+}
+
+void Evaluator::modSwitchTo(Ciphertext &A, size_t NumQ) const {
+  assert(NumQ >= 1 && NumQ <= A.numQ() && "bad mod-switch target");
+  while (A.numQ() > NumQ)
+    modSwitchInPlace(A);
+}
+
+void Evaluator::upscaleInPlace(Ciphertext &A, int LogFactor) const {
+  assert(LogFactor >= 0 && LogFactor < 62 && "bad upscale factor");
+  uint64_t Factor = 1ULL << LogFactor;
+  for (auto &Poly : A.Polys)
+    Poly.mulScalarInt(Factor);
+  A.Scale *= static_cast<double>(Factor);
+}
+
+void Evaluator::downscaleInPlace(Ciphertext &A, double TargetScale) const {
+  assert(A.numQ() >= 2 && "downscale needs a level to consume");
+  // Multiply by 1 encoded at scale P = Target * (consumed primes) / Scale,
+  // then rescale once per consumed prime: the final scale is exactly
+  // TargetScale, and the value error is 0.5/round(P). Consuming extra
+  // levels keeps P large enough (>= 2^40) that the error is negligible;
+  // deep squaring chains would amplify anything coarser exponentially.
+  double P = TargetScale * static_cast<double>(Ctx.qModulus(A.numQ() - 1)) /
+             A.Scale;
+  assert(P >= 1.0 && "downscale target too small for the available levels");
+  int Levels = 1;
+  while (P < 0x1.0p25 && A.numQ() > static_cast<size_t>(Levels) + 1 &&
+         Levels < 3) {
+    double Q = static_cast<double>(Ctx.qModulus(A.numQ() - 1 - Levels));
+    if (P * Q >= 0x1.0p62)
+      break;
+    P *= Q;
+    ++Levels;
+  }
+  assert(P < 0x1.0p62 && "downscale plaintext scale out of range");
+  uint64_t V = static_cast<uint64_t>(llround(P));
+  for (auto &Poly : A.Polys)
+    Poly.mulScalarInt(V);
+  A.Scale *= P;
+  for (int I = 0; I < Levels; ++I)
+    rescaleInPlace(A);
+}
+
+Plaintext Evaluator::encodeForMul(const Ciphertext &Ct,
+                                  const std::vector<double> &Values) const {
+  return Enc.encodeReal(Values, mulPlainScale(Ct), Ct.numQ());
+}
+
+Plaintext Evaluator::encodeForMulComplex(
+    const Ciphertext &Ct,
+    const std::vector<std::complex<double>> &Values) const {
+  return Enc.encode(Values, mulPlainScale(Ct), Ct.numQ());
+}
+
+Plaintext Evaluator::encodeForAdd(const Ciphertext &Ct,
+                                  const std::vector<double> &Values) const {
+  return Enc.encodeReal(Values, Ct.Scale, Ct.numQ());
+}
+
+double Evaluator::mulPlainScale(const Ciphertext &Ct) const {
+  // Encoding at the prime the next rescale drops makes mul + rescale
+  // preserve the ciphertext scale exactly.
+  assert(Ct.numQ() >= 2 && "no rescale prime available at the base level");
+  return static_cast<double>(Ctx.qModulus(Ct.numQ() - 1));
+}
+
+void Evaluator::matchForAdd(Ciphertext &A, Ciphertext &B) const {
+  if (A.numQ() > B.numQ())
+    modSwitchTo(A, B.numQ());
+  else if (B.numQ() > A.numQ())
+    modSwitchTo(B, A.numQ());
+  assert(scalesClose(A.Scale, B.Scale) &&
+         "operands cannot be aligned: scales differ");
+}

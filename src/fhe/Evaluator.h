@@ -1,0 +1,181 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The homomorphic evaluator: every CKKS-IR operation of paper Table 6
+/// (add, sub, neg, mul, rotate, rescale, modswitch, upscale, downscale,
+/// relin) has a runtime counterpart here. Key switching uses the RNS
+/// digit-decomposition ("hybrid with one special prime") method: the input
+/// polynomial is decomposed per chain prime, multiplied against the
+/// matching switch-key parts over the extended basis, and divided by the
+/// special prime. Operation counters feed the benchmark harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_FHE_EVALUATOR_H
+#define ACE_FHE_EVALUATOR_H
+
+#include "fhe/Encoder.h"
+#include "fhe/Keys.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ace {
+namespace fhe {
+
+/// Counts of executed homomorphic operations, for benches and ablations.
+struct OpCounters {
+  size_t Add = 0;
+  size_t MulCipher = 0;
+  size_t MulPlain = 0;
+  size_t Rotate = 0;
+  size_t Conjugate = 0;
+  size_t Relinearize = 0;
+  size_t Rescale = 0;
+  size_t ModSwitch = 0;
+  size_t KeySwitch = 0;
+
+  void clear() { *this = OpCounters(); }
+};
+
+/// Stateless-per-operation evaluator bound to a context and key set.
+class Evaluator {
+public:
+  Evaluator(const Context &Ctx, const Encoder &Enc, const EvalKeys &Keys);
+
+  const Context &context() const { return Ctx; }
+  const Encoder &encoder() const { return Enc; }
+  const EvalKeys &keys() const { return Keys; }
+
+  /// \name Additive operations (operands need matching level and scale).
+  /// @{
+  Ciphertext add(const Ciphertext &A, const Ciphertext &B) const;
+  void addInPlace(Ciphertext &A, const Ciphertext &B) const;
+  Ciphertext sub(const Ciphertext &A, const Ciphertext &B) const;
+  void subInPlace(Ciphertext &A, const Ciphertext &B) const;
+  Ciphertext negate(const Ciphertext &A) const;
+  void addPlainInPlace(Ciphertext &A, const Plaintext &P) const;
+  Ciphertext addPlain(const Ciphertext &A, const Plaintext &P) const;
+  /// Adds the constant \p Value (replicated across slots) at the
+  /// ciphertext's scale; exact and essentially free (touches only c0).
+  void addConstInPlace(Ciphertext &A, double Value) const;
+  /// @}
+
+  /// \name Multiplicative operations.
+  /// @{
+  /// Ciphertext-ciphertext product without relinearization; the result has
+  /// three polynomials (the paper's Cipher3) and scale = sA * sB.
+  Ciphertext mulNoRelin(const Ciphertext &A, const Ciphertext &B) const;
+  /// Ciphertext-ciphertext product followed by relinearization.
+  Ciphertext mul(const Ciphertext &A, const Ciphertext &B) const;
+  /// Ciphertext-plaintext product (plaintext level must cover the
+  /// ciphertext level); scale = sA * sP.
+  Ciphertext mulPlain(const Ciphertext &A, const Plaintext &P) const;
+  void mulPlainInPlace(Ciphertext &A, const Plaintext &P) const;
+  /// Multiplies by the scalar \p Value. The plaintext scale is chosen so
+  /// that a following rescale lands the ciphertext scale EXACTLY on
+  /// \p TargetScale (default: the input scale). Exact target scales keep
+  /// deep squaring chains (Chebyshev, bootstrapping) free of the
+  /// exponential scale drift that mismatched additions would amplify.
+  Ciphertext mulScalar(const Ciphertext &A, double Value,
+                       double TargetScale = 0.0) const;
+  /// Multiplies values by a small signed integer exactly, scale unchanged.
+  void mulIntegerInPlace(Ciphertext &A, int64_t Value) const;
+  /// Multiplies every slot by the imaginary unit i, exactly and for free
+  /// (monomial multiplication by X^{N/2}).
+  Ciphertext mulByI(const Ciphertext &A) const;
+  /// Converts a Cipher3 back to a Cipher (paper Table 6 relin).
+  Ciphertext relinearize(const Ciphertext &A) const;
+  /// @}
+
+  /// \name Scale and level management (paper Sec. 4.4).
+  /// @{
+  /// Drops the last prime and divides the scale by it.
+  void rescaleInPlace(Ciphertext &A) const;
+  /// Drops the last prime without changing the scale.
+  void modSwitchInPlace(Ciphertext &A) const;
+  /// Mod-switches down until the ciphertext has \p NumQ active primes.
+  void modSwitchTo(Ciphertext &A, size_t NumQ) const;
+  /// Multiplies coefficients by 2^LogFactor: scale *= 2^LogFactor, values
+  /// unchanged. Exact (paper Table 6 upscale).
+  void upscaleInPlace(Ciphertext &A, int LogFactor) const;
+  /// Brings the ciphertext to exactly \p TargetScale by multiplying with
+  /// an encoded constant 1 and rescaling (paper Table 6 downscale).
+  /// Consumes one level.
+  void downscaleInPlace(Ciphertext &A, double TargetScale) const;
+  /// Aligns two ciphertexts for addition: mod-switches the higher-level
+  /// operand down and asserts the scales agree.
+  void matchForAdd(Ciphertext &A, Ciphertext &B) const;
+  /// @}
+
+  /// \name Rotations.
+  /// @{
+  /// Left-rotates slots by \p Steps (negative = right). Requires the
+  /// matching rotation key.
+  Ciphertext rotate(const Ciphertext &A, int64_t Steps) const;
+  /// Complex-conjugates every slot. Requires the conjugation key.
+  Ciphertext conjugate(const Ciphertext &A) const;
+  /// @}
+
+  /// \name Encoding helpers.
+  /// @{
+  /// Encodes \p Values for multiplication against \p Ct: the plaintext
+  /// scale is chosen as the prime the subsequent rescale drops, so
+  /// mul + rescale preserves the ciphertext scale exactly.
+  Plaintext encodeForMul(const Ciphertext &Ct,
+                         const std::vector<double> &Values) const;
+  Plaintext encodeForMulComplex(
+      const Ciphertext &Ct,
+      const std::vector<std::complex<double>> &Values) const;
+  /// Encodes \p Values to match \p Ct's scale and level, for addPlain.
+  Plaintext encodeForAdd(const Ciphertext &Ct,
+                         const std::vector<double> &Values) const;
+  /// The scale encodeForMul would use at the ciphertext's level.
+  double mulPlainScale(const Ciphertext &Ct) const;
+  /// @}
+
+  /// Key switching primitive: switches \p D (coefficient domain, no
+  /// special component) from the key \p Key encodes to the canonical
+  /// secret. Returns the two result polynomials in NTT form. Exposed for
+  /// hoisted-rotation style optimizations and white-box tests.
+  std::pair<RnsPoly, RnsPoly> switchKey(const RnsPoly &D,
+                                        const SwitchKey &Key) const;
+
+  /// Applies a raw Galois automorphism with key switching.
+  Ciphertext applyGalois(const Ciphertext &A, uint64_t Galois,
+                         const SwitchKey &Key) const;
+
+  /// Applies the automorphism for a raw Galois element using the key set
+  /// (the bootstrapper's SubSum path). Asserts the key is present.
+  Ciphertext rotateGalois(const Ciphertext &A, uint64_t Galois) const;
+
+  /// Mutable operation counters.
+  OpCounters &counters() const { return Counters; }
+
+private:
+  const Context &Ctx;
+  const Encoder &Enc;
+  const EvalKeys &Keys;
+  mutable OpCounters Counters;
+  /// NTT form of the monomial X^{N/2} per modulus, built lazily.
+  mutable std::vector<std::vector<uint64_t>> MonomialNtt;
+
+  const std::vector<uint64_t> &monomialNtt(size_t ModIndex) const;
+  void checkAddCompatible(const Ciphertext &A, const Ciphertext &B) const;
+};
+
+/// True when two scales differ by less than a relative 1e-3 (rescale
+/// primes are near but not exactly 2^LogScale, so scales drift slightly;
+/// the induced value error is of the same order as the scheme noise).
+bool scalesClose(double A, double B);
+
+} // namespace fhe
+} // namespace ace
+
+#endif // ACE_FHE_EVALUATOR_H

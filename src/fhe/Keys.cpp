@@ -1,0 +1,203 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Keys.h"
+
+#include "fhe/ModArith.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ace;
+using namespace ace::fhe;
+
+uint64_t ace::fhe::galoisForRotation(size_t N, size_t Slots, int64_t Steps) {
+  int64_t S = static_cast<int64_t>(Slots);
+  int64_t K = ((Steps % S) + S) % S;
+  uint64_t TwoN = 2 * N;
+  uint64_t G = 1;
+  for (int64_t I = 0; I < K; ++I)
+    G = (G * 5) % TwoN;
+  return G;
+}
+
+uint64_t ace::fhe::galoisForConjugation(size_t N) { return 2 * N - 1; }
+
+/// Converts a small signed coefficient vector to an RNS polynomial over
+/// the requested shape (coefficient domain).
+static RnsPoly smallPolyToRns(const Context &Ctx,
+                              const std::vector<int32_t> &Coeffs, size_t NumQ,
+                              bool HasSpecial) {
+  RnsPoly Poly(Ctx, NumQ, HasSpecial, /*NttForm=*/false);
+  size_t N = Ctx.degree();
+  for (size_t I = 0, E = Poly.numComponents(); I < E; ++I) {
+    uint64_t P = Poly.modulus(I);
+    uint64_t *Comp = Poly.component(I);
+    for (size_t J = 0; J < N; ++J) {
+      int32_t V = Coeffs[J];
+      Comp[J] = V >= 0 ? static_cast<uint64_t>(V)
+                       : P - static_cast<uint64_t>(-V);
+    }
+  }
+  return Poly;
+}
+
+KeyGenerator::KeyGenerator(const Context &Ctx)
+    : Ctx(Ctx), Rand(Ctx.params().Seed) {
+  size_t N = Ctx.degree();
+  std::vector<int32_t> Coeffs(N, 0);
+  if (Ctx.params().SparseSecret) {
+    // Hamming-weight-64 ternary secret: the standard bootstrappable-CKKS
+    // choice; it bounds |c0 + c1*s| / q_0 and hence the EvalMod range K.
+    size_t Weight = std::min<size_t>(64, N / 2);
+    size_t Placed = 0;
+    while (Placed < Weight) {
+      size_t Pos = Rand.uniform(N);
+      if (Coeffs[Pos] != 0)
+        continue;
+      Coeffs[Pos] = (Rand.next64() & 1) ? 1 : -1;
+      ++Placed;
+    }
+  } else {
+    for (auto &C : Coeffs)
+      C = Rand.ternary();
+  }
+  Secret.S = smallPolyToRns(Ctx, Coeffs, Ctx.chainLength(),
+                            /*HasSpecial=*/true);
+  Secret.S.toNtt();
+}
+
+RnsPoly KeyGenerator::sampleNoise(size_t NumQ, bool HasSpecial) {
+  size_t N = Ctx.degree();
+  std::vector<int32_t> Coeffs(N);
+  for (auto &C : Coeffs)
+    C = Rand.noiseCbd();
+  return smallPolyToRns(Ctx, Coeffs, NumQ, HasSpecial);
+}
+
+RnsPoly KeyGenerator::sampleUniform(size_t NumQ, bool HasSpecial) {
+  RnsPoly Poly(Ctx, NumQ, HasSpecial, /*NttForm=*/true);
+  size_t N = Ctx.degree();
+  for (size_t I = 0, E = Poly.numComponents(); I < E; ++I) {
+    uint64_t P = Poly.modulus(I);
+    uint64_t *Comp = Poly.component(I);
+    for (size_t J = 0; J < N; ++J)
+      Comp[J] = Rand.uniform(P);
+  }
+  return Poly;
+}
+
+PublicKey KeyGenerator::makePublicKey() {
+  size_t L = Ctx.chainLength();
+  PublicKey Key;
+  Key.A = sampleUniform(L, /*HasSpecial=*/false);
+  RnsPoly E = sampleNoise(L, /*HasSpecial=*/false);
+  E.toNtt();
+  RnsPoly S = Secret.S.restrictedCopy(L, /*KeepSpecial=*/false);
+  // b = -(a*s + e).
+  Key.B = Key.A.mul(S);
+  Key.B.addInPlace(E);
+  Key.B.negateInPlace();
+  return Key;
+}
+
+SwitchKey KeyGenerator::makeSwitchKey(const RnsPoly &Source) {
+  assert(Source.isNtt() && Source.hasSpecial() &&
+         Source.numQ() == Ctx.chainLength() &&
+         "switch-key source must be NTT over the full basis");
+  size_t L = Ctx.chainLength();
+  size_t N = Ctx.degree();
+  uint64_t P = Ctx.specialModulus();
+
+  SwitchKey Key;
+  Key.Parts.reserve(L);
+  for (size_t Digit = 0; Digit < L; ++Digit) {
+    RnsPoly A = sampleUniform(L, /*HasSpecial=*/true);
+    RnsPoly E = sampleNoise(L, /*HasSpecial=*/true);
+    E.toNtt();
+    // b = -(a*s + e) + P * g_digit * source; the gadget g_digit is 1 mod
+    // q_digit and 0 mod every other modulus, so only one component of the
+    // source term is nonzero.
+    RnsPoly B = A.mul(Secret.S);
+    B.addInPlace(E);
+    B.negateInPlace();
+    uint64_t QD = Ctx.qModulus(Digit);
+    uint64_t PModQ = P % QD;
+    uint64_t PModQShoup = shoupPrecompute(PModQ, QD);
+    uint64_t *BComp = B.component(Digit);
+    const uint64_t *SrcComp = Source.component(Digit);
+    for (size_t J = 0; J < N; ++J)
+      BComp[J] = addMod(
+          BComp[J], mulModShoup(SrcComp[J], PModQ, PModQShoup, QD), QD);
+    Key.Parts.emplace_back(std::move(B), std::move(A));
+  }
+  return Key;
+}
+
+SwitchKey KeyGenerator::makeRelinKey() {
+  RnsPoly S2 = Secret.S.mul(Secret.S);
+  return makeSwitchKey(S2);
+}
+
+SwitchKey KeyGenerator::makeGaloisKey(uint64_t Galois) {
+  RnsPoly S = Secret.S;
+  S.toCoeff();
+  RnsPoly SG = S.automorphism(Galois);
+  SG.toNtt();
+  return makeSwitchKey(SG);
+}
+
+SwitchKey KeyGenerator::truncateKey(const SwitchKey &Key, size_t MaxNumQ) {
+  if (MaxNumQ == 0 || MaxNumQ >= Key.Parts.size())
+    return Key;
+  SwitchKey Out;
+  Out.Parts.reserve(MaxNumQ);
+  for (size_t I = 0; I < MaxNumQ; ++I)
+    Out.Parts.emplace_back(
+        Key.Parts[I].first.restrictedCopy(MaxNumQ, /*KeepSpecial=*/true),
+        Key.Parts[I].second.restrictedCopy(MaxNumQ, /*KeepSpecial=*/true));
+  return Out;
+}
+
+SwitchKey KeyGenerator::makeRotationKey(int64_t Steps, size_t MaxNumQ) {
+  return truncateKey(
+      makeGaloisKey(galoisForRotation(Ctx.degree(), Ctx.slots(), Steps)),
+      MaxNumQ);
+}
+
+void KeyGenerator::fillGaloisKeys(EvalKeys &Keys,
+                                  const std::vector<uint64_t> &Elements) {
+  for (uint64_t Galois : Elements) {
+    if (Galois == 1 || Keys.Rotations.count(Galois))
+      continue;
+    Keys.Rotations.emplace(Galois, makeGaloisKey(Galois));
+  }
+}
+
+SwitchKey KeyGenerator::makeConjugationKey() {
+  return makeGaloisKey(galoisForConjugation(Ctx.degree()));
+}
+
+void KeyGenerator::fillEvalKeys(EvalKeys &Keys,
+                                const std::vector<int64_t> &Steps,
+                                bool NeedRelin, bool NeedConjugate) {
+  if (NeedRelin && !Keys.HasRelin) {
+    Keys.Relin = makeRelinKey();
+    Keys.HasRelin = true;
+  }
+  if (NeedConjugate && !Keys.HasConjugate) {
+    Keys.Conjugate = makeConjugationKey();
+    Keys.HasConjugate = true;
+  }
+  for (int64_t Step : Steps) {
+    uint64_t Galois = galoisForRotation(Ctx.degree(), Ctx.slots(), Step);
+    if (Galois == 1 || Keys.Rotations.count(Galois))
+      continue;
+    Keys.Rotations.emplace(Galois, makeRotationKey(Step));
+  }
+}

@@ -1,0 +1,158 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CKKS key material. Evaluation keys (relinearization and rotation) are
+/// the dominant memory consumer at production parameters (paper RQ2: over
+/// 1 GB each, tens of GB per model); KeyGenerator therefore generates
+/// rotation keys on demand from the exact step set the compiler's key
+/// analysis derives, and every key reports its byte size for the Figure 7
+/// memory study.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_FHE_KEYS_H
+#define ACE_FHE_KEYS_H
+
+#include "fhe/Cipher.h"
+#include "fhe/RnsPoly.h"
+#include "support/Rng.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ace {
+namespace fhe {
+
+/// The ternary secret key s, stored in NTT form over the full basis
+/// (all chain primes + the special prime).
+struct SecretKey {
+  RnsPoly S;
+  size_t byteSize() const { return S.byteSize(); }
+};
+
+/// Encryption key (b, a) with b = -(a s + e) over the full q-chain.
+struct PublicKey {
+  RnsPoly B;
+  RnsPoly A;
+  size_t byteSize() const { return B.byteSize() + A.byteSize(); }
+};
+
+/// A key-switching key from some source key s' to s: one (b_i, a_i) pair
+/// per RNS decomposition digit, over the full basis extended by the special
+/// prime, in NTT form. b_i = -(a_i s + e_i) + P * g_i * s', where g_i is
+/// the RNS gadget (g_i = delta_ij mod q_j).
+struct SwitchKey {
+  std::vector<std::pair<RnsPoly, RnsPoly>> Parts;
+
+  size_t byteSize() const {
+    size_t Sum = 0;
+    for (const auto &Part : Parts)
+      Sum += Part.first.byteSize() + Part.second.byteSize();
+    return Sum;
+  }
+};
+
+/// The evaluation-key set a compiled program needs: relinearization key,
+/// conjugation key, and rotation keys for exactly the slot steps the
+/// compiler's rotation-key analysis found (paper Sec. 4.4).
+struct EvalKeys {
+  SwitchKey Relin;
+  bool HasRelin = false;
+  SwitchKey Conjugate;
+  bool HasConjugate = false;
+  /// Keyed by Galois element.
+  std::map<uint64_t, SwitchKey> Rotations;
+
+  size_t relinByteSize() const { return HasRelin ? Relin.byteSize() : 0; }
+  size_t rotationByteSize() const {
+    size_t Sum = HasConjugate ? Conjugate.byteSize() : 0;
+    for (const auto &[Galois, Key] : Rotations)
+      Sum += Key.byteSize();
+    return Sum;
+  }
+  size_t byteSize() const { return relinByteSize() + rotationByteSize(); }
+  size_t rotationKeyCount() const {
+    return Rotations.size() + (HasConjugate ? 1 : 0);
+  }
+};
+
+/// Galois element realizing a left rotation by \p Steps slots in a ring of
+/// degree \p N with \p Slots slots (5^k mod 2N; steps are canonicalized to
+/// [0, Slots)).
+uint64_t galoisForRotation(size_t N, size_t Slots, int64_t Steps);
+
+/// Galois element realizing complex conjugation (2N - 1).
+uint64_t galoisForConjugation(size_t N);
+
+/// Generates all key material from a seeded RNG.
+class KeyGenerator {
+public:
+  /// Samples the secret key at construction. With
+  /// CkksParams::SparseSecret the secret has Hamming weight 64 (the
+  /// standard choice for bootstrappable CKKS, bounding the ModRaise
+  /// overflow count).
+  explicit KeyGenerator(const Context &Ctx);
+
+  const SecretKey &secretKey() const { return Secret; }
+
+  /// Generates the public (encryption) key.
+  PublicKey makePublicKey();
+
+  /// Generates the relinearization key (s^2 -> s).
+  SwitchKey makeRelinKey();
+
+  /// Generates the rotation key for a left rotation by \p Steps slots.
+  /// \p MaxNumQ truncates the key to the deepest level the compiler's
+  /// dataflow analysis saw the step used at (0 = full chain): a key used
+  /// only below level l needs only l decomposition digits over l+1
+  /// moduli, which is where most of the paper's Figure 7 key-memory
+  /// saving comes from.
+  SwitchKey makeRotationKey(int64_t Steps, size_t MaxNumQ = 0);
+
+  /// Restricts \p Key to \p MaxNumQ chain digits/moduli (plus special).
+  static SwitchKey truncateKey(const SwitchKey &Key, size_t MaxNumQ);
+
+  /// Generates the conjugation key.
+  SwitchKey makeConjugationKey();
+
+  /// Generates a switch key from an arbitrary source key polynomial
+  /// \p Source (NTT form, full basis + special).
+  SwitchKey makeSwitchKey(const RnsPoly &Source);
+
+  /// Generates the key for a raw Galois automorphism X -> X^Galois. Used
+  /// by the bootstrapper's SubSum, whose automorphisms fix the packing
+  /// subring and therefore are not slot rotations.
+  SwitchKey makeGaloisKey(uint64_t Galois);
+
+  /// Populates \p Keys with switch keys for raw Galois elements.
+  void fillGaloisKeys(EvalKeys &Keys, const std::vector<uint64_t> &Elements);
+
+  /// Populates \p Keys with relin + conjugation + the given rotation
+  /// steps. This is the entry point the compiled program's key-generation
+  /// preamble calls with the analyzed step set.
+  void fillEvalKeys(EvalKeys &Keys, const std::vector<int64_t> &Steps,
+                    bool NeedRelin, bool NeedConjugate);
+
+private:
+  const Context &Ctx;
+  Rng Rand;
+  SecretKey Secret;
+
+  /// Samples a fresh noise polynomial (coeff domain) over the given shape.
+  RnsPoly sampleNoise(size_t NumQ, bool HasSpecial);
+  /// Samples a uniform polynomial in NTT form over the given shape.
+  RnsPoly sampleUniform(size_t NumQ, bool HasSpecial);
+};
+
+} // namespace fhe
+} // namespace ace
+
+#endif // ACE_FHE_KEYS_H

@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Ntt.h"
+
+#include "fhe/ModArith.h"
+
+#include <cassert>
+
+using namespace ace;
+using namespace ace::fhe;
+
+/// Reverses the low \p Bits bits of \p X.
+static size_t reverseBits(size_t X, int Bits) {
+  size_t Result = 0;
+  for (int I = 0; I < Bits; ++I) {
+    Result = (Result << 1) | (X & 1);
+    X >>= 1;
+  }
+  return Result;
+}
+
+NttTable::NttTable(size_t N, uint64_t Modulus) : N(N), Modulus(Modulus) {
+  assert((N & (N - 1)) == 0 && "ring degree must be a power of two");
+  assert((Modulus - 1) % (2 * N) == 0 && "modulus must be 1 mod 2N");
+
+  int LogN = 0;
+  while ((size_t(1) << LogN) < N)
+    ++LogN;
+
+  uint64_t Psi = findPrimitiveRoot(2 * N, Modulus);
+  uint64_t PsiInv = invMod(Psi, Modulus);
+
+  RootPowers.resize(N);
+  RootPowersShoup.resize(N);
+  InvRootPowers.resize(N);
+  InvRootPowersShoup.resize(N);
+  // Tables hold psi^{bitrev(k)} so that each butterfly stage reads its
+  // twiddles contiguously (Harvey layout, as in SEAL/OpenFHE).
+  std::vector<uint64_t> PsiPows(N), PsiInvPows(N);
+  PsiPows[0] = 1;
+  PsiInvPows[0] = 1;
+  for (size_t K = 1; K < N; ++K) {
+    PsiPows[K] = mulMod(PsiPows[K - 1], Psi, Modulus);
+    PsiInvPows[K] = mulMod(PsiInvPows[K - 1], PsiInv, Modulus);
+  }
+  for (size_t K = 0; K < N; ++K) {
+    size_t Rev = reverseBits(K, LogN);
+    RootPowers[K] = PsiPows[Rev];
+    InvRootPowers[K] = PsiInvPows[Rev];
+    RootPowersShoup[K] = shoupPrecompute(RootPowers[K], Modulus);
+    InvRootPowersShoup[K] = shoupPrecompute(InvRootPowers[K], Modulus);
+  }
+
+  InvDegree = invMod(N % Modulus, Modulus);
+  InvDegreeShoup = shoupPrecompute(InvDegree, Modulus);
+}
+
+void NttTable::forward(uint64_t *Data) const {
+  // Cooley-Tukey decimation-in-time; merges the psi twist into the
+  // butterflies so no separate pre-multiplication pass is needed.
+  size_t T = N;
+  for (size_t M = 1; M < N; M <<= 1) {
+    T >>= 1;
+    for (size_t I = 0; I < M; ++I) {
+      size_t J1 = 2 * I * T;
+      size_t J2 = J1 + T;
+      uint64_t W = RootPowers[M + I];
+      uint64_t WShoup = RootPowersShoup[M + I];
+      for (size_t J = J1; J < J2; ++J) {
+        uint64_t U = Data[J];
+        uint64_t V = mulModShoup(Data[J + T], W, WShoup, Modulus);
+        Data[J] = addMod(U, V, Modulus);
+        Data[J + T] = subMod(U, V, Modulus);
+      }
+    }
+  }
+}
+
+void NttTable::inverse(uint64_t *Data) const {
+  // Gentleman-Sande decimation-in-frequency with inverse twiddles.
+  size_t T = 1;
+  for (size_t M = N; M > 1; M >>= 1) {
+    size_t J1 = 0;
+    size_t H = M >> 1;
+    for (size_t I = 0; I < H; ++I) {
+      size_t J2 = J1 + T;
+      uint64_t W = InvRootPowers[H + I];
+      uint64_t WShoup = InvRootPowersShoup[H + I];
+      for (size_t J = J1; J < J2; ++J) {
+        uint64_t U = Data[J];
+        uint64_t V = Data[J + T];
+        Data[J] = addMod(U, V, Modulus);
+        Data[J + T] =
+            mulModShoup(subMod(U, V, Modulus), W, WShoup, Modulus);
+      }
+      J1 += 2 * T;
+    }
+    T <<= 1;
+  }
+  for (size_t J = 0; J < N; ++J)
+    Data[J] = mulModShoup(Data[J], InvDegree, InvDegreeShoup, Modulus);
+}

@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Negacyclic number-theoretic transform over Z_p[X]/(X^N + 1). The forward
+/// transform maps coefficients to evaluations at odd powers of a primitive
+/// 2N-th root of unity; pointwise products in that domain realize
+/// polynomial multiplication modulo X^N + 1 with no zero padding. This is
+/// the computational core of every RNS-CKKS homomorphic operation (paper
+/// Sec. 2.2-2.3: O(N log N r^2) multiplications and rotations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_FHE_NTT_H
+#define ACE_FHE_NTT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ace {
+namespace fhe {
+
+/// Precomputed tables and transforms for one (prime, ring degree) pair.
+///
+/// Uses the standard Harvey layout: forward = Cooley-Tukey
+/// decimation-in-time with bit-reversed twiddles (output in standard order
+/// of the "negacyclic evaluation" ordering), inverse = Gentleman-Sande with
+/// inverse twiddles and a final N^{-1} scaling. All butterflies use Shoup
+/// multiplication against precomputed companions.
+class NttTable {
+public:
+  /// Builds tables for ring degree \p N (a power of two) and prime
+  /// \p Modulus with Modulus = 1 (mod 2N).
+  NttTable(size_t N, uint64_t Modulus);
+
+  /// In-place forward negacyclic NTT of \p Data (length N).
+  void forward(uint64_t *Data) const;
+
+  /// In-place inverse negacyclic NTT of \p Data (length N).
+  void inverse(uint64_t *Data) const;
+
+  /// The prime modulus.
+  uint64_t modulus() const { return Modulus; }
+
+  /// The ring degree.
+  size_t degree() const { return N; }
+
+private:
+  size_t N;
+  uint64_t Modulus;
+  /// Powers of psi (primitive 2N-th root) in bit-reversed order.
+  std::vector<uint64_t> RootPowers;
+  std::vector<uint64_t> RootPowersShoup;
+  /// Powers of psi^{-1} in bit-reversed order.
+  std::vector<uint64_t> InvRootPowers;
+  std::vector<uint64_t> InvRootPowersShoup;
+  uint64_t InvDegree;
+  uint64_t InvDegreeShoup;
+};
+
+} // namespace fhe
+} // namespace ace
+
+#endif // ACE_FHE_NTT_H

@@ -1,0 +1,177 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "fhe/RnsPoly.h"
+
+#include "fhe/ModArith.h"
+
+#include <algorithm>
+
+using namespace ace;
+using namespace ace::fhe;
+
+RnsPoly::RnsPoly(const Context &Ctx, size_t NumQ, bool HasSpecial,
+                 bool NttForm)
+    : Ctx(&Ctx), NumQ(NumQ), HasSpecial(HasSpecial), NttForm(NttForm) {
+  assert(NumQ >= 1 && NumQ <= Ctx.chainLength() &&
+         "active prime count out of range");
+  Data.assign(numComponents() * Ctx.degree(), 0);
+}
+
+void RnsPoly::toNtt() {
+  if (NttForm)
+    return;
+  for (size_t I = 0, E = numComponents(); I < E; ++I)
+    Ctx->nttTable(modIndex(I)).forward(component(I));
+  NttForm = true;
+}
+
+void RnsPoly::toCoeff() {
+  if (!NttForm)
+    return;
+  for (size_t I = 0, E = numComponents(); I < E; ++I)
+    Ctx->nttTable(modIndex(I)).inverse(component(I));
+  NttForm = false;
+}
+
+void RnsPoly::addInPlace(const RnsPoly &Other) {
+  checkCompatible(Other);
+  size_t N = Ctx->degree();
+  for (size_t I = 0, E = numComponents(); I < E; ++I) {
+    uint64_t P = modulus(I);
+    uint64_t *A = component(I);
+    const uint64_t *B = Other.component(I);
+    for (size_t J = 0; J < N; ++J)
+      A[J] = addMod(A[J], B[J], P);
+  }
+}
+
+void RnsPoly::subInPlace(const RnsPoly &Other) {
+  checkCompatible(Other);
+  size_t N = Ctx->degree();
+  for (size_t I = 0, E = numComponents(); I < E; ++I) {
+    uint64_t P = modulus(I);
+    uint64_t *A = component(I);
+    const uint64_t *B = Other.component(I);
+    for (size_t J = 0; J < N; ++J)
+      A[J] = subMod(A[J], B[J], P);
+  }
+}
+
+void RnsPoly::negateInPlace() {
+  size_t N = Ctx->degree();
+  for (size_t I = 0, E = numComponents(); I < E; ++I) {
+    uint64_t P = modulus(I);
+    uint64_t *A = component(I);
+    for (size_t J = 0; J < N; ++J)
+      A[J] = negMod(A[J], P);
+  }
+}
+
+void RnsPoly::mulInPlace(const RnsPoly &Other) {
+  checkCompatible(Other);
+  assert(NttForm && "pointwise product requires NTT domain");
+  size_t N = Ctx->degree();
+  for (size_t I = 0, E = numComponents(); I < E; ++I) {
+    uint64_t P = modulus(I);
+    uint64_t *A = component(I);
+    const uint64_t *B = Other.component(I);
+    for (size_t J = 0; J < N; ++J)
+      A[J] = mulMod(A[J], B[J], P);
+  }
+}
+
+RnsPoly RnsPoly::mul(const RnsPoly &Other) const {
+  RnsPoly Result = *this;
+  Result.mulInPlace(Other);
+  return Result;
+}
+
+void RnsPoly::mulAddInPlace(const RnsPoly &A, const RnsPoly &B) {
+  A.checkCompatible(B);
+  checkCompatible(A);
+  assert(NttForm && "fused multiply-add requires NTT domain");
+  size_t N = Ctx->degree();
+  for (size_t I = 0, E = numComponents(); I < E; ++I) {
+    uint64_t P = modulus(I);
+    uint64_t *Acc = component(I);
+    const uint64_t *X = A.component(I);
+    const uint64_t *Y = B.component(I);
+    for (size_t J = 0; J < N; ++J)
+      Acc[J] = addMod(Acc[J], mulMod(X[J], Y[J], P), P);
+  }
+}
+
+void RnsPoly::mulScalarPerComponent(
+    const std::vector<uint64_t> &ScalarPerComp) {
+  assert(ScalarPerComp.size() == numComponents() &&
+         "scalar table size mismatch");
+  size_t N = Ctx->degree();
+  for (size_t I = 0, E = numComponents(); I < E; ++I) {
+    uint64_t P = modulus(I);
+    uint64_t S = ScalarPerComp[I] % P;
+    uint64_t SShoup = shoupPrecompute(S, P);
+    uint64_t *A = component(I);
+    for (size_t J = 0; J < N; ++J)
+      A[J] = mulModShoup(A[J], S, SShoup, P);
+  }
+}
+
+void RnsPoly::mulScalarInt(uint64_t Scalar) {
+  std::vector<uint64_t> Table(numComponents());
+  for (size_t I = 0, E = numComponents(); I < E; ++I)
+    Table[I] = Scalar % modulus(I);
+  mulScalarPerComponent(Table);
+}
+
+RnsPoly RnsPoly::automorphism(uint64_t Galois) const {
+  assert(!NttForm && "automorphism implemented in coefficient domain");
+  size_t N = Ctx->degree();
+  uint64_t TwoN = 2 * N;
+  assert(Galois % 2 == 1 && Galois < TwoN && "invalid Galois element");
+  RnsPoly Result(*Ctx, NumQ, HasSpecial, /*NttForm=*/false);
+  for (size_t I = 0, E = numComponents(); I < E; ++I) {
+    uint64_t P = modulus(I);
+    const uint64_t *Src = component(I);
+    uint64_t *Dst = Result.component(I);
+    for (size_t J = 0; J < N; ++J) {
+      uint64_t T = (static_cast<uint64_t>(J) * Galois) % TwoN;
+      if (T < N)
+        Dst[T] = Src[J];
+      else
+        Dst[T - N] = negMod(Src[J], P);
+    }
+  }
+  return Result;
+}
+
+RnsPoly RnsPoly::restrictedCopy(size_t NewNumQ, bool KeepSpecial) const {
+  assert(NewNumQ >= 1 && NewNumQ <= NumQ && "restriction out of range");
+  assert((!KeepSpecial || HasSpecial) && "no special component to keep");
+  RnsPoly Result(*Ctx, NewNumQ, KeepSpecial, NttForm);
+  size_t N = Ctx->degree();
+  for (size_t I = 0; I < NewNumQ; ++I)
+    std::copy(component(I), component(I) + N, Result.component(I));
+  if (KeepSpecial)
+    std::copy(component(NumQ), component(NumQ) + N,
+              Result.component(NewNumQ));
+  return Result;
+}
+
+void RnsPoly::dropLastQ() {
+  assert(NumQ > 1 && "cannot drop the base modulus");
+  assert(!HasSpecial && "drop the special prime first");
+  --NumQ;
+  Data.resize(numComponents() * Ctx->degree());
+}
+
+void RnsPoly::dropSpecial() {
+  assert(HasSpecial && "no special component to drop");
+  HasSpecial = false;
+  Data.resize(numComponents() * Ctx->degree());
+}

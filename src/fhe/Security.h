@@ -1,0 +1,89 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Homomorphic Encryption Standard security tables (Albrecht et al.,
+/// "Homomorphic Encryption Standard", 2019 - paper reference [7]): the
+/// maximum total modulus size log2(Q*P) per ring degree N for a ternary
+/// secret at classical 128-bit security. The compiler's automatic
+/// parameter selection (paper Sec. 4.4, Table 10) consults this table to
+/// pick the smallest N whose budget covers the modulus chain the program
+/// needs: N = max(N_security, N_simd).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_FHE_SECURITY_H
+#define ACE_FHE_SECURITY_H
+
+#include <cstddef>
+
+namespace ace {
+namespace fhe {
+
+/// Security levels supported by the parameter selector.
+enum class SecurityLevelKind {
+  SL_None, ///< Toy parameters for fast functional runs; NOT secure.
+  SL_128,  ///< Classical 128-bit security.
+  SL_192,  ///< Classical 192-bit security.
+  SL_256,  ///< Classical 256-bit security.
+};
+
+/// Maximum log2(Q*P) for ring degree \p N at \p Level with a ternary
+/// secret, per the HE standard table. Returns 0 when N is below 1024 or
+/// not a power of two (no standardized entry); returns a huge budget for
+/// SL_None.
+inline int maxLogQ(size_t N, SecurityLevelKind Level) {
+  if (Level == SecurityLevelKind::SL_None)
+    return 1 << 20;
+  if (N < 1024 || (N & (N - 1)) != 0)
+    return 0;
+  // HE standard, ternary secret, classical security. Entries above 2^15
+  // follow the standard's doubling extrapolation used by SEAL and OpenFHE.
+  struct Row {
+    size_t N;
+    int Bits128, Bits192, Bits256;
+  };
+  static const Row Table[] = {
+      {1024, 27, 19, 14},      {2048, 54, 37, 29},
+      {4096, 109, 75, 58},     {8192, 218, 152, 118},
+      {16384, 438, 305, 237},  {32768, 881, 611, 476},
+      {65536, 1772, 1228, 956}, {131072, 3544, 2456, 1912},
+  };
+  for (const Row &R : Table) {
+    if (R.N != N)
+      continue;
+    switch (Level) {
+    case SecurityLevelKind::SL_128:
+      return R.Bits128;
+    case SecurityLevelKind::SL_192:
+      return R.Bits192;
+    case SecurityLevelKind::SL_256:
+      return R.Bits256;
+    case SecurityLevelKind::SL_None:
+      break;
+    }
+  }
+  return 0;
+}
+
+/// Smallest standardized ring degree whose budget at \p Level covers
+/// \p LogQ bits of total modulus. Returns 0 when even the largest table
+/// entry is insufficient.
+inline size_t minRingDegreeFor(int LogQ, SecurityLevelKind Level) {
+  if (Level == SecurityLevelKind::SL_None)
+    return 8; // anything goes functionally; caller raises for SIMD width
+  for (size_t N = 1024; N <= 131072; N *= 2)
+    if (maxLogQ(N, Level) >= LogQ)
+      return N;
+  return 0;
+}
+
+} // namespace fhe
+} // namespace ace
+
+#endif // ACE_FHE_SECURITY_H

@@ -1,0 +1,329 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/Executor.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ace;
+using namespace ace::nn;
+using onnx::Graph;
+using onnx::Node;
+using onnx::OpKind;
+
+namespace {
+
+/// Shared evaluation state: value name -> tensor.
+using ValueMap = std::map<std::string, Tensor>;
+
+int64_t dim(const std::vector<int64_t> &Shape, size_t I) {
+  return I < Shape.size() ? Shape[I] : 1;
+}
+
+Status evalConv(const Node &N, ValueMap &Values) {
+  const Tensor &X = Values.at(N.Inputs[0]);
+  const Tensor &W = Values.at(N.Inputs[1]);
+  const Tensor *B = N.Inputs.size() > 2 ? &Values.at(N.Inputs[2]) : nullptr;
+  auto Strides = N.intsAttr("strides");
+  auto Pads = N.intsAttr("pads");
+  int64_t SH = Strides.size() > 0 ? Strides[0] : 1;
+  int64_t SW = Strides.size() > 1 ? Strides[1] : 1;
+  int64_t PT = Pads.size() > 0 ? Pads[0] : 0;
+  int64_t PL = Pads.size() > 1 ? Pads[1] : 0;
+
+  int64_t CI = dim(X.Shape, 1), H = dim(X.Shape, 2), WW = dim(X.Shape, 3);
+  int64_t CO = W.Shape[0], KH = W.Shape[2], KW = W.Shape[3];
+  if (W.Shape[1] != CI)
+    return Status::error("conv '" + N.Name + "': channel mismatch");
+  int64_t OH = (H + 2 * PT - KH) / SH + 1;
+  int64_t OW = (WW + 2 * PL - KW) / SW + 1;
+
+  Tensor Y;
+  Y.Shape = {1, CO, OH, OW};
+  Y.Values.assign(CO * OH * OW, 0.0f);
+  for (int64_t Co = 0; Co < CO; ++Co) {
+    float Bias = B ? B->Values[Co] : 0.0f;
+    for (int64_t Oh = 0; Oh < OH; ++Oh) {
+      for (int64_t Ow = 0; Ow < OW; ++Ow) {
+        double Acc = Bias;
+        for (int64_t Ci = 0; Ci < CI; ++Ci) {
+          for (int64_t Kh = 0; Kh < KH; ++Kh) {
+            int64_t Ih = Oh * SH + Kh - PT;
+            if (Ih < 0 || Ih >= H)
+              continue;
+            for (int64_t Kw = 0; Kw < KW; ++Kw) {
+              int64_t Iw = Ow * SW + Kw - PL;
+              if (Iw < 0 || Iw >= WW)
+                continue;
+              Acc += static_cast<double>(
+                         X.Values[(Ci * H + Ih) * WW + Iw]) *
+                     W.Values[((Co * CI + Ci) * KH + Kh) * KW + Kw];
+            }
+          }
+        }
+        Y.Values[(Co * OH + Oh) * OW + Ow] = static_cast<float>(Acc);
+      }
+    }
+  }
+  Values[N.Outputs[0]] = std::move(Y);
+  return Status::success();
+}
+
+Status evalGemm(const Node &N, ValueMap &Values) {
+  const Tensor &X = Values.at(N.Inputs[0]);
+  const Tensor &W = Values.at(N.Inputs[1]);
+  const Tensor *B = N.Inputs.size() > 2 ? &Values.at(N.Inputs[2]) : nullptr;
+  bool TransB = N.intAttr("transB", 1) != 0;
+  if (!TransB)
+    return Status::error("gemm '" + N.Name + "': only transB=1 supported");
+  int64_t C = X.elementCount();
+  int64_t K = W.Shape[0];
+  if (W.Shape.size() != 2 || W.Shape[1] != C)
+    return Status::error("gemm '" + N.Name + "': weight shape mismatch");
+
+  Tensor Y;
+  Y.Shape = {1, K};
+  Y.Values.assign(K, 0.0f);
+  for (int64_t Ko = 0; Ko < K; ++Ko) {
+    double Acc = B ? B->Values[Ko] : 0.0f;
+    for (int64_t Ci = 0; Ci < C; ++Ci)
+      Acc += static_cast<double>(X.Values[Ci]) * W.Values[Ko * C + Ci];
+    Y.Values[Ko] = static_cast<float>(Acc);
+  }
+  Values[N.Outputs[0]] = std::move(Y);
+  return Status::success();
+}
+
+Status evalPool(const Node &N, ValueMap &Values, bool Global) {
+  const Tensor &X = Values.at(N.Inputs[0]);
+  int64_t C = dim(X.Shape, 1), H = dim(X.Shape, 2), W = dim(X.Shape, 3);
+  int64_t KH = H, KW = W, SH = 1, SW = 1;
+  if (!Global) {
+    auto Kernel = N.intsAttr("kernel_shape");
+    auto Strides = N.intsAttr("strides");
+    if (Kernel.size() < 2)
+      return Status::error("pool '" + N.Name + "': missing kernel_shape");
+    KH = Kernel[0];
+    KW = Kernel[1];
+    SH = Strides.size() > 0 ? Strides[0] : KH;
+    SW = Strides.size() > 1 ? Strides[1] : KW;
+  }
+  int64_t OH = Global ? 1 : (H - KH) / SH + 1;
+  int64_t OW = Global ? 1 : (W - KW) / SW + 1;
+
+  Tensor Y;
+  Y.Shape = {1, C, OH, OW};
+  Y.Values.assign(C * OH * OW, 0.0f);
+  for (int64_t Ci = 0; Ci < C; ++Ci) {
+    for (int64_t Oh = 0; Oh < OH; ++Oh) {
+      for (int64_t Ow = 0; Ow < OW; ++Ow) {
+        double Acc = 0;
+        for (int64_t Kh = 0; Kh < KH; ++Kh)
+          for (int64_t Kw = 0; Kw < KW; ++Kw)
+            Acc += X.Values[(Ci * H + Oh * SH + Kh) * W + Ow * SW + Kw];
+        Y.Values[(Ci * OH + Oh) * OW + Ow] =
+            static_cast<float>(Acc / (KH * KW));
+      }
+    }
+  }
+  Values[N.Outputs[0]] = std::move(Y);
+  return Status::success();
+}
+
+Status evalBatchNorm(const Node &N, ValueMap &Values) {
+  const Tensor &X = Values.at(N.Inputs[0]);
+  const Tensor &Scale = Values.at(N.Inputs[1]);
+  const Tensor &Bias = Values.at(N.Inputs[2]);
+  const Tensor &Mean = Values.at(N.Inputs[3]);
+  const Tensor &Var = Values.at(N.Inputs[4]);
+  float Eps = N.floatAttr("epsilon", 1e-5f);
+  int64_t C = dim(X.Shape, 1), H = dim(X.Shape, 2), W = dim(X.Shape, 3);
+
+  Tensor Y;
+  Y.Shape = X.Shape;
+  Y.Values.resize(X.Values.size());
+  for (int64_t Ci = 0; Ci < C; ++Ci) {
+    float Inv = 1.0f / std::sqrt(Var.Values[Ci] + Eps);
+    float A = Scale.Values[Ci] * Inv;
+    float B = Bias.Values[Ci] - Mean.Values[Ci] * A;
+    for (int64_t I = 0; I < H * W; ++I)
+      Y.Values[Ci * H * W + I] = A * X.Values[Ci * H * W + I] + B;
+  }
+  Values[N.Outputs[0]] = std::move(Y);
+  return Status::success();
+}
+
+Status evalStridedSlice(const Node &N, ValueMap &Values) {
+  // Paper Table 3 semantics: d = data, i = start index, l = slice size,
+  // t = stride, over the flattened value vector.
+  const Tensor &X = Values.at(N.Inputs[0]);
+  int64_t Start = N.intAttr("start", 0);
+  int64_t Size = N.intAttr("size", X.elementCount());
+  int64_t Stride = N.intAttr("stride", 1);
+  if (Start < 0 || Stride < 1 ||
+      Start + (Size - 1) * Stride >= X.elementCount())
+    return Status::error("strided_slice '" + N.Name + "': out of range");
+  Tensor Y;
+  Y.Shape = {1, Size};
+  Y.Values.resize(Size);
+  for (int64_t I = 0; I < Size; ++I)
+    Y.Values[I] = X.Values[Start + I * Stride];
+  Values[N.Outputs[0]] = std::move(Y);
+  return Status::success();
+}
+
+Status evalNode(const Node &N, ValueMap &Values) {
+  for (const auto &In : N.Inputs)
+    if (!Values.count(In))
+      return Status::error("node '" + N.Name + "': undefined input '" + In +
+                           "'");
+  switch (N.Kind) {
+  case OpKind::OK_Conv:
+    return evalConv(N, Values);
+  case OpKind::OK_Gemm:
+    return evalGemm(N, Values);
+  case OpKind::OK_Relu: {
+    Tensor Y = Values.at(N.Inputs[0]);
+    for (auto &V : Y.Values)
+      V = V > 0 ? V : 0;
+    Values[N.Outputs[0]] = std::move(Y);
+    return Status::success();
+  }
+  case OpKind::OK_Add: {
+    const Tensor &A = Values.at(N.Inputs[0]);
+    const Tensor &B = Values.at(N.Inputs[1]);
+    if (A.Values.size() != B.Values.size())
+      return Status::error("add '" + N.Name + "': operand size mismatch");
+    Tensor Y = A;
+    for (size_t I = 0; I < Y.Values.size(); ++I)
+      Y.Values[I] += B.Values[I];
+    Values[N.Outputs[0]] = std::move(Y);
+    return Status::success();
+  }
+  case OpKind::OK_AveragePool:
+    return evalPool(N, Values, /*Global=*/false);
+  case OpKind::OK_GlobalAveragePool:
+    return evalPool(N, Values, /*Global=*/true);
+  case OpKind::OK_Flatten: {
+    Tensor Y = Values.at(N.Inputs[0]);
+    Y.Shape = {1, static_cast<int64_t>(Y.Values.size())};
+    Values[N.Outputs[0]] = std::move(Y);
+    return Status::success();
+  }
+  case OpKind::OK_Reshape: {
+    Tensor Y = Values.at(N.Inputs[0]);
+    const Tensor &ShapeT = Values.at(N.Inputs[1]);
+    std::vector<int64_t> NewShape;
+    for (float V : ShapeT.Values)
+      NewShape.push_back(static_cast<int64_t>(V));
+    Y.Shape = NewShape;
+    Values[N.Outputs[0]] = std::move(Y);
+    return Status::success();
+  }
+  case OpKind::OK_BatchNormalization:
+    return evalBatchNorm(N, Values);
+  case OpKind::OK_StridedSlice:
+    return evalStridedSlice(N, Values);
+  }
+  return Status::error("node '" + N.Name + "': unsupported operator");
+}
+
+} // namespace
+
+StatusOr<std::map<std::string, Tensor>>
+ace::nn::execute(const Graph &G, const std::map<std::string, Tensor> &Inputs) {
+  ValueMap Values;
+  for (const auto &[Name, T] : G.Initializers)
+    Values[Name] = T;
+  for (const auto &[Name, T] : Inputs)
+    Values[Name] = T;
+  for (const Node &N : G.Nodes)
+    if (Status S = evalNode(N, Values))
+      return S;
+  std::map<std::string, Tensor> Outputs;
+  for (const auto &V : G.Outputs) {
+    auto It = Values.find(V.Name);
+    if (It == Values.end())
+      return Status::error("graph output '" + V.Name + "' never produced");
+    Outputs[V.Name] = It->second;
+  }
+  return Outputs;
+}
+
+StatusOr<Tensor> ace::nn::executeSingle(const Graph &G, const Tensor &Input) {
+  if (G.Inputs.size() != 1 || G.Outputs.size() != 1)
+    return Status::error("executeSingle requires one input and one output");
+  auto Result = execute(G, {{G.Inputs[0].Name, Input}});
+  if (!Result.ok())
+    return Result.status();
+  return Result->at(G.Outputs[0].Name);
+}
+
+size_t ace::nn::argmax(const Tensor &Logits) {
+  size_t Best = 0;
+  for (size_t I = 1; I < Logits.Values.size(); ++I)
+    if (Logits.Values[I] > Logits.Values[Best])
+      Best = I;
+  return Best;
+}
+
+StatusOr<std::map<std::string, std::vector<int64_t>>>
+ace::nn::inferShapes(const Graph &G) {
+  // Run the executor on a zero input; shapes fall out of the values. This
+  // trades a little compile time for one authoritative shape definition.
+  std::map<std::string, Tensor> Inputs;
+  for (const auto &V : G.Inputs) {
+    Tensor T;
+    T.Shape = V.Shape;
+    T.Values.assign(T.elementCount(), 0.0f);
+    Inputs[V.Name] = std::move(T);
+  }
+  ValueMap Values;
+  for (const auto &[Name, T] : G.Initializers)
+    Values[Name] = T;
+  for (const auto &[Name, T] : Inputs)
+    Values[Name] = T;
+  for (const Node &N : G.Nodes)
+    if (Status S = evalNode(N, Values))
+      return S;
+  std::map<std::string, std::vector<int64_t>> Shapes;
+  for (const auto &[Name, T] : Values)
+    Shapes[Name] = T.Shape;
+  return Shapes;
+}
+
+StatusOr<std::map<std::string, double>>
+ace::nn::activationBounds(const Graph &G, const Tensor &Input) {
+  ValueMap Values;
+  for (const auto &[Name, T] : G.Initializers)
+    Values[Name] = T;
+  if (G.Inputs.size() != 1)
+    return Status::error("activationBounds requires one graph input");
+  Values[G.Inputs[0].Name] = Input;
+  std::map<std::string, double> Bounds;
+  for (const Node &N : G.Nodes) {
+    if (Status S = evalNode(N, Values))
+      return S;
+    for (const auto &Out : N.Outputs) {
+      double Max = 0;
+      for (float V : Values.at(Out).Values)
+        Max = std::fmax(Max, std::fabs(V));
+      auto [It, Inserted] = Bounds.emplace(Out, Max);
+      if (!Inserted)
+        It->second = std::fmax(It->second, Max);
+    }
+  }
+  for (const auto &V : G.Inputs) {
+    double Max = 0;
+    for (float X : Values.at(V.Name).Values)
+      Max = std::fmax(Max, std::fabs(X));
+    Bounds[V.Name] = Max;
+  }
+  return Bounds;
+}

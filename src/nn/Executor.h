@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cleartext reference executor for the ONNX-equivalent operator set. This
+/// is the ground truth the compiler pipeline is validated against, the
+/// "unencrypted" side of the paper's Table 11 accuracy study, and the
+/// engine behind ANT-ACE's unencrypted-mode instrumentation (paper
+/// Sec. 5). Tensors are NCHW with batch size 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_NN_EXECUTOR_H
+#define ACE_NN_EXECUTOR_H
+
+#include "onnx/Model.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ace {
+namespace nn {
+
+/// A runtime tensor value (shares the model's TensorData layout).
+using Tensor = onnx::TensorData;
+
+/// Infers the shape of every value in \p G from its inputs and weights.
+/// Fails on rank/attribute mismatches with a diagnostic naming the node.
+StatusOr<std::map<std::string, std::vector<int64_t>>>
+inferShapes(const onnx::Graph &G);
+
+/// Evaluates \p G on the given named inputs; returns all graph outputs.
+StatusOr<std::map<std::string, Tensor>>
+execute(const onnx::Graph &G, const std::map<std::string, Tensor> &Inputs);
+
+/// Convenience: single-input single-output evaluation.
+StatusOr<Tensor> executeSingle(const onnx::Graph &G, const Tensor &Input);
+
+/// Index of the maximum logit (classification decision).
+size_t argmax(const Tensor &Logits);
+
+/// Per-value maximum absolute activation reached while evaluating \p G on
+/// \p Input; the compiler's ReLU calibration uses this to pick the sign
+/// approximation range (paper Sec. 4.3).
+StatusOr<std::map<std::string, double>>
+activationBounds(const onnx::Graph &G, const Tensor &Input);
+
+} // namespace nn
+} // namespace ace
+
+#endif // ACE_NN_EXECUTOR_H

@@ -1,0 +1,308 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "nn/ModelZoo.h"
+
+#include "support/Rng.h"
+#include "support/Status.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ace;
+using namespace ace::nn;
+using onnx::Attribute;
+using onnx::Graph;
+using onnx::Model;
+using onnx::Node;
+using onnx::OpKind;
+
+Dataset ace::nn::makeSyntheticDataset(const std::vector<int64_t> &Shape,
+                                      int Classes, int Count,
+                                      double NoiseSigma, uint64_t Seed) {
+  Rng R(Seed);
+  Dataset D;
+  int64_t Elements = 1;
+  for (int64_t S : Shape)
+    Elements *= S;
+
+  for (int K = 0; K < Classes; ++K) {
+    Tensor P;
+    P.Shape = Shape;
+    P.Values.resize(Elements);
+    for (auto &V : P.Values)
+      V = static_cast<float>(R.uniformReal(-0.8, 0.8));
+    D.Prototypes.push_back(std::move(P));
+  }
+  for (int I = 0; I < Count; ++I) {
+    int K = static_cast<int>(R.uniform(Classes));
+    Tensor X = D.Prototypes[K];
+    for (auto &V : X.Values) {
+      V += static_cast<float>(R.gaussian() * NoiseSigma);
+      V = std::fmax(-1.0f, std::fmin(1.0f, V));
+    }
+    D.Images.push_back(std::move(X));
+    D.Labels.push_back(K);
+  }
+  return D;
+}
+
+namespace {
+
+/// Incrementally builds a graph with named values and random weights.
+struct GraphBuilder {
+  Graph &G;
+  Rng R;
+  int Counter = 0;
+
+  std::string fresh(const std::string &Stem) {
+    return Stem + "_" + std::to_string(Counter++);
+  }
+
+  std::string weights(const std::string &Name, std::vector<int64_t> Shape,
+                      double Sigma) {
+    onnx::TensorData T;
+    T.Shape = std::move(Shape);
+    T.Values.resize(T.elementCount());
+    for (auto &V : T.Values)
+      V = static_cast<float>(R.gaussian() * Sigma);
+    G.Initializers.emplace(Name, std::move(T));
+    return Name;
+  }
+
+  std::string conv(const std::string &In, int64_t CI, int64_t CO,
+                   int64_t K, int64_t Stride, int64_t Pad) {
+    std::string Out = fresh("conv");
+    double Sigma = std::sqrt(2.0 / (CI * K * K)) * 0.7;
+    Node N;
+    N.Kind = OpKind::OK_Conv;
+    N.Name = Out;
+    N.Inputs = {In, weights(Out + ".w", {CO, CI, K, K}, Sigma),
+                weights(Out + ".b", {CO}, 0.05)};
+    N.Outputs = {Out};
+    N.Attributes["strides"] = Attribute{{Stride, Stride}, {}};
+    N.Attributes["pads"] = Attribute{{Pad, Pad, Pad, Pad}, {}};
+    N.Attributes["kernel_shape"] = Attribute{{K, K}, {}};
+    G.Nodes.push_back(std::move(N));
+    return Out;
+  }
+
+  std::string batchNorm(const std::string &In, int64_t C) {
+    std::string Out = fresh("bn");
+    // Near-identity statistics: exercises folding without a training run.
+    onnx::TensorData Scale, Bias, Mean, Var;
+    Scale.Shape = Bias.Shape = Mean.Shape = Var.Shape = {C};
+    for (int64_t I = 0; I < C; ++I) {
+      Scale.Values.push_back(static_cast<float>(R.uniformReal(0.8, 1.2)));
+      Bias.Values.push_back(static_cast<float>(R.uniformReal(-0.05, 0.05)));
+      Mean.Values.push_back(0.0f);
+      Var.Values.push_back(1.0f);
+    }
+    G.Initializers.emplace(Out + ".scale", std::move(Scale));
+    G.Initializers.emplace(Out + ".bias", std::move(Bias));
+    G.Initializers.emplace(Out + ".mean", std::move(Mean));
+    G.Initializers.emplace(Out + ".var", std::move(Var));
+    Node N;
+    N.Kind = OpKind::OK_BatchNormalization;
+    N.Name = Out;
+    N.Inputs = {In, Out + ".scale", Out + ".bias", Out + ".mean",
+                Out + ".var"};
+    N.Outputs = {Out};
+    N.Attributes["epsilon"] = Attribute{{}, {1e-5f}};
+    G.Nodes.push_back(std::move(N));
+    return Out;
+  }
+
+  std::string unary(OpKind Kind, const std::string &In,
+                    const std::string &Stem) {
+    std::string Out = fresh(Stem);
+    Node N;
+    N.Kind = Kind;
+    N.Name = Out;
+    N.Inputs = {In};
+    N.Outputs = {Out};
+    G.Nodes.push_back(std::move(N));
+    return Out;
+  }
+
+  std::string add(const std::string &A, const std::string &B) {
+    std::string Out = fresh("res");
+    Node N;
+    N.Kind = OpKind::OK_Add;
+    N.Name = Out;
+    N.Inputs = {A, B};
+    N.Outputs = {Out};
+    G.Nodes.push_back(std::move(N));
+    return Out;
+  }
+
+  std::string gemm(const std::string &In, int64_t C, int64_t K,
+                   const std::string &Name) {
+    std::string Out = Name;
+    double Sigma = std::sqrt(1.0 / C);
+    Node N;
+    N.Kind = OpKind::OK_Gemm;
+    N.Name = Out;
+    N.Inputs = {In, weights(Out + ".w", {K, C}, Sigma),
+                weights(Out + ".b", {K}, 0.02)};
+    N.Outputs = {Out};
+    N.Attributes["transB"] = Attribute{{1}, {}};
+    G.Nodes.push_back(std::move(N));
+    return Out;
+  }
+};
+
+} // namespace
+
+Model ace::nn::buildLinearInfer(uint64_t Seed) {
+  Model M;
+  M.ProducerName = "linear_infer";
+  Graph &G = M.MainGraph;
+  G.Name = "linear_infer";
+  G.Inputs.push_back({"image", {1, 84}});
+  GraphBuilder B{G, Rng(Seed)};
+  std::string Out = B.gemm("image", 84, 10, "output");
+  G.Outputs.push_back({Out, {1, 10}});
+  return M;
+}
+
+Model ace::nn::buildMlp(const std::vector<int64_t> &Dims, uint64_t Seed) {
+  assert(Dims.size() >= 2 && "MLP needs at least input and output widths");
+  Model M;
+  M.ProducerName = "mlp";
+  Graph &G = M.MainGraph;
+  G.Name = "mlp";
+  G.Inputs.push_back({"x", {1, Dims[0]}});
+  GraphBuilder B{G, Rng(Seed)};
+  std::string Cur = "x";
+  for (size_t I = 1; I < Dims.size(); ++I) {
+    Cur = B.gemm(Cur, Dims[I - 1], Dims[I],
+                 "fc" + std::to_string(I));
+    if (I + 1 < Dims.size())
+      Cur = B.unary(OpKind::OK_Relu, Cur, "act");
+  }
+  G.Outputs.push_back({Cur, {1, Dims.back()}});
+  return M;
+}
+
+std::vector<NanoResNetSpec> ace::nn::paperModelSpecs() {
+  std::vector<NanoResNetSpec> Specs;
+  auto Make = [&](const char *Name, int Blocks, int64_t Classes) {
+    NanoResNetSpec S;
+    S.Name = Name;
+    S.BlocksPerStage = Blocks;
+    S.Classes = Classes;
+    return S;
+  };
+  Specs.push_back(Make("nano-resnet-20", 1, 8));
+  Specs.push_back(Make("nano-resnet-32", 2, 8));
+  // The * variant stands in for CIFAR-100: same depth, more classes.
+  NanoResNetSpec Star = Make("nano-resnet-32s", 2, 16);
+  Specs.push_back(Star);
+  Specs.push_back(Make("nano-resnet-44", 3, 8));
+  Specs.push_back(Make("nano-resnet-56", 4, 8));
+  Specs.push_back(Make("nano-resnet-110", 6, 8));
+  return Specs;
+}
+
+Model ace::nn::buildNanoResNet(const NanoResNetSpec &Spec,
+                               const Dataset &Data, uint64_t Seed) {
+  Model M;
+  M.ProducerName = Spec.Name;
+  Graph &G = M.MainGraph;
+  G.Name = Spec.Name;
+  G.Inputs.push_back(
+      {"image", {1, Spec.InputChannels, Spec.InputHW, Spec.InputHW}});
+  GraphBuilder B{G, Rng(Seed)};
+
+  auto ConvBnRelu = [&](const std::string &In, int64_t CI, int64_t CO,
+                        int64_t Stride, bool Relu) {
+    std::string Out = B.conv(In, CI, CO, 3, Stride, 1);
+    if (Spec.WithBatchNorm)
+      Out = B.batchNorm(Out, CO);
+    if (Relu)
+      Out = B.unary(OpKind::OK_Relu, Out, "act");
+    return Out;
+  };
+
+  int64_t C = Spec.Channels[0];
+  std::string Cur =
+      ConvBnRelu("image", Spec.InputChannels, C, 1, /*Relu=*/true);
+
+  for (size_t Stage = 0; Stage < Spec.Channels.size(); ++Stage) {
+    int64_t CO = Spec.Channels[Stage];
+    for (int Block = 0; Block < Spec.BlocksPerStage; ++Block) {
+      int64_t Stride = (Stage > 0 && Block == 0) ? 2 : 1;
+      std::string Skip = Cur;
+      if (Stride != 1 || C != CO)
+        Skip = B.conv(Cur, C, CO, 1, Stride, 0); // projection shortcut
+      std::string Body = ConvBnRelu(Cur, C, CO, Stride, /*Relu=*/true);
+      Body = ConvBnRelu(Body, CO, CO, 1, /*Relu=*/false);
+      Cur = B.unary(OpKind::OK_Relu, B.add(Body, Skip), "act");
+      C = CO;
+    }
+  }
+
+  Cur = B.unary(OpKind::OK_GlobalAveragePool, Cur, "gap");
+  Cur = B.unary(OpKind::OK_Flatten, Cur, "flat");
+  std::string Logits = B.gemm(Cur, C, Spec.Classes, "logits");
+  G.Outputs.push_back({Logits, {1, Spec.Classes}});
+
+  // Prototype readout: run the feature extractor on each prototype and
+  // point the FC rows at the (normalized) prototype features.
+  Graph Features = G;
+  Features.Outputs = {{Cur, {1, C}}};
+  onnx::TensorData &W = G.Initializers.at("logits.w");
+  onnx::TensorData &Bias = G.Initializers.at("logits.b");
+  std::vector<std::vector<float>> Feats;
+  double MeanSq = 1e-9;
+  int64_t Usable = std::min<int64_t>(
+      Spec.Classes, static_cast<int64_t>(Data.Prototypes.size()));
+  for (int64_t K = 0; K < Usable; ++K) {
+    auto Feat = executeSingle(Features, Data.Prototypes[K]);
+    if (!Feat.ok())
+      reportFatalError("prototype feature extraction failed: " +
+                       Feat.status().message());
+    double Sq = 0;
+    for (float V : Feat->Values)
+      Sq += static_cast<double>(V) * V;
+    MeanSq += Sq / Usable;
+    Feats.push_back(Feat->Values);
+  }
+  // Nearest-prototype readout: argmax_k (2<f, f_k> - ||f_k||^2) picks the
+  // closest prototype in feature space; one global scale keeps the
+  // logits O(1) for the encrypted pipeline's normalization.
+  double Scale = 1.0 / MeanSq;
+  for (int64_t K = 0; K < Usable; ++K) {
+    double Sq = 0;
+    for (int64_t I = 0; I < C; ++I) {
+      W.Values[K * C + I] =
+          static_cast<float>(2.0 * Feats[K][I] * Scale);
+      Sq += static_cast<double>(Feats[K][I]) * Feats[K][I];
+    }
+    Bias.Values[K] = static_cast<float>(-Sq * Scale);
+  }
+  return M;
+}
+
+double ace::nn::cleartextAccuracy(const Graph &Graph, const Dataset &Data,
+                                  int MaxSamples) {
+  size_t Count = Data.Images.size();
+  if (MaxSamples >= 0)
+    Count = std::min<size_t>(Count, MaxSamples);
+  if (Count == 0)
+    return 0.0;
+  size_t Correct = 0;
+  for (size_t I = 0; I < Count; ++I) {
+    auto Out = executeSingle(Graph, Data.Images[I]);
+    if (!Out.ok())
+      return 0.0;
+    Correct += argmax(*Out) == static_cast<size_t>(Data.Labels[I]);
+  }
+  return static_cast<double>(Correct) / Count;
+}

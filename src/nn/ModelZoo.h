@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model builders and synthetic datasets. The paper evaluates pre-trained
+/// ResNet-20/32/44/56/110 on CIFAR-10/100; offline we build the same
+/// topology family at reduced scale ("nano-ResNets") with constructed
+/// weights: random He-initialized convolutions (optionally with
+/// BatchNormalization, which the frontend folds) and a final
+/// nearest-prototype readout computed from the features of class
+/// prototypes, so cleartext accuracy is high and non-trivial. The
+/// synthetic dataset draws noisy samples around the same prototypes.
+/// Encrypted-vs-cleartext accuracy (paper Table 11) then measures exactly
+/// what the paper measures: CKKS precision plus ReLU-approximation error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_NN_MODELZOO_H
+#define ACE_NN_MODELZOO_H
+
+#include "nn/Executor.h"
+#include "onnx/Model.h"
+
+#include <string>
+#include <vector>
+
+namespace ace {
+namespace nn {
+
+/// A labeled synthetic classification dataset.
+struct Dataset {
+  std::vector<Tensor> Images;
+  std::vector<int> Labels;
+  /// The class prototypes the samples were drawn around.
+  std::vector<Tensor> Prototypes;
+};
+
+/// Draws \p Count samples of \p Classes prototype-centered clusters with
+/// the given image shape (values within [-1, 1]).
+Dataset makeSyntheticDataset(const std::vector<int64_t> &Shape, int Classes,
+                             int Count, double NoiseSigma, uint64_t Seed);
+
+/// The paper's Figure 4 motivating model: a single 10x84 gemv
+/// ("linear_infer").
+onnx::Model buildLinearInfer(uint64_t Seed);
+
+/// A gemm/relu MLP with the given layer widths (first = input dim).
+onnx::Model buildMlp(const std::vector<int64_t> &Dims, uint64_t Seed);
+
+/// Nano-ResNet configuration (CIFAR-style topology at reduced scale).
+struct NanoResNetSpec {
+  std::string Name = "nano-resnet-20";
+  /// Residual blocks per stage; {1,2,3,4,6} model the paper's
+  /// ResNet-{20,32,44,56,110} depth progression.
+  int BlocksPerStage = 1;
+  /// Channel widths of the three stages.
+  std::vector<int64_t> Channels = {2, 4, 8};
+  int64_t InputHW = 8;
+  int64_t InputChannels = 3;
+  int64_t Classes = 8;
+  bool WithBatchNorm = true;
+};
+
+/// The six evaluation models mirroring paper Figs. 5-7 / Table 11:
+/// nano-resnet-{20,32,32*,44,56,110} (the * variant has more classes,
+/// standing in for CIFAR-100).
+std::vector<NanoResNetSpec> paperModelSpecs();
+
+/// Builds a nano-ResNet and its matching dataset; the final FC layer is
+/// the prototype readout over \p Dataset.Prototypes.
+onnx::Model buildNanoResNet(const NanoResNetSpec &Spec,
+                            const Dataset &Data, uint64_t Seed);
+
+/// Classification accuracy of \p Graph on \p Data using the cleartext
+/// executor.
+double cleartextAccuracy(const onnx::Graph &Graph, const Dataset &Data,
+                         int MaxSamples = -1);
+
+} // namespace nn
+} // namespace ace
+
+#endif // ACE_NN_MODELZOO_H

@@ -1,0 +1,239 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "onnx/Model.h"
+
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace ace;
+using namespace ace::onnx;
+
+const char *ace::onnx::opKindName(OpKind Kind) {
+  switch (Kind) {
+  case OpKind::OK_Conv:
+    return "Conv";
+  case OpKind::OK_Gemm:
+    return "Gemm";
+  case OpKind::OK_Relu:
+    return "Relu";
+  case OpKind::OK_AveragePool:
+    return "AveragePool";
+  case OpKind::OK_GlobalAveragePool:
+    return "GlobalAveragePool";
+  case OpKind::OK_Flatten:
+    return "Flatten";
+  case OpKind::OK_Reshape:
+    return "Reshape";
+  case OpKind::OK_Add:
+    return "Add";
+  case OpKind::OK_BatchNormalization:
+    return "BatchNormalization";
+  case OpKind::OK_StridedSlice:
+    return "StridedSlice";
+  }
+  return "Unknown";
+}
+
+bool ace::onnx::parseOpKind(const std::string &Name, OpKind &Kind) {
+  for (OpKind K :
+       {OpKind::OK_Conv, OpKind::OK_Gemm, OpKind::OK_Relu,
+        OpKind::OK_AveragePool, OpKind::OK_GlobalAveragePool,
+        OpKind::OK_Flatten, OpKind::OK_Reshape, OpKind::OK_Add,
+        OpKind::OK_BatchNormalization, OpKind::OK_StridedSlice}) {
+    if (Name == opKindName(K)) {
+      Kind = K;
+      return true;
+    }
+  }
+  return false;
+}
+
+int64_t Node::intAttr(const std::string &Key, int64_t Default) const {
+  auto It = Attributes.find(Key);
+  if (It == Attributes.end() || It->second.Ints.empty())
+    return Default;
+  return It->second.Ints[0];
+}
+
+std::vector<int64_t> Node::intsAttr(const std::string &Key) const {
+  auto It = Attributes.find(Key);
+  if (It == Attributes.end())
+    return {};
+  return It->second.Ints;
+}
+
+float Node::floatAttr(const std::string &Key, float Default) const {
+  auto It = Attributes.find(Key);
+  if (It == Attributes.end() || It->second.Floats.empty())
+    return Default;
+  return It->second.Floats[0];
+}
+
+//===----------------------------------------------------------------------===//
+// Text serialization
+//===----------------------------------------------------------------------===//
+
+static void writeNameList(std::ostringstream &Out,
+                          const std::vector<std::string> &Names) {
+  Out << Names.size();
+  for (const auto &N : Names)
+    Out << ' ' << N;
+}
+
+std::string ace::onnx::serializeModel(const Model &M) {
+  std::ostringstream Out;
+  Out.precision(9);
+  const Graph &G = M.MainGraph;
+  Out << "acemodel 1\n";
+  Out << "ir_version " << M.IrVersion << "\n";
+  Out << "producer " << M.ProducerName << "\n";
+  Out << "graph " << (G.Name.empty() ? "main" : G.Name) << "\n";
+
+  for (const auto &IO : {std::make_pair("input", &G.Inputs),
+                         std::make_pair("output", &G.Outputs)}) {
+    for (const auto &V : *IO.second) {
+      Out << IO.first << ' ' << V.Name << ' ' << V.Shape.size();
+      for (int64_t D : V.Shape)
+        Out << ' ' << D;
+      Out << "\n";
+    }
+  }
+
+  for (const auto &[Name, T] : G.Initializers) {
+    Out << "initializer " << Name << ' ' << T.Shape.size();
+    for (int64_t D : T.Shape)
+      Out << ' ' << D;
+    Out << ' ' << T.Values.size();
+    for (float V : T.Values)
+      Out << ' ' << V;
+    Out << "\n";
+  }
+
+  for (const Node &N : G.Nodes) {
+    Out << "node " << opKindName(N.Kind) << ' '
+        << (N.Name.empty() ? "_" : N.Name) << ' ';
+    writeNameList(Out, N.Inputs);
+    Out << ' ';
+    writeNameList(Out, N.Outputs);
+    Out << ' ' << N.Attributes.size();
+    for (const auto &[Key, A] : N.Attributes) {
+      Out << ' ' << Key << ' ' << A.Ints.size();
+      for (int64_t I : A.Ints)
+        Out << ' ' << I;
+      Out << ' ' << A.Floats.size();
+      for (float F : A.Floats)
+        Out << ' ' << F;
+    }
+    Out << "\n";
+  }
+  Out << "end\n";
+  return Out.str();
+}
+
+StatusOr<Model> ace::onnx::parseModel(const std::string &Text) {
+  std::istringstream In(Text);
+  std::string Tag;
+  int Version = 0;
+  if (!(In >> Tag >> Version) || Tag != "acemodel" || Version != 1)
+    return Status::error("not an acemodel file (missing header)");
+
+  Model M;
+  Graph &G = M.MainGraph;
+  while (In >> Tag) {
+    if (Tag == "end")
+      return M;
+    if (Tag == "ir_version") {
+      In >> M.IrVersion;
+    } else if (Tag == "producer") {
+      In >> M.ProducerName;
+    } else if (Tag == "graph") {
+      In >> G.Name;
+    } else if (Tag == "input" || Tag == "output") {
+      ValueInfo V;
+      size_t Rank = 0;
+      In >> V.Name >> Rank;
+      V.Shape.resize(Rank);
+      for (auto &D : V.Shape)
+        In >> D;
+      (Tag == "input" ? G.Inputs : G.Outputs).push_back(std::move(V));
+    } else if (Tag == "initializer") {
+      std::string Name;
+      size_t Rank = 0, Count = 0;
+      In >> Name >> Rank;
+      TensorData T;
+      T.Shape.resize(Rank);
+      for (auto &D : T.Shape)
+        In >> D;
+      In >> Count;
+      T.Values.resize(Count);
+      for (auto &V : T.Values)
+        In >> V;
+      if (!In)
+        return Status::error("truncated initializer '" + Name + "'");
+      G.Initializers.emplace(Name, std::move(T));
+    } else if (Tag == "node") {
+      std::string OpName;
+      Node N;
+      In >> OpName >> N.Name;
+      if (N.Name == "_")
+        N.Name.clear();
+      if (!parseOpKind(OpName, N.Kind))
+        return Status::error("unknown operator '" + OpName + "'");
+      size_t NumIn = 0, NumOut = 0, NumAttr = 0;
+      In >> NumIn;
+      N.Inputs.resize(NumIn);
+      for (auto &S : N.Inputs)
+        In >> S;
+      In >> NumOut;
+      N.Outputs.resize(NumOut);
+      for (auto &S : N.Outputs)
+        In >> S;
+      In >> NumAttr;
+      for (size_t I = 0; I < NumAttr; ++I) {
+        std::string Key;
+        size_t NI = 0, NF = 0;
+        In >> Key >> NI;
+        Attribute A;
+        A.Ints.resize(NI);
+        for (auto &V : A.Ints)
+          In >> V;
+        In >> NF;
+        A.Floats.resize(NF);
+        for (auto &V : A.Floats)
+          In >> V;
+        N.Attributes.emplace(std::move(Key), std::move(A));
+      }
+      if (!In)
+        return Status::error("truncated node record");
+      G.Nodes.push_back(std::move(N));
+    } else {
+      return Status::error("unknown record '" + Tag + "'");
+    }
+  }
+  return Status::error("model file ended without 'end' marker");
+}
+
+Status ace::onnx::saveModel(const Model &M, const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return Status::error("cannot open '" + Path + "' for writing");
+  Out << serializeModel(M);
+  return Status::success();
+}
+
+StatusOr<Model> ace::onnx::loadModel(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return Status::error("cannot open '" + Path + "'");
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return parseModel(Buffer.str());
+}

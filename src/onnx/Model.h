@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ONNX-equivalent in-memory model format (paper Sec. 3.1). The real
+/// ANT-ACE consumes protobuf ONNX files; this reproduction mirrors the
+/// ONNX graph model - nodes with named inputs/outputs, initializer
+/// tensors, attributes - for exactly the operator subset of paper Table 3
+/// (plus BatchNormalization, which the frontend folds). A simple text
+/// serialization stands in for the protobuf wire format so that models
+/// can round-trip through files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_ONNX_MODEL_H
+#define ACE_ONNX_MODEL_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ace {
+namespace onnx {
+
+/// A dense float tensor (weights, biases, BN statistics).
+struct TensorData {
+  std::vector<int64_t> Shape;
+  std::vector<float> Values;
+
+  int64_t elementCount() const {
+    int64_t N = 1;
+    for (int64_t D : Shape)
+      N *= D;
+    return N;
+  }
+};
+
+/// Operator set mirroring the ONNX operators of paper Table 3.
+enum class OpKind {
+  OK_Conv,
+  OK_Gemm,
+  OK_Relu,
+  OK_AveragePool,
+  OK_GlobalAveragePool,
+  OK_Flatten,
+  OK_Reshape,
+  OK_Add,
+  OK_BatchNormalization,
+  OK_StridedSlice,
+};
+
+/// Operator name as it appears in serialized models ("Conv", "Gemm", ...).
+const char *opKindName(OpKind Kind);
+
+/// Parses an operator name; returns false for unknown operators.
+bool parseOpKind(const std::string &Name, OpKind &Kind);
+
+/// ONNX-style node attribute: a list of integers or floats.
+struct Attribute {
+  std::vector<int64_t> Ints;
+  std::vector<float> Floats;
+};
+
+/// One operator application.
+struct Node {
+  OpKind Kind = OpKind::OK_Relu;
+  std::string Name;
+  std::vector<std::string> Inputs;
+  std::vector<std::string> Outputs;
+  std::map<std::string, Attribute> Attributes;
+
+  /// Attribute accessors with defaults.
+  int64_t intAttr(const std::string &Key, int64_t Default) const;
+  std::vector<int64_t> intsAttr(const std::string &Key) const;
+  float floatAttr(const std::string &Key, float Default) const;
+};
+
+/// Typed graph input/output.
+struct ValueInfo {
+  std::string Name;
+  std::vector<int64_t> Shape;
+};
+
+/// An inference graph: a topologically ordered node list plus weights.
+struct Graph {
+  std::string Name;
+  std::vector<Node> Nodes;
+  std::map<std::string, TensorData> Initializers;
+  std::vector<ValueInfo> Inputs;
+  std::vector<ValueInfo> Outputs;
+
+  /// True when \p Name refers to a weight (initializer) rather than a
+  /// runtime value.
+  bool isInitializer(const std::string &Name) const {
+    return Initializers.count(Name) != 0;
+  }
+};
+
+/// A model: one graph plus format metadata.
+struct Model {
+  int64_t IrVersion = 8;
+  std::string ProducerName = "ace-model-builder";
+  Graph MainGraph;
+
+  /// Total weight parameters across all initializers.
+  int64_t parameterCount() const {
+    int64_t N = 0;
+    for (const auto &[Name, T] : MainGraph.Initializers)
+      N += T.elementCount();
+    return N;
+  }
+};
+
+/// Serializes \p M into the textual model format.
+std::string serializeModel(const Model &M);
+
+/// Parses a textual model; reports malformed input via Status.
+StatusOr<Model> parseModel(const std::string &Text);
+
+/// Writes \p M to \p Path.
+Status saveModel(const Model &M, const std::string &Path);
+
+/// Reads a model from \p Path.
+StatusOr<Model> loadModel(const std::string &Path);
+
+} // namespace onnx
+} // namespace ace
+
+#endif // ACE_ONNX_MODEL_H

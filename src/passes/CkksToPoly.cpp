@@ -1,0 +1,210 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/CkksToPoly.h"
+
+#include <cassert>
+
+using namespace ace;
+using namespace ace::passes;
+using namespace ace::air;
+
+namespace {
+
+/// Emission helper tracking the open RNS loop for loop fusion.
+struct PolyBuilder {
+  IrFunction &Out;
+  bool EnableFusion;
+  PolyStats &Stats;
+  IrNode *OpenLoop = nullptr;
+  int64_t OpenTrip = -1;
+
+  /// Returns an RNS loop with trip count \p Trip, fusing into the open
+  /// loop when the trip counts match (compile-time constants, paper
+  /// Sec. 4.5).
+  IrNode *loop(int64_t Trip, OriginKind Origin) {
+    if (EnableFusion && OpenLoop && OpenTrip == Trip)
+      return OpenLoop;
+    IrNode *L = Out.create(NodeKind::NK_PolyRnsLoop, TypeKind::TK_Poly, {},
+                           Origin);
+    L->Ints = {Trip};
+    OpenLoop = L;
+    OpenTrip = Trip;
+    ++Stats.RnsLoops;
+    return L;
+  }
+
+  /// Ends the fusable region (key switches and domain changes act as
+  /// barriers).
+  void barrier() {
+    OpenLoop = nullptr;
+    OpenTrip = -1;
+  }
+
+  IrNode *hw(NodeKind Kind, IrNode *Loop, int64_t Count,
+             OriginKind Origin) {
+    IrNode *N = Out.create(Kind, TypeKind::TK_Poly, {Loop}, Origin);
+    N->Ints = {Count};
+    switch (Kind) {
+    case NodeKind::NK_HwModMul:
+      Stats.HwModMul += Count;
+      break;
+    case NodeKind::NK_HwModAdd:
+    case NodeKind::NK_HwModSub:
+      Stats.HwModAdd += Count;
+      break;
+    case NodeKind::NK_HwModMulAdd:
+      Stats.HwModMulAdd += Count;
+      break;
+    case NodeKind::NK_HwNtt:
+      Stats.HwNtt += Count;
+      break;
+    case NodeKind::NK_HwIntt:
+      Stats.HwIntt += Count;
+      break;
+    default:
+      break;
+    }
+    return N;
+  }
+
+  /// Key switching at \p L active primes: decomp, mod_up, inner products
+  /// against the key, mod_down (paper Table 7's coarse-grained ops).
+  void keySwitch(int64_t L, OriginKind Origin) {
+    barrier();
+    if (EnableFusion) {
+      IrNode *N = Out.create(NodeKind::NK_PolyDecomp, TypeKind::TK_Poly,
+                             {}, Origin);
+      N->Name = "decomp_modup"; // fused ACEfhe API (paper Sec. 4.5)
+      N->Ints = {L};
+      ++Stats.FusedDecompModUp;
+    } else {
+      Out.create(NodeKind::NK_PolyDecomp, TypeKind::TK_Poly, {}, Origin)
+          ->Ints = {L};
+      Out.create(NodeKind::NK_PolyModUp, TypeKind::TK_Poly, {}, Origin)
+          ->Ints = {L};
+      ++Stats.Decomp;
+      ++Stats.ModUp;
+    }
+    // NTT each decomposed digit over L+1 moduli, multiply-accumulate
+    // against both key polynomials, INTT + mod-down the two results.
+    IrNode *Lp = loop(L, Origin);
+    hw(NodeKind::NK_HwNtt, Lp, L * (L + 1), Origin);
+    if (EnableFusion)
+      hw(NodeKind::NK_HwModMulAdd, Lp, 2 * L * (L + 1), Origin);
+    else {
+      hw(NodeKind::NK_HwModMul, Lp, 2 * L * (L + 1), Origin);
+      hw(NodeKind::NK_HwModAdd, Lp, 2 * L * (L + 1), Origin);
+    }
+    Out.create(NodeKind::NK_PolyModDown, TypeKind::TK_Poly, {}, Origin)
+        ->Ints = {L};
+    ++Stats.ModDown;
+    hw(NodeKind::NK_HwIntt, loop(L, Origin), 2, Origin);
+    hw(NodeKind::NK_HwNtt, OpenLoop, 2 * L, Origin);
+    barrier();
+  }
+};
+
+} // namespace
+
+Status ace::passes::lowerToPoly(const IrFunction &F,
+                                const CompileState &State,
+                                bool EnableFusion, IrFunction &Poly,
+                                PolyStats *StatsOut) {
+  Poly.clear();
+  PolyStats Stats;
+  PolyBuilder B{Poly, EnableFusion, Stats};
+
+  auto NumQOf = [](const IrNode *N) -> int64_t {
+    return N->CkksLevel >= 0 ? N->CkksLevel + 1 : 1;
+  };
+
+  for (const auto &NPtr : F.nodes()) {
+    const IrNode *N = NPtr.get();
+    OriginKind O = N->Origin;
+    switch (N->Kind) {
+    case NodeKind::NK_Input:
+      Poly.addInput(N->Name, TypeKind::TK_Poly);
+      break;
+    case NodeKind::NK_ConstVec:
+    case NodeKind::NK_CkksEncode:
+    case NodeKind::NK_Return:
+      break;
+    case NodeKind::NK_CkksAdd:
+    case NodeKind::NK_CkksSub: {
+      int64_t L = NumQOf(N);
+      // Two ciphertext polynomials, element-wise (the paper's
+      // ciphertext-addition example of Sec. 4.5).
+      B.hw(NodeKind::NK_HwModAdd, B.loop(L, O), 2 * L, O);
+      break;
+    }
+    case NodeKind::NK_CkksAddConst:
+      B.hw(NodeKind::NK_HwModAdd, B.loop(NumQOf(N), O), NumQOf(N), O);
+      break;
+    case NodeKind::NK_CkksMulConst:
+      B.hw(NodeKind::NK_HwModMul, B.loop(NumQOf(N), O), 2 * NumQOf(N), O);
+      break;
+    case NodeKind::NK_CkksRotate: {
+      int64_t L = NumQOf(N);
+      B.barrier();
+      B.hw(NodeKind::NK_HwIntt, B.loop(L, O), 2 * L, O);
+      Poly.create(NodeKind::NK_PolyAutomorphism, TypeKind::TK_Poly, {}, O)
+          ->Ints = {L};
+      B.keySwitch(L, O);
+      break;
+    }
+    case NodeKind::NK_CkksMul: {
+      int64_t L = NumQOf(N);
+      if (N->Operands[1]->Type == TypeKind::TK_Plain) {
+        // ct * pt feeding an accumulation fuses into hw_modmuladd.
+        if (EnableFusion)
+          B.hw(NodeKind::NK_HwModMulAdd, B.loop(L, O), 2 * L, O);
+        else {
+          B.hw(NodeKind::NK_HwModMul, B.loop(L, O), 2 * L, O);
+        }
+      } else {
+        B.hw(NodeKind::NK_HwModMul, B.loop(L, O), 4 * L, O);
+        B.hw(NodeKind::NK_HwModAdd, B.OpenLoop ? B.OpenLoop
+                                               : B.loop(L, O),
+             L, O);
+      }
+      break;
+    }
+    case NodeKind::NK_CkksRelin:
+      B.keySwitch(NumQOf(N), O);
+      break;
+    case NodeKind::NK_CkksRescale: {
+      int64_t L = NumQOf(N->Operands[0]);
+      B.barrier();
+      Poly.create(NodeKind::NK_PolyRescale, TypeKind::TK_Poly, {}, O)
+          ->Ints = {L};
+      B.hw(NodeKind::NK_HwIntt, B.loop(L, O), 2, O);
+      B.hw(NodeKind::NK_HwNtt, B.OpenLoop, 2 * (L - 1), O);
+      B.hw(NodeKind::NK_HwModMul, B.OpenLoop, 2 * (L - 1), O);
+      B.barrier();
+      break;
+    }
+    case NodeKind::NK_CkksModSwitch:
+      break; // drops components; no polynomial arithmetic
+    case NodeKind::NK_CkksBootstrap: {
+      // Coarse node: the bootstrap pipeline is itself a CKKS program
+      // (matvecs + EvalMod) executed by the runtime.
+      Poly.create(NodeKind::NK_PolyModUp, TypeKind::TK_Poly, {}, O)->Name =
+          "bootstrap";
+      B.barrier();
+      break;
+    }
+    default:
+      return Status::error(std::string("unexpected CKKS node: ") +
+                           nodeKindName(N->Kind));
+    }
+  }
+  if (StatsOut)
+    *StatsOut = Stats;
+  return Status::success();
+}

@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CKKS -> POLY lowering (paper Sec. 4.5): every CKKS operation expands
+/// into RNS loops over hw_* polynomial primitives (paper Table 7), with
+/// two POLY-level optimizations:
+///
+///  - operator fusion: multiply-then-accumulate pairs become
+///    hw_modmuladd, and decomp+mod_up become one fused traversal
+///    (the ACEfhe decomp_modup API of Sec. 4.5);
+///  - RNS-loop fusion: adjacent loops with identical compile-time trip
+///    counts merge, eliminating intermediate polynomial buffers (the
+///    paper's 10 MB -> 512 KB example).
+///
+/// The POLY program drives code-generation statistics and the fusion
+/// ablation; execution happens at the CKKS level against the runtime
+/// (whose kernels implement exactly these hw_* loops).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_PASSES_CKKSTOPOLY_H
+#define ACE_PASSES_CKKSTOPOLY_H
+
+#include "air/Pass.h"
+
+namespace ace {
+namespace passes {
+
+/// Operation counts of a POLY program.
+struct PolyStats {
+  size_t RnsLoops = 0;
+  size_t HwModMul = 0;
+  size_t HwModAdd = 0;
+  size_t HwModMulAdd = 0;
+  size_t HwNtt = 0;
+  size_t HwIntt = 0;
+  size_t Decomp = 0;
+  size_t ModUp = 0;
+  size_t ModDown = 0;
+  size_t FusedDecompModUp = 0;
+
+  size_t totalHwOps() const {
+    return HwModMul + HwModAdd + HwModMulAdd + HwNtt + HwIntt;
+  }
+};
+
+/// Lowers a CKKS-dialect function into the POLY-dialect function \p Out.
+/// With \p EnableFusion the two fusion optimizations apply. \p Stats
+/// (optional) receives the op counts.
+Status lowerToPoly(const air::IrFunction &F, const air::CompileState &State,
+                   bool EnableFusion, air::IrFunction &Out,
+                   PolyStats *Stats = nullptr);
+
+} // namespace passes
+} // namespace ace
+
+#endif // ACE_PASSES_CKKSTOPOLY_H

@@ -1,0 +1,268 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Frontend.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ace;
+using namespace ace::passes;
+using namespace ace::air;
+using onnx::Graph;
+using onnx::Node;
+using onnx::OpKind;
+
+StatusOr<Graph> ace::passes::foldBatchNorm(const Graph &G) {
+  Graph Out = G;
+  // Map each value name to the index of its producing Conv (if any).
+  std::map<std::string, size_t> ConvByOutput;
+  for (size_t I = 0; I < Out.Nodes.size(); ++I)
+    if (Out.Nodes[I].Kind == OpKind::OK_Conv)
+      ConvByOutput[Out.Nodes[I].Outputs[0]] = I;
+
+  std::vector<Node> Kept;
+  for (const Node &N : Out.Nodes) {
+    if (N.Kind != OpKind::OK_BatchNormalization) {
+      Kept.push_back(N);
+      continue;
+    }
+    auto It = ConvByOutput.find(N.Inputs[0]);
+    if (It == ConvByOutput.end())
+      return Status::error("batch_norm '" + N.Name +
+                           "' does not follow a convolution");
+    // Locate the conv inside Kept (it was already copied).
+    Node *Conv = nullptr;
+    for (auto &K : Kept)
+      if (K.Kind == OpKind::OK_Conv && K.Outputs[0] == N.Inputs[0])
+        Conv = &K;
+    if (!Conv)
+      return Status::error("batch_norm '" + N.Name +
+                           "': producing conv already consumed");
+
+    onnx::TensorData &W = Out.Initializers.at(Conv->Inputs[1]);
+    const auto &Scale = Out.Initializers.at(N.Inputs[1]);
+    const auto &Bias = Out.Initializers.at(N.Inputs[2]);
+    const auto &Mean = Out.Initializers.at(N.Inputs[3]);
+    const auto &Var = Out.Initializers.at(N.Inputs[4]);
+    float Eps = N.floatAttr("epsilon", 1e-5f);
+
+    int64_t CO = W.Shape[0];
+    int64_t PerChannel = W.elementCount() / CO;
+    // Ensure the conv has a bias to fold into.
+    std::string BiasName;
+    if (Conv->Inputs.size() > 2) {
+      BiasName = Conv->Inputs[2];
+    } else {
+      BiasName = Conv->Outputs[0] + ".folded_bias";
+      onnx::TensorData B;
+      B.Shape = {CO};
+      B.Values.assign(CO, 0.0f);
+      Out.Initializers.emplace(BiasName, std::move(B));
+      Conv->Inputs.push_back(BiasName);
+    }
+    onnx::TensorData &B = Out.Initializers.at(BiasName);
+
+    for (int64_t Co = 0; Co < CO; ++Co) {
+      float Inv = 1.0f / std::sqrt(Var.Values[Co] + Eps);
+      float A = Scale.Values[Co] * Inv;
+      for (int64_t I = 0; I < PerChannel; ++I)
+        W.Values[Co * PerChannel + I] *= A;
+      B.Values[Co] = A * (B.Values[Co] - Mean.Values[Co]) + Bias.Values[Co];
+    }
+    // The BN's output aliases the conv's output.
+    Conv->Outputs[0] = N.Outputs[0];
+    ConvByOutput[N.Outputs[0]] = It->second;
+  }
+  Out.Nodes = std::move(Kept);
+  return Out;
+}
+
+/// Resolves per-value normalization scales so that both operands of every
+/// Add (residual join) and each structural op share one scale; convs and
+/// gemms absorb scale ratios into their weights, so only these tying
+/// constraints matter.
+static std::map<std::string, double>
+resolveScales(const Graph &G, const std::map<std::string, double> &Bounds) {
+  std::map<std::string, double> S;
+  auto Get = [&](const std::string &Name) {
+    auto It = S.find(Name);
+    if (It != S.end())
+      return It->second;
+    auto B = Bounds.find(Name);
+    double V = B != Bounds.end() ? std::fmax(B->second, 1e-6) : 1.0;
+    S[Name] = V;
+    return V;
+  };
+  bool Changed = true;
+  int Guard = 0;
+  while (Changed && Guard++ < 64) {
+    Changed = false;
+    auto Tie = [&](const std::string &A, const std::string &B) {
+      double M = std::fmax(Get(A), Get(B));
+      if (S[A] != M || S[B] != M) {
+        S[A] = S[B] = M;
+        Changed = true;
+      }
+    };
+    for (const Node &N : G.Nodes) {
+      switch (N.Kind) {
+      case OpKind::OK_Add:
+        Tie(N.Inputs[0], N.Outputs[0]);
+        Tie(N.Inputs[1], N.Outputs[0]);
+        break;
+      case OpKind::OK_Relu:
+      case OpKind::OK_AveragePool:
+      case OpKind::OK_GlobalAveragePool:
+      case OpKind::OK_Flatten:
+      case OpKind::OK_Reshape:
+      case OpKind::OK_StridedSlice:
+        // Structure-preserving ops keep the scale of their input.
+        Tie(N.Inputs[0], N.Outputs[0]);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  return S;
+}
+
+Status ace::passes::importModel(const onnx::Model &Model,
+                                const std::vector<nn::Tensor> &Calibration,
+                                IrFunction &F, CompileState &State) {
+  // 1. BN folding (NN-level operator fusion).
+  auto Folded = foldBatchNorm(Model.MainGraph);
+  if (!Folded.ok())
+    return Folded.status();
+  const Graph &G = *Folded;
+
+  if (G.Inputs.size() != 1 || G.Outputs.size() != 1)
+    return Status::error("expected exactly one graph input and output");
+
+  // 2. Shape inference.
+  auto Shapes = nn::inferShapes(G);
+  if (!Shapes.ok())
+    return Shapes.status();
+  State.Shapes = Shapes.take();
+
+  // 3. Calibration: max |activation| per value over sample inputs.
+  for (const nn::Tensor &Sample : Calibration) {
+    auto Bounds = nn::activationBounds(G, Sample);
+    if (!Bounds.ok())
+      return Bounds.status();
+    for (const auto &[Name, B] : *Bounds) {
+      auto [It, Inserted] = State.Bounds.emplace(Name, B);
+      if (!Inserted)
+        It->second = std::fmax(It->second, B);
+    }
+  }
+  // Calibration headroom: activations on unseen inputs exceed the
+  // calibrated maximum slightly; 25% slack keeps values inside the
+  // approximation ranges.
+  for (auto &[Name, B] : State.Bounds)
+    B *= 1.25;
+  auto Resolved = resolveScales(G, State.Bounds);
+  State.Bounds = Resolved;
+
+  // 4. Build NN IR mirroring the graph (paper Listing 1 style).
+  std::map<std::string, IrNode *> Values;
+  IrNode *Input = F.addInput(G.Inputs[0].Name, TypeKind::TK_Cipher);
+  Values[G.Inputs[0].Name] = Input;
+
+  auto Weight = [&](const std::string &Name) -> IrNode * {
+    const onnx::TensorData &T = G.Initializers.at(Name);
+    IrNode *C = F.create(NodeKind::NK_ConstVec, TypeKind::TK_Vector);
+    C->Name = Name;
+    C->Data.assign(T.Values.begin(), T.Values.end());
+    C->Ints = T.Shape;
+    return C;
+  };
+
+  for (const Node &N : G.Nodes) {
+    IrNode *Out = nullptr;
+    auto In = [&](size_t I) { return Values.at(N.Inputs[I]); };
+    switch (N.Kind) {
+    case OpKind::OK_Conv: {
+      auto Strides = N.intsAttr("strides");
+      auto Pads = N.intsAttr("pads");
+      Out = F.create(NodeKind::NK_NnConv, TypeKind::TK_Tensor,
+                     {In(0), Weight(N.Inputs[1]),
+                      N.Inputs.size() > 2 ? Weight(N.Inputs[2]) : nullptr},
+                     OriginKind::OR_Conv);
+      if (!Out->Operands[2])
+        Out->Operands.pop_back();
+      Out->Ints = {Strides.size() > 0 ? Strides[0] : 1,
+                   Strides.size() > 1 ? Strides[1] : 1,
+                   Pads.size() > 0 ? Pads[0] : 0,
+                   Pads.size() > 1 ? Pads[1] : 0};
+      break;
+    }
+    case OpKind::OK_Gemm:
+      Out = F.create(NodeKind::NK_NnGemm, TypeKind::TK_Tensor,
+                     {In(0), Weight(N.Inputs[1]),
+                      N.Inputs.size() > 2 ? Weight(N.Inputs[2]) : nullptr},
+                     OriginKind::OR_Gemm);
+      if (!Out->Operands[2])
+        Out->Operands.pop_back();
+      break;
+    case OpKind::OK_Relu:
+      Out = F.create(NodeKind::NK_NnRelu, TypeKind::TK_Tensor, {In(0)},
+                     OriginKind::OR_Relu);
+      break;
+    case OpKind::OK_Add:
+      Out = F.create(NodeKind::NK_NnAdd, TypeKind::TK_Tensor,
+                     {In(0), In(1)}, OriginKind::OR_Add);
+      break;
+    case OpKind::OK_AveragePool: {
+      auto Kernel = N.intsAttr("kernel_shape");
+      auto Strides = N.intsAttr("strides");
+      Out = F.create(NodeKind::NK_NnAvgPool, TypeKind::TK_Tensor, {In(0)},
+                     OriginKind::OR_Pool);
+      Out->Ints = {Kernel[0], Kernel[1],
+                   Strides.size() > 0 ? Strides[0] : Kernel[0],
+                   Strides.size() > 1 ? Strides[1] : Kernel[1]};
+      break;
+    }
+    case OpKind::OK_GlobalAveragePool:
+      Out = F.create(NodeKind::NK_NnGlobalAvgPool, TypeKind::TK_Tensor,
+                     {In(0)}, OriginKind::OR_Pool);
+      break;
+    case OpKind::OK_Flatten:
+      Out = F.create(NodeKind::NK_NnFlatten, TypeKind::TK_Tensor, {In(0)});
+      break;
+    case OpKind::OK_Reshape:
+      Out = F.create(NodeKind::NK_NnReshape, TypeKind::TK_Tensor, {In(0)});
+      break;
+    case OpKind::OK_StridedSlice:
+      Out = F.create(NodeKind::NK_NnStridedSlice, TypeKind::TK_Tensor,
+                     {In(0)});
+      Out->Ints = {N.intAttr("start", 0),
+                   N.intAttr("size", 1),
+                   N.intAttr("stride", 1)};
+      break;
+    case OpKind::OK_BatchNormalization:
+      return Status::error("batch_norm survived folding");
+    }
+    // Record the conv geometry the VECTOR lowering needs.
+    if (N.Kind == OpKind::OK_Conv || N.Kind == OpKind::OK_Gemm) {
+      const auto &InShape = State.Shapes.at(N.Inputs[0]);
+      for (int64_t D : InShape)
+        Out->Ints.push_back(D);
+    }
+    Out->Name = N.Outputs[0];
+    Values[N.Outputs[0]] = Out;
+  }
+
+  auto It = Values.find(G.Outputs[0].Name);
+  if (It == Values.end())
+    return Status::error("graph output '" + G.Outputs[0].Name +
+                         "' never produced");
+  F.setReturn(It->second);
+  return Status::success();
+}

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Frontend (paper Sec. 3.1): imports an ONNX-equivalent model into the
+/// NN IR. Performs shape inference, BatchNormalization folding into the
+/// preceding convolution (an NN-level operator fusion, paper Table 2),
+/// activation-bound calibration on synthetic samples, and the global
+/// scale resolution that lets residual additions meet at equal
+/// normalization scales.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_PASSES_FRONTEND_H
+#define ACE_PASSES_FRONTEND_H
+
+#include "air/Pass.h"
+#include "nn/Executor.h"
+#include "onnx/Model.h"
+
+namespace ace {
+namespace passes {
+
+/// Folds every BatchNormalization into the preceding Conv's weights and
+/// bias (requires the conv to feed the BN directly). Returns the folded
+/// graph.
+StatusOr<onnx::Graph> foldBatchNorm(const onnx::Graph &G);
+
+/// Imports \p Model into \p F as NN IR and fills shapes, calibrated
+/// bounds, and resolved normalization scales in \p State.
+Status importModel(const onnx::Model &Model,
+                   const std::vector<nn::Tensor> &CalibrationInputs,
+                   air::IrFunction &F, air::CompileState &State);
+
+} // namespace passes
+} // namespace ace
+
+#endif // ACE_PASSES_FRONTEND_H

@@ -1,0 +1,386 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/SiheToCkks.h"
+
+#include "fhe/Bootstrapper.h"
+#include "fhe/Security.h"
+#include "passes/VectorToSihe.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ace;
+using namespace ace::passes;
+using namespace ace::air;
+
+namespace {
+
+size_t nextPow2(size_t X) {
+  size_t P = 1;
+  while (P < X)
+    P <<= 1;
+  return P;
+}
+
+/// Rescale cost of a node in the backward depth analysis.
+int levelCost(const IrNode *N) {
+  return (N->Kind == NodeKind::NK_SiheMul ||
+          N->Kind == NodeKind::NK_SiheMulConst)
+             ? 1
+             : 0;
+}
+
+/// Forward rebuild state.
+struct CkksBuilder {
+  IrFunction &Out;
+  CompileState &State;
+  std::map<const IrNode *, IrNode *> Map;
+  std::map<IrNode *, size_t> NumQ;
+  std::map<IrNode *, bool> Pending; ///< scale Delta*q, rescale postponed
+
+  /// Emits the postponed rescale (waterline policy).
+  IrNode *settle(IrNode *V) {
+    if (!Pending[V])
+      return V;
+    assert(NumQ[V] >= 2 && "rescale would drop the base modulus");
+    IrNode *R = Out.create(NodeKind::NK_CkksRescale, V->Type, {V},
+                           V->Origin);
+    NumQ[R] = NumQ[V] - 1;
+    Pending[R] = false;
+    R->CkksLevel = static_cast<int>(NumQ[R]) - 1;
+    return R;
+  }
+
+  /// Mod-switches \p V down to \p Target active primes.
+  IrNode *dropTo(IrNode *V, size_t Target) {
+    if (NumQ[V] == Target)
+      return V;
+    assert(NumQ[V] > Target && "cannot raise a level without bootstrapping");
+    IrNode *M = Out.create(NodeKind::NK_CkksModSwitch, V->Type, {V},
+                           V->Origin);
+    M->Ints = {static_cast<int64_t>(Target)};
+    NumQ[M] = Target;
+    Pending[M] = Pending[V];
+    M->CkksLevel = static_cast<int>(Target) - 1;
+    return M;
+  }
+
+  /// Settles mismatched pending states and aligns levels for a binary
+  /// ciphertext operation.
+  void alignPair(IrNode *&A, IrNode *&B, bool RequireSettled) {
+    if (RequireSettled || Pending[A] != Pending[B]) {
+      A = settle(A);
+      B = settle(B);
+    }
+    size_t Target = std::min(NumQ[A], NumQ[B]);
+    A = dropTo(A, Target);
+    B = dropTo(B, Target);
+  }
+
+  IrNode *finish(IrNode *N, size_t Q, bool IsPending) {
+    NumQ[N] = Q;
+    Pending[N] = IsPending;
+    N->CkksLevel = static_cast<int>(Q) - 1;
+    N->CkksScale = IsPending ? 2.0 : 1.0; // symbolic: Delta^2 vs Delta
+    return N;
+  }
+};
+
+} // namespace
+
+Status SiheToCkksPass::run(IrFunction &F, CompileState &State) {
+  const std::vector<std::unique_ptr<IrNode>> &Nodes = F.nodes();
+
+  // --- Backward need analysis -------------------------------------------
+  // refreshId(X): earliest node that forces a bootstrap of X before use.
+  std::map<const IrNode *, int> RefreshId;
+  for (const auto &N : Nodes)
+    if (N->RefreshBefore) {
+      const IrNode *X = N->Operands[0];
+      auto [It, Inserted] = RefreshId.emplace(X, N->Id);
+      if (!Inserted)
+        It->second = std::min(It->second, N->Id);
+    }
+
+  std::map<const IrNode *, int> Need;
+  auto NeedOf = [&](const IrNode *N) {
+    auto It = Need.find(N);
+    return It == Need.end() ? 0 : It->second;
+  };
+  if (F.returnValue())
+    Need[F.returnValue()] = 1; // settling the final pending rescale
+  for (auto It = Nodes.rbegin(); It != Nodes.rend(); ++It) {
+    const IrNode *N = It->get();
+    int Out = NeedOf(N) + levelCost(N);
+    for (const IrNode *X : N->Operands) {
+      auto R = RefreshId.find(X);
+      bool Cut = R != RefreshId.end() && R->second <= N->Id;
+      if (Cut)
+        continue; // this use reads the refreshed value
+      auto [NIt, Inserted] = Need.emplace(X, Out);
+      if (!Inserted)
+        NIt->second = std::max(NIt->second, Out);
+    }
+  }
+  // Bootstrap output requirements: max over post-refresh uses.
+  std::map<const IrNode *, int> RefreshNeed;
+  for (const auto &N : Nodes) {
+    for (const IrNode *X : N->Operands) {
+      auto R = RefreshId.find(X);
+      if (R == RefreshId.end() || R->second > N->Id)
+        continue;
+      int Out = NeedOf(N.get()) + levelCost(N.get());
+      auto [NIt, Inserted] = RefreshNeed.emplace(X, Out);
+      if (!Inserted)
+        NIt->second = std::max(NIt->second, Out);
+    }
+  }
+
+  // --- Forward rebuild ----------------------------------------------------
+  IrFunction NewF(F.name());
+  CkksBuilder B{NewF, State, {}, {}, {}};
+  std::map<const IrNode *, IrNode *> Refreshed;
+
+  int MaxBootTarget = 0;
+  size_t InputNumQ = 0;
+  IrNode *Result = nullptr;
+
+  for (const auto &NPtr : Nodes) {
+    const IrNode *N = NPtr.get();
+
+    // Minimal-level bootstrap insertion (paper Sec. 4.4).
+    if (N->RefreshBefore) {
+      const IrNode *XOld = N->Operands[0];
+      if (!Refreshed.count(XOld)) {
+        IrNode *X = B.settle(B.Map.at(XOld));
+        int Target = RefreshNeed.at(XOld) + 1;
+        if (!State.Options.EnableMinimalBootstrapLevel) {
+          // Expert-style: refresh to the deepest level any ReLU needs,
+          // plus the hand-budgeted margin (paper Sec. 4.4 contrasts this
+          // with minimal-level placement).
+          int MaxTarget = 2;
+          for (const auto &[Key, Value] : RefreshNeed)
+            MaxTarget = std::max(MaxTarget, Value + 1);
+          Target = MaxTarget + State.Options.ExpertMarginLevels;
+        }
+        IrNode *Boot = NewF.create(NodeKind::NK_CkksBootstrap, X->Type, {X},
+                                   OriginKind::OR_Bootstrap);
+        Boot->BootstrapTarget = Target;
+        B.finish(Boot, static_cast<size_t>(Target), /*IsPending=*/false);
+        Refreshed[XOld] = Boot;
+        B.Map[XOld] = Boot;
+        MaxBootTarget = std::max(MaxBootTarget, Target);
+        ++State.BootstrapCount;
+      }
+    }
+
+    IrNode *Lowered = nullptr;
+    switch (N->Kind) {
+    case NodeKind::NK_Input: {
+      Lowered = NewF.addInput(N->Name, TypeKind::TK_Cipher);
+      InputNumQ = static_cast<size_t>(NeedOf(N)) + 1;
+      if (!State.Options.EnableMinimalBootstrapLevel)
+        InputNumQ += State.Options.ExpertMarginLevels;
+      B.finish(Lowered, InputNumQ, false);
+      break;
+    }
+    case NodeKind::NK_ConstVec: {
+      Lowered = NewF.create(NodeKind::NK_ConstVec, TypeKind::TK_Vector, {},
+                            N->Origin);
+      Lowered->Data = N->Data;
+      Lowered->Name = N->Name;
+      break;
+    }
+    case NodeKind::NK_SiheEncode: {
+      Lowered = NewF.create(NodeKind::NK_CkksEncode, TypeKind::TK_Plain,
+                            {B.Map.at(N->Operands[0])}, N->Origin);
+      break;
+    }
+    case NodeKind::NK_SiheRotate: {
+      IrNode *X = B.Map.at(N->Operands[0]);
+      Lowered = NewF.create(NodeKind::NK_CkksRotate, TypeKind::TK_Cipher,
+                            {X}, N->Origin);
+      Lowered->Ints = N->Ints;
+      B.finish(Lowered, B.NumQ[X], B.Pending[X]);
+      int64_t Slots =
+          static_cast<int64_t>(State.InputLayout.slotCount());
+      int64_t Step = ((N->rotationSteps() % Slots) + Slots) % Slots;
+      if (Step != 0) {
+        State.RotationSteps.insert(Step);
+        auto [It, Inserted] =
+            State.RotationStepMaxNumQ.emplace(Step, B.NumQ[X]);
+        if (!Inserted)
+          It->second = std::max(It->second, B.NumQ[X]);
+      }
+      break;
+    }
+    case NodeKind::NK_SiheMul: {
+      IrNode *A = B.Map.at(N->Operands[0]);
+      IrNode *C = B.Map.at(N->Operands[1]);
+      if (C->Type == TypeKind::TK_Plain) {
+        A = B.settle(A);
+        Lowered = NewF.create(NodeKind::NK_CkksMul, TypeKind::TK_Cipher,
+                              {A, C}, N->Origin);
+        B.finish(Lowered, B.NumQ[A], /*IsPending=*/true);
+      } else {
+        B.alignPair(A, C, /*RequireSettled=*/true);
+        IrNode *M = NewF.create(NodeKind::NK_CkksMul, TypeKind::TK_Cipher3,
+                                {A, C}, N->Origin);
+        B.finish(M, B.NumQ[A], true);
+        Lowered = NewF.create(NodeKind::NK_CkksRelin, TypeKind::TK_Cipher,
+                              {M}, N->Origin);
+        B.finish(Lowered, B.NumQ[A], true);
+        State.NeedsRelin = true;
+      }
+      break;
+    }
+    case NodeKind::NK_SiheMulConst: {
+      IrNode *A = B.settle(B.Map.at(N->Operands[0]));
+      Lowered = NewF.create(NodeKind::NK_CkksMulConst, TypeKind::TK_Cipher,
+                            {A}, N->Origin);
+      Lowered->Scalar = N->Scalar;
+      B.finish(Lowered, B.NumQ[A], true);
+      break;
+    }
+    case NodeKind::NK_SiheAddConst: {
+      // Constants are added at the ciphertext scale; settle a pending
+      // Delta^2 scale first so the integer constant stays within range.
+      IrNode *A = B.settle(B.Map.at(N->Operands[0]));
+      Lowered = NewF.create(NodeKind::NK_CkksAddConst, TypeKind::TK_Cipher,
+                            {A}, N->Origin);
+      Lowered->Scalar = N->Scalar;
+      B.finish(Lowered, B.NumQ[A], B.Pending[A]);
+      break;
+    }
+    case NodeKind::NK_SiheAdd:
+    case NodeKind::NK_SiheSub: {
+      IrNode *A = B.Map.at(N->Operands[0]);
+      IrNode *C = B.Map.at(N->Operands[1]);
+      NodeKind Kind = N->Kind == NodeKind::NK_SiheAdd
+                          ? NodeKind::NK_CkksAdd
+                          : NodeKind::NK_CkksSub;
+      if (C->Type == TypeKind::TK_Plain) {
+        // Plaintexts are encoded at the ciphertext scale; a pending
+        // Delta^2 scale would overflow the encoder, so settle first.
+        A = B.settle(A);
+        Lowered =
+            NewF.create(Kind, TypeKind::TK_Cipher, {A, C}, N->Origin);
+        B.finish(Lowered, B.NumQ[A], B.Pending[A]);
+      } else {
+        // Eager-rescale ablation: settle before every addition.
+        bool Eager = !State.Options.EnableRescalePlacement;
+        B.alignPair(A, C, /*RequireSettled=*/Eager);
+        Lowered =
+            NewF.create(Kind, TypeKind::TK_Cipher, {A, C}, N->Origin);
+        B.finish(Lowered, B.NumQ[A], B.Pending[A]);
+      }
+      break;
+    }
+    case NodeKind::NK_Return: {
+      Result = B.settle(B.Map.at(N->Operands[0]));
+      continue;
+    }
+    default:
+      return Status::error(std::string("unexpected node in SIHE lowering: ") +
+                           nodeKindName(N->Kind));
+    }
+    B.Map[N] = Lowered;
+  }
+  if (!Result)
+    return Status::error("SIHE function has no return value");
+  NewF.setReturn(Result);
+  NewF.renumber();
+
+  // --- Automatic parameter selection (paper Table 10) --------------------
+  const CompileOptions &Opt = State.Options;
+  size_t Slots = State.InputLayout.slotCount();
+  bool HasBootstrap = State.BootstrapCount > 0;
+
+  int MaxNeed = 0;
+  for (const auto &[Node, Value] : Need)
+    MaxNeed = std::max(MaxNeed, Value);
+  State.MaxComputeDepth = MaxNeed;
+
+  fhe::BootstrapConfig BootCfg;
+  BootCfg.RangeK = Opt.BootstrapRangeK;
+  BootCfg.DoubleAngleCount = Opt.BootstrapDoubleAngle;
+  BootCfg.ChebyshevDegree = Opt.BootstrapChebDegree;
+
+  fhe::CkksParams P;
+  P.Slots = Slots;
+  P.LogScale = Opt.LogScale;
+  P.LogFirstModulus = Opt.LogFirstModulus;
+  P.LogSpecialModulus = 60;
+  P.SparseSecret = HasBootstrap;
+  P.Seed = Opt.Seed;
+
+  size_t ChainNumQ = std::max<size_t>(InputNumQ, MaxBootTarget);
+  if (Opt.ToyParameters) {
+    P.RingDegree = std::max<size_t>(2 * nextPow2(Slots), 128);
+    if (HasBootstrap) {
+      State.BootstrapDepth = fhe::estimateBootstrapDepth(
+          P.RingDegree, Slots, BootCfg, P.LogScale, P.LogFirstModulus);
+      ChainNumQ = static_cast<size_t>(MaxBootTarget) +
+                  static_cast<size_t>(State.BootstrapDepth);
+      ChainNumQ = std::max(ChainNumQ, InputNumQ);
+    }
+  } else {
+    // Iterate N <-> chain length until stable: bigger rings increase the
+    // bootstrap span and hence its depth.
+    P.RingDegree = std::max<size_t>(2 * nextPow2(Slots), 1024);
+    for (int Iter = 0; Iter < 8; ++Iter) {
+      if (HasBootstrap) {
+        State.BootstrapDepth = fhe::estimateBootstrapDepth(
+            P.RingDegree, Slots, BootCfg, P.LogScale, P.LogFirstModulus);
+        ChainNumQ = std::max<size_t>(
+            static_cast<size_t>(MaxBootTarget + State.BootstrapDepth),
+            InputNumQ);
+      }
+      int LogQP = P.LogFirstModulus +
+                  static_cast<int>(ChainNumQ - 1) * P.LogScale + 60;
+      size_t NSec = fhe::minRingDegreeFor(
+          LogQP, fhe::SecurityLevelKind::SL_128);
+      if (NSec == 0)
+        return Status::error("no standardized ring supports this depth");
+      size_t NewN = std::max(NSec, 2 * nextPow2(Slots));
+      if (NewN == P.RingDegree)
+        break;
+      P.RingDegree = NewN;
+    }
+  }
+  P.NumRescaleModuli = static_cast<int>(ChainNumQ) - 1;
+  State.SelectedParams = P;
+
+  // Production-security report (Table 10), independent of execution mode.
+  // A production bootstrapper (hand-tuned EvalMod as in Lee et al. [35])
+  // consumes ~15 levels; the toy pipeline's extra double-angle/arcsine
+  // margin would otherwise overstate the production chain.
+  {
+    constexpr int ProductionBootstrapDepth = 14;
+    constexpr int ProductionReluDepth = 12;
+    int ReluExcess = std::max(
+        0, reluDepth(Opt.ReluSignIterations) - ProductionReluDepth);
+    size_t ProdChain =
+        HasBootstrap
+            ? std::max<size_t>(InputNumQ,
+                               MaxBootTarget - ReluExcess +
+                                   ProductionBootstrapDepth)
+            : InputNumQ;
+    int LogQP = 60 + static_cast<int>(ProdChain - 1) * 56 + 60;
+    size_t NSec =
+        fhe::minRingDegreeFor(LogQP, fhe::SecurityLevelKind::SL_128);
+    State.SecureRingDegree = std::max(NSec, 2 * nextPow2(Slots));
+    State.SecureLogQ = LogQP;
+  }
+
+  State.NeedsConjugation = HasBootstrap;
+  State.InputNumQ = InputNumQ;
+  F = std::move(NewF);
+  return Status::success();
+}

@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SIHE -> CKKS lowering (paper Sec. 4.4), the automation core:
+///
+///  - Rescale placement: lazily after multiplications, delayed through
+///    addition trees (EVA-style waterline; paper Table 2).
+///  - Relinearization insertion after ciphertext-ciphertext products.
+///  - Level inference with modswitch insertion for operand alignment.
+///  - Minimal-level bootstrap placement before every ReLU region: each
+///    refresh targets exactly the depth the downstream program needs.
+///  - Rotation-key analysis: the precise set of rotation steps used.
+///  - Automatic security parameter selection: the modulus chain follows
+///    from the measured depth, N = max(N_security, N_simd) (Table 10).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_PASSES_SIHETOCKKS_H
+#define ACE_PASSES_SIHETOCKKS_H
+
+#include "air/Pass.h"
+
+namespace ace {
+namespace passes {
+
+class SiheToCkksPass : public air::Pass {
+public:
+  const char *name() const override { return "sihe-to-ckks"; }
+  const char *phase() const override { return "CKKS"; }
+  Status run(air::IrFunction &F, air::CompileState &State) override;
+};
+
+} // namespace passes
+} // namespace ace
+
+#endif // ACE_PASSES_SIHETOCKKS_H

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// VECTOR -> SIHE lowering (paper Sec. 4.3): ciphertext operations are
+/// recognized by type inference from the encrypted inputs, cleartext
+/// operands gain SIHE.encode wrappers (paper Listing 3), and ReLU is
+/// approximated by the composite odd-polynomial sign method of paper
+/// reference [36]: relu(x) = 0.5 x (1 + sign(x)) with
+/// sign ~ f o f o ... o f, f(t) = (35t - 35t^3 + 21t^5 - 5t^7)/16.
+/// Activation normalization guarantees |x| <= 1 entering every ReLU, so
+/// the approximation needs no per-site range management.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_PASSES_VECTORTOSIHE_H
+#define ACE_PASSES_VECTORTOSIHE_H
+
+#include "air/Pass.h"
+
+namespace ace {
+namespace passes {
+
+class VectorToSihePass : public air::Pass {
+public:
+  const char *name() const override { return "vector-to-sihe"; }
+  const char *phase() const override { return "SIHE"; }
+  Status run(air::IrFunction &F, air::CompileState &State) override;
+};
+
+/// Multiplicative depth of one composite-sign ReLU with \p Iterations
+/// f-compositions (used by parameter selection).
+int reluDepth(int Iterations);
+
+} // namespace passes
+} // namespace ace
+
+#endif // ACE_PASSES_VECTORTOSIHE_H

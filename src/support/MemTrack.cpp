@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemTrack.h"
+
+#include <cstdio>
+
+using namespace ace;
+
+const char *ace::memCategoryName(MemCategoryKind Kind) {
+  switch (Kind) {
+  case MemCategoryKind::MC_SecretKey:
+    return "secret-key";
+  case MemCategoryKind::MC_PublicKey:
+    return "public-key";
+  case MemCategoryKind::MC_RelinKey:
+    return "relin-key";
+  case MemCategoryKind::MC_RotationKeys:
+    return "rotation-keys";
+  case MemCategoryKind::MC_BootstrapKeys:
+    return "bootstrap-keys";
+  case MemCategoryKind::MC_Ciphertexts:
+    return "ciphertexts";
+  case MemCategoryKind::MC_Plaintexts:
+    return "plaintexts";
+  case MemCategoryKind::MC_Other:
+    return "other";
+  }
+  return "unknown";
+}
+
+std::string ace::formatBytes(size_t Bytes) {
+  const char *Units[] = {"B", "KB", "MB", "GB", "TB"};
+  double Value = static_cast<double>(Bytes);
+  int Unit = 0;
+  while (Value >= 1024.0 && Unit < 4) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%.1f %s", Value, Units[Unit]);
+  return Buffer;
+}

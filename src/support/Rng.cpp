@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ace;
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+Rng::Rng(uint64_t Seed) {
+  // SplitMix64 expansion of the seed into the xoshiro state, as recommended
+  // by the xoshiro authors; guarantees a non-zero state.
+  uint64_t Z = Seed;
+  for (auto &S : State) {
+    Z += 0x9e3779b97f4a7c15ULL;
+    uint64_t T = Z;
+    T = (T ^ (T >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    T = (T ^ (T >> 27)) * 0x94d049bb133111ebULL;
+    S = T ^ (T >> 31);
+  }
+}
+
+uint64_t Rng::next64() {
+  uint64_t Result = rotl(State[0] + State[3], 23) + State[0];
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::uniform(uint64_t Bound) {
+  assert(Bound > 0 && "uniform bound must be positive");
+  // Rejection sampling over the largest multiple of Bound below 2^64.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t R = next64();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+double Rng::uniformReal() {
+  return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniformReal(double Lo, double Hi) {
+  return Lo + (Hi - Lo) * uniformReal();
+}
+
+double Rng::gaussian() {
+  if (HasSpareGaussian) {
+    HasSpareGaussian = false;
+    return SpareGaussian;
+  }
+  double U, V, S;
+  do {
+    U = 2.0 * uniformReal() - 1.0;
+    V = 2.0 * uniformReal() - 1.0;
+    S = U * U + V * V;
+  } while (S >= 1.0 || S == 0.0);
+  double Mul = std::sqrt(-2.0 * std::log(S) / S);
+  SpareGaussian = V * Mul;
+  HasSpareGaussian = true;
+  return U * Mul;
+}
+
+int32_t Rng::noiseCbd() {
+  // Centered binomial with 21 coin pairs: variance 21/2 = 10.5, standard
+  // deviation ~3.24, matching the HE-standard sigma = 3.2 closely.
+  uint64_t Bits = next64();
+  int32_t Acc = 0;
+  for (int I = 0; I < 21; ++I) {
+    Acc += static_cast<int32_t>((Bits >> (2 * I)) & 1);
+    Acc -= static_cast<int32_t>((Bits >> (2 * I + 1)) & 1);
+  }
+  return Acc;
+}
+
+int32_t Rng::ternary() {
+  uint64_t R = next64() & 3;
+  if (R == 0)
+    return -1;
+  if (R == 1)
+    return 1;
+  return 0;
+}
+
+void Rng::uniformVector(uint64_t Modulus, size_t Count,
+                        std::vector<uint64_t> &Out) {
+  Out.resize(Count);
+  for (auto &V : Out)
+    V = uniform(Modulus);
+}

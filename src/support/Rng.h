@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random generation used across the stack: uniform
+/// integers for RLWE masks, centered-binomial / discrete-Gaussian-style
+/// noise, ternary secrets, and floating-point samples for synthetic
+/// workloads. Everything is seeded so tests and benches are reproducible.
+///
+/// Security note: this reproduction targets correctness and performance
+/// research, not deployment. A production ACEfhe would draw key and noise
+/// randomness from a CSPRNG; the sampling *distributions* here are the
+/// standard ones (uniform ring element, ternary secret, centered binomial
+/// with sigma ~= 3.2), so noise-growth behaviour matches the real scheme.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_SUPPORT_RNG_H
+#define ACE_SUPPORT_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ace {
+
+/// xoshiro256++ PRNG: fast, high-quality, deterministic across platforms.
+class Rng {
+public:
+  /// Seeds the generator; the same seed always yields the same stream.
+  explicit Rng(uint64_t Seed = 0x5eed5eed5eedULL);
+
+  /// Next raw 64-bit output.
+  uint64_t next64();
+
+  /// Uniform value in [0, Bound) without modulo bias for Bound > 0.
+  uint64_t uniform(uint64_t Bound);
+
+  /// Uniform double in [0, 1).
+  double uniformReal();
+
+  /// Uniform double in [Lo, Hi).
+  double uniformReal(double Lo, double Hi);
+
+  /// Standard normal via Box-Muller.
+  double gaussian();
+
+  /// Sample from a centered binomial distribution with standard deviation
+  /// close to 3.2 (the HE-standard RLWE error distribution); returns a
+  /// signed integer in a small range around zero.
+  int32_t noiseCbd();
+
+  /// Sample from {-1, 0, 1} with P(0) = 1/2, P(+-1) = 1/4 each (the ternary
+  /// secret distribution used by CKKS implementations).
+  int32_t ternary();
+
+  /// Fills \p Out with \p Count uniform residues modulo \p Modulus.
+  void uniformVector(uint64_t Modulus, size_t Count,
+                     std::vector<uint64_t> &Out);
+
+private:
+  uint64_t State[4];
+  bool HasSpareGaussian = false;
+  double SpareGaussian = 0.0;
+};
+
+} // namespace ace
+
+#endif // ACE_SUPPORT_RNG_H

@@ -1,0 +1,19 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ace;
+
+void ace::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "ace fatal error: %s\n", Message.c_str());
+  std::abort();
+}

@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight recoverable-error types for a library that does not use C++
+/// exceptions. Status carries success or an error message; StatusOr<T>
+/// carries a value or an error. Both follow the LLVM Error discipline in
+/// spirit (errors must be inspected), without the heavy machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_SUPPORT_STATUS_H
+#define ACE_SUPPORT_STATUS_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace ace {
+
+/// Result of a fallible operation that produces no value.
+///
+/// A default-constructed Status is success. Failure carries a human-readable
+/// message; messages follow the LLVM diagnostic style (lowercase first
+/// letter, no trailing period).
+class Status {
+public:
+  Status() = default;
+
+  /// Creates a success value.
+  static Status success() { return Status(); }
+
+  /// Creates a failure value carrying \p Message.
+  static Status error(std::string Message) {
+    Status S;
+    S.Failed = true;
+    S.Message = std::move(Message);
+    return S;
+  }
+
+  /// True when the operation succeeded.
+  bool ok() const { return !Failed; }
+
+  /// True when the operation failed (enables `if (auto S = f())` idiom).
+  explicit operator bool() const { return Failed; }
+
+  /// The error message; empty for success values.
+  const std::string &message() const { return Message; }
+
+private:
+  bool Failed = false;
+  std::string Message;
+};
+
+/// Result of a fallible operation that produces a \p T on success.
+///
+/// Mirrors llvm::Expected without the checked-flag machinery: callers test
+/// ok() before dereferencing; dereferencing a failed StatusOr asserts.
+template <typename T> class StatusOr {
+public:
+  /// Constructs a success value.
+  StatusOr(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs a failure from a failed Status.
+  StatusOr(Status S) : Failure(std::move(S)) {
+    assert(!Failure.ok() && "StatusOr constructed from success Status");
+  }
+
+  /// True when a value is present.
+  bool ok() const { return Failure.ok(); }
+
+  /// The failure description (success Status when ok()).
+  const Status &status() const { return Failure; }
+
+  /// Accesses the contained value; asserts when in the error state.
+  T &operator*() {
+    assert(ok() && "dereferencing failed StatusOr");
+    return Value;
+  }
+  const T &operator*() const {
+    assert(ok() && "dereferencing failed StatusOr");
+    return Value;
+  }
+  T *operator->() {
+    assert(ok() && "dereferencing failed StatusOr");
+    return &Value;
+  }
+  const T *operator->() const {
+    assert(ok() && "dereferencing failed StatusOr");
+    return &Value;
+  }
+
+  /// Moves the contained value out; asserts when in the error state.
+  T take() {
+    assert(ok() && "taking value from failed StatusOr");
+    return std::move(Value);
+  }
+
+private:
+  T Value{};
+  Status Failure;
+};
+
+/// Aborts the process with \p Message. Used for unrecoverable internal
+/// errors in tool code; library code should return Status instead.
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+} // namespace ace
+
+#endif // ACE_SUPPORT_STATUS_H

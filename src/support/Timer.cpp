@@ -1,0 +1,35 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+using namespace ace;
+
+void TimingRegistry::add(const std::string &Phase, double Seconds) {
+  for (auto &Entry : Entries) {
+    if (Entry.first == Phase) {
+      Entry.second += Seconds;
+      return;
+    }
+  }
+  Entries.emplace_back(Phase, Seconds);
+}
+
+double TimingRegistry::get(const std::string &Phase) const {
+  for (const auto &Entry : Entries)
+    if (Entry.first == Phase)
+      return Entry.second;
+  return 0.0;
+}
+
+double TimingRegistry::total() const {
+  double Sum = 0.0;
+  for (const auto &Entry : Entries)
+    Sum += Entry.second;
+  return Sum;
+}

@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock timing utilities. TimingRegistry accumulates named phase
+/// timings; the compiler driver uses it to produce the Figure 5 per-IR
+/// compile-time breakdown, and the inference harness uses it for the
+/// Figure 6 Conv/Bootstrap/ReLU breakdown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_SUPPORT_TIMER_H
+#define ACE_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ace {
+
+/// Simple wall-clock stopwatch.
+class WallTimer {
+public:
+  WallTimer() { reset(); }
+
+  /// Restarts the stopwatch.
+  void reset() { Start = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    auto Now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(Now - Start).count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Accumulates wall time per named phase, preserving first-seen order.
+class TimingRegistry {
+public:
+  /// Adds \p Seconds to the accumulator for \p Phase.
+  void add(const std::string &Phase, double Seconds);
+
+  /// Accumulated seconds for \p Phase (0 when never recorded).
+  double get(const std::string &Phase) const;
+
+  /// Sum over all phases.
+  double total() const;
+
+  /// All (phase, seconds) pairs in first-seen order.
+  const std::vector<std::pair<std::string, double>> &entries() const {
+    return Entries;
+  }
+
+  /// Drops all recorded data.
+  void clear() { Entries.clear(); }
+
+private:
+  std::vector<std::pair<std::string, double>> Entries;
+};
+
+/// RAII helper: times its scope and records into a TimingRegistry.
+class ScopedTimer {
+public:
+  ScopedTimer(TimingRegistry &Registry, std::string Phase)
+      : Registry(Registry), Phase(std::move(Phase)) {}
+  ~ScopedTimer() { Registry.add(Phase, Clock.seconds()); }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+private:
+  TimingRegistry &Registry;
+  std::string Phase;
+  WallTimer Clock;
+};
+
+} // namespace ace
+
+#endif // ACE_SUPPORT_TIMER_H

@@ -1,0 +1,138 @@
+//===----------------------------------------------------------------------===//
+// End-to-end pipeline tests: compile a model through all five IR levels,
+// run encrypted inference on the ACEfhe runtime, and compare against the
+// cleartext executor (the core correctness claim of the compiler).
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CkksExecutor.h"
+#include "driver/AceCompiler.h"
+#include "nn/ModelZoo.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace ace;
+
+namespace {
+
+air::CompileOptions toyOptions() {
+  air::CompileOptions Opt;
+  Opt.ToyParameters = true;
+  Opt.LogScale = 45;
+  Opt.LogFirstModulus = 55;
+  Opt.CalibrationSamples = 4;
+  Opt.Seed = 11;
+  return Opt;
+}
+
+std::vector<nn::Tensor> randomInputs(const std::vector<int64_t> &Shape,
+                                     int Count, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<nn::Tensor> Out;
+  for (int I = 0; I < Count; ++I) {
+    nn::Tensor T;
+    T.Shape = Shape;
+    int64_t N = T.elementCount();
+    T.Values.resize(N);
+    for (auto &V : T.Values)
+      V = static_cast<float>(R.uniformReal(-1.0, 1.0));
+    Out.push_back(std::move(T));
+  }
+  return Out;
+}
+
+void expectLogitsClose(const std::vector<double> &Encrypted,
+                       const nn::Tensor &Clear, double Tol) {
+  ASSERT_EQ(Encrypted.size(), Clear.Values.size());
+  for (size_t I = 0; I < Encrypted.size(); ++I)
+    EXPECT_NEAR(Encrypted[I], Clear.Values[I], Tol) << "logit " << I;
+}
+
+TEST(EndToEndTest, LinearInferMatchesCleartext) {
+  // The paper's Figure 4 motivating model: one gemv.
+  onnx::Model Model = nn::buildLinearInfer(3);
+  auto Inputs = randomInputs({1, 84}, 3, 17);
+
+  driver::AceCompiler Compiler(toyOptions());
+  auto Result = Compiler.compile(Model, Inputs, /*KeepDumps=*/true);
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
+  auto &R = **Result;
+
+  // No ReLU: no bootstrapping needed, shallow chain.
+  EXPECT_EQ(R.State.BootstrapCount, 0u);
+  EXPECT_GE(R.PhaseNodeCounts["CKKS"], 8u);
+
+  codegen::CkksExecutor Exec(R.Program, R.State);
+  ASSERT_FALSE(Exec.setup());
+  for (const auto &In : Inputs) {
+    auto Clear = nn::executeSingle(Model.MainGraph, In);
+    ASSERT_TRUE(Clear.ok());
+    auto Logits = Exec.infer(In);
+    ASSERT_TRUE(Logits.ok()) << Logits.status().message();
+    expectLogitsClose(*Logits, *Clear, 0.02);
+  }
+}
+
+TEST(EndToEndTest, MlpWithReluMatchesCleartext) {
+  onnx::Model Model = nn::buildMlp({16, 12, 8}, 5);
+  auto Inputs = randomInputs({1, 16}, 4, 19);
+
+  driver::AceCompiler Compiler(toyOptions());
+  auto Result = Compiler.compile(Model, Inputs);
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
+  auto &R = **Result;
+
+  // One ReLU layer: exactly one bootstrap site.
+  EXPECT_EQ(R.State.BootstrapCount, 1u);
+  EXPECT_TRUE(R.State.NeedsRelin);
+
+  codegen::CkksExecutor Exec(R.Program, R.State);
+  ASSERT_FALSE(Exec.setup());
+  for (const auto &In : Inputs) {
+    auto Clear = nn::executeSingle(Model.MainGraph, In);
+    ASSERT_TRUE(Clear.ok());
+    auto Logits = Exec.infer(In);
+    ASSERT_TRUE(Logits.ok()) << Logits.status().message();
+    // ReLU is approximated; compare with a tolerance proportional to the
+    // activation scale.
+    expectLogitsClose(*Logits, *Clear, 0.25);
+  }
+}
+
+TEST(EndToEndTest, TinyCnnMatchesCleartext) {
+  nn::NanoResNetSpec Spec;
+  Spec.Name = "test-cnn";
+  Spec.BlocksPerStage = 1;
+  Spec.Channels = {2, 4};
+  Spec.InputHW = 4;
+  Spec.InputChannels = 2;
+  Spec.Classes = 4;
+  nn::Dataset Data = nn::makeSyntheticDataset(
+      {1, Spec.InputChannels, Spec.InputHW, Spec.InputHW}, Spec.Classes, 6,
+      0.1, 23);
+  onnx::Model Model = nn::buildNanoResNet(Spec, Data, 29);
+
+  driver::AceCompiler Compiler(toyOptions());
+  auto Result = Compiler.compile(Model, Data.Images);
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
+  auto &R = **Result;
+  EXPECT_GT(R.State.BootstrapCount, 0u);
+  EXPECT_FALSE(R.State.RotationSteps.empty());
+
+  codegen::CkksExecutor Exec(R.Program, R.State);
+  ASSERT_FALSE(Exec.setup());
+  size_t Agree = 0;
+  for (size_t I = 0; I < 3; ++I) {
+    auto Clear = nn::executeSingle(Model.MainGraph, Data.Images[I]);
+    ASSERT_TRUE(Clear.ok());
+    auto Logits = Exec.infer(Data.Images[I]);
+    ASSERT_TRUE(Logits.ok()) << Logits.status().message();
+    nn::Tensor L;
+    L.Shape = {1, static_cast<int64_t>(Logits->size())};
+    L.Values.assign(Logits->begin(), Logits->end());
+    Agree += nn::argmax(L) == nn::argmax(*Clear);
+  }
+  EXPECT_GE(Agree, 2u) << "encrypted decisions diverged from cleartext";
+}
+
+} // namespace

@@ -1,0 +1,147 @@
+//===----------------------------------------------------------------------===//
+// Bootstrapping tests: a full refresh round trip must preserve the
+// message, lift the level, and respect the minimal-level target the
+// compiler's bootstrap placement relies on (paper Sec. 4.4).
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Bootstrapper.h"
+
+#include "fhe/Encryptor.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace ace;
+using namespace ace::fhe;
+
+namespace {
+
+/// Toy bootstrappable parameters: insecure but structurally faithful.
+CkksParams bootParams(size_t Slots) {
+  CkksParams P;
+  P.RingDegree = 1024;
+  P.Slots = Slots;
+  // A large scale keeps the relative base noise eps ~ 2^-39 small: the
+  // EvalMod pipeline amplifies value noise by ~(2 pi span K)^2 (the
+  // double-angle squarings quadruple errors per step), so the final
+  // precision is roughly (2 pi span K)^2 * eps.
+  P.LogScale = 48;
+  P.LogFirstModulus = 57;
+  // Depth budget: the trace after ModRaise adds log2(span) double-angle
+  // levels, so small slot counts (large span) need a longer chain.
+  P.NumRescaleModuli = 24;
+  P.LogSpecialModulus = 60;
+  P.SparseSecret = true;
+  P.Seed = 31;
+  return P;
+}
+
+class BootstrapFixture : public ::testing::TestWithParam<size_t> {
+protected:
+  void build(size_t Slots) {
+    Ctx = std::make_unique<Context>(bootParams(Slots));
+    Enc = std::make_unique<Encoder>(*Ctx);
+    Gen = std::make_unique<KeyGenerator>(*Ctx);
+    Pub = Gen->makePublicKey();
+    Eval = std::make_unique<Evaluator>(*Ctx, *Enc, Keys);
+    Boot = std::make_unique<Bootstrapper>(*Eval, BootstrapConfig{
+                                                     /*RangeK=*/12,
+                                                     /*DoubleAngleCount=*/2,
+                                                     /*ChebyshevDegree=*/39,
+                                                     /*ArcsineCorrection=*/true,
+                                                 });
+    Gen->fillEvalKeys(Keys, Boot->requiredRotations(), /*NeedRelin=*/true,
+                      Boot->needsConjugation());
+    Gen->fillGaloisKeys(Keys, Boot->requiredGaloisElements());
+    Encrypt = std::make_unique<Encryptor>(*Ctx, Pub);
+    Decrypt = std::make_unique<Decryptor>(*Ctx, Gen->secretKey());
+  }
+
+  std::unique_ptr<Context> Ctx;
+  std::unique_ptr<Encoder> Enc;
+  std::unique_ptr<KeyGenerator> Gen;
+  PublicKey Pub;
+  EvalKeys Keys;
+  std::unique_ptr<Evaluator> Eval;
+  std::unique_ptr<Bootstrapper> Boot;
+  std::unique_ptr<Encryptor> Encrypt;
+  std::unique_ptr<Decryptor> Decrypt;
+};
+
+TEST_P(BootstrapFixture, RoundTripPreservesMessage) {
+  build(GetParam());
+  Rng R(3);
+  std::vector<double> X(Ctx->slots());
+  for (auto &V : X)
+    V = R.uniformReal(-0.5, 0.5);
+
+  // Encrypt at the bottom of the chain, as after a long computation.
+  Ciphertext Ct = Encrypt->encryptValues(*Enc, X, 1);
+  ASSERT_EQ(Ct.numQ(), 1u);
+
+  size_t Target = 3;
+  Ciphertext Refreshed = Boot->bootstrap(Ct, Target);
+  EXPECT_EQ(Refreshed.numQ(), Target);
+
+  auto Out = Decrypt->decryptRealValues(*Enc, Refreshed);
+  for (size_t I = 0; I < X.size(); ++I)
+    EXPECT_NEAR(Out[I], X[I], 2e-2) << "slot " << I;
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotCounts, BootstrapFixture,
+                         ::testing::Values(16, 32, 64));
+
+TEST_F(BootstrapFixture, RefreshedCiphertextSupportsFurtherMuls) {
+  build(16);
+  std::vector<double> X(Ctx->slots(), 0.4);
+  Ciphertext Ct = Encrypt->encryptValues(*Enc, X, 1);
+  Ciphertext Refreshed = Boot->bootstrap(Ct, 3);
+
+  // Square twice on the refreshed ciphertext: 0.4^4 = 0.0256.
+  Ciphertext Sq = Eval->mul(Refreshed, Refreshed);
+  Eval->rescaleInPlace(Sq);
+  Ciphertext Quad = Eval->mul(Sq, Sq);
+  Eval->rescaleInPlace(Quad);
+  auto Out = Decrypt->decryptRealValues(*Enc, Quad);
+  for (size_t I = 0; I < X.size(); ++I)
+    EXPECT_NEAR(Out[I], 0.0256, 2e-2);
+}
+
+TEST_F(BootstrapFixture, MinimalLevelTargetConsumesFewerPrimes) {
+  build(16);
+  // The whole point of minimal-level placement: a lower target leaves the
+  // pipeline working over fewer primes. Verify both targets function.
+  std::vector<double> X(Ctx->slots(), 0.25);
+  Ciphertext Ct = Encrypt->encryptValues(*Enc, X, 1);
+  Ciphertext Low = Boot->bootstrap(Ct, 2);
+  EXPECT_EQ(Low.numQ(), 2u);
+  size_t MaxTarget = Ctx->chainLength() - Boot->depthCost();
+  Ciphertext High = Boot->bootstrap(Ct, MaxTarget);
+  EXPECT_EQ(High.numQ(), MaxTarget);
+  auto OutLow = Decrypt->decryptRealValues(*Enc, Low);
+  auto OutHigh = Decrypt->decryptRealValues(*Enc, High);
+  for (size_t I = 0; I < X.size(); ++I) {
+    EXPECT_NEAR(OutLow[I], 0.25, 2e-2);
+    EXPECT_NEAR(OutHigh[I], 0.25, 2e-2);
+  }
+}
+
+TEST_F(BootstrapFixture, RequiredRotationSetIsMinimal) {
+  build(64);
+  auto Steps = Boot->requiredRotations();
+  // BSGS over 64 slots: 7 baby steps + 7 giant steps.
+  EXPECT_EQ(Steps.size(), 14u);
+  for (int64_t S : Steps) {
+    EXPECT_GT(S, 0);
+    EXPECT_LT(S, 64);
+  }
+}
+
+TEST_F(BootstrapFixture, DepthCostIsStable) {
+  build(16);
+  int Depth = Boot->depthCost();
+  EXPECT_GT(Depth, 5);
+  EXPECT_LE(Depth, 26);
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+//===----------------------------------------------------------------------===//
+// C API tests: the surface generated programs call, exercised the way a
+// generated program does (create, keygen, encrypt, ops, decrypt).
+//===----------------------------------------------------------------------===//
+
+#include "fhe/CApi.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace {
+
+struct CApiFixture : ::testing::Test {
+  AceFheContext *Ctx = nullptr;
+
+  void SetUp() override {
+    Ctx = ace_create(/*ring_degree=*/1024, /*slots=*/64, /*log_scale=*/45,
+                     /*log_q0=*/55, /*num_rescale=*/8, /*log_special=*/60,
+                     /*sparse_secret=*/0, /*seed=*/9);
+    ASSERT_NE(Ctx, nullptr);
+    int64_t Steps[] = {1, 3};
+    ace_keygen(Ctx, Steps, nullptr, 2, /*need_relin=*/1, /*need_conj=*/0,
+               /*bootstrap=*/0, 12, 2, 39);
+  }
+  void TearDown() override { ace_destroy(Ctx); }
+};
+
+TEST_F(CApiFixture, EncryptDecryptRoundTrip) {
+  std::vector<double> X(64);
+  for (size_t I = 0; I < X.size(); ++I)
+    X[I] = 0.01 * static_cast<double>(I) - 0.3;
+  AceFheCiphertext *Ct = ace_encrypt(Ctx, X.data(), X.size(), 9);
+  std::vector<double> Out(64);
+  ace_decrypt(Ctx, Ct, Out.data(), Out.size());
+  for (size_t I = 0; I < X.size(); ++I)
+    EXPECT_NEAR(Out[I], X[I], 1e-6);
+  ace_ct_free(Ct);
+}
+
+TEST_F(CApiFixture, ArithmeticPipeline) {
+  std::vector<double> X(64, 0.5), Y(64, 0.25), W(64, 2.0);
+  AceFheCiphertext *A = ace_encrypt(Ctx, X.data(), 64, 9);
+  AceFheCiphertext *B = ace_encrypt(Ctx, Y.data(), 64, 9);
+
+  // ((a * w rescaled) + b) * b, relinearized and rescaled: value
+  // (0.5*2 + 0.25) * 0.25 = 0.3125.
+  AceFheCiphertext *T1 = ace_mul_plain(Ctx, A, W.data(), 64);
+  AceFheCiphertext *T2 = ace_rescale(Ctx, T1);
+  AceFheCiphertext *T3 = ace_add(Ctx, T2, B);
+  AceFheCiphertext *T4 = ace_mul(Ctx, T3, B);
+  AceFheCiphertext *T5 = ace_rescale(Ctx, T4);
+
+  std::vector<double> Out(64);
+  ace_decrypt(Ctx, T5, Out.data(), 64);
+  for (double V : Out)
+    EXPECT_NEAR(V, 0.3125, 1e-4);
+
+  for (auto *Ct : {A, B, T1, T2, T3, T4, T5})
+    ace_ct_free(Ct);
+}
+
+TEST_F(CApiFixture, RotateAndConstOps) {
+  std::vector<double> X(64);
+  for (size_t I = 0; I < 64; ++I)
+    X[I] = static_cast<double>(I) / 64.0;
+  AceFheCiphertext *A = ace_encrypt(Ctx, X.data(), 64, 9);
+  AceFheCiphertext *R = ace_rotate(Ctx, A, 3);
+  AceFheCiphertext *S = ace_add_const(Ctx, R, 0.5);
+  AceFheCiphertext *M = ace_mul_const(Ctx, S, -2.0);
+  AceFheCiphertext *F = ace_rescale(Ctx, M);
+
+  std::vector<double> Out(64);
+  ace_decrypt(Ctx, F, Out.data(), 64);
+  for (size_t I = 0; I < 64; ++I)
+    EXPECT_NEAR(Out[I], -2.0 * (X[(I + 3) % 64] + 0.5), 1e-4);
+
+  for (auto *Ct : {A, R, S, M, F})
+    ace_ct_free(Ct);
+}
+
+TEST_F(CApiFixture, ModSwitch) {
+  std::vector<double> X(64, 0.125);
+  AceFheCiphertext *A = ace_encrypt(Ctx, X.data(), 64, 9);
+  AceFheCiphertext *B = ace_modswitch_to(Ctx, A, 2);
+  std::vector<double> Out(64);
+  ace_decrypt(Ctx, B, Out.data(), 64);
+  for (double V : Out)
+    EXPECT_NEAR(V, 0.125, 1e-6);
+  ace_ct_free(A);
+  ace_ct_free(B);
+}
+
+TEST(CApiTest, RejectsInvalidParameters) {
+  EXPECT_EQ(ace_create(1000 /*not a power of two*/, 64, 45, 55, 8, 60, 0,
+                       1),
+            nullptr);
+}
+
+TEST(CApiTest, WeightBlobRoundTrip) {
+  const char *Path = "/tmp/ace_capi_weights.bin";
+  std::vector<double> W = {1.5, -2.25, 3.0};
+  FILE *F = std::fopen(Path, "wb");
+  ASSERT_NE(F, nullptr);
+  std::fwrite(W.data(), sizeof(double), W.size(), F);
+  std::fclose(F);
+  size_t Count = 0;
+  double *Back = ace_load_weights(Path, &Count);
+  ASSERT_NE(Back, nullptr);
+  ASSERT_EQ(Count, 3u);
+  for (size_t I = 0; I < 3; ++I)
+    EXPECT_DOUBLE_EQ(Back[I], W[I]);
+  free(Back);
+  EXPECT_EQ(ace_load_weights("/tmp/ace_missing.bin", &Count), nullptr);
+}
+
+} // namespace

@@ -1,0 +1,207 @@
+//===----------------------------------------------------------------------===//
+// Encoder tests: the special FFT against a naive DFT at the canonical
+// roots, encode/decode round trips across packing densities, and the
+// crucial consistency between slot rotations and ring automorphisms.
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Encoder.h"
+
+#include "fhe/Keys.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+
+using namespace ace;
+using namespace ace::fhe;
+
+namespace {
+
+CkksParams smallParams(size_t N, size_t Slots, int Depth = 4) {
+  CkksParams P;
+  P.RingDegree = N;
+  P.Slots = Slots;
+  P.LogScale = 40;
+  P.LogFirstModulus = 50;
+  P.NumRescaleModuli = Depth;
+  P.LogSpecialModulus = 59;
+  P.Seed = 99;
+  return P;
+}
+
+std::vector<std::complex<double>> randomComplexVector(size_t N,
+                                                      uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<std::complex<double>> V(N);
+  for (auto &X : V)
+    X = {R.uniformReal(-1.0, 1.0), R.uniformReal(-1.0, 1.0)};
+  return V;
+}
+
+TEST(EncoderTest, SpecialFftMatchesNaiveDft) {
+  // fftSpecial must evaluate the coefficient vector at the canonical slot
+  // roots zeta_j = omega^{5^j}: slots[j] = sum_k coeffs[k] * zeta_j^k.
+  Context Ctx(smallParams(64, 16));
+  Encoder Enc(Ctx);
+  size_t N = 16;
+  auto Coeffs = randomComplexVector(N, 3);
+  auto Fast = Coeffs;
+  Enc.fftSpecial(Fast);
+  for (size_t J = 0; J < N; ++J) {
+    std::complex<double> Zeta = Enc.slotRoot(J);
+    std::complex<double> Acc = 0, Power = 1;
+    for (size_t K = 0; K < N; ++K) {
+      Acc += Coeffs[K] * Power;
+      Power *= Zeta;
+    }
+    EXPECT_NEAR(std::abs(Fast[J] - Acc), 0.0, 1e-9)
+        << "slot " << J << " mismatch";
+  }
+}
+
+TEST(EncoderTest, SpecialFftRoundTrip) {
+  Context Ctx(smallParams(128, 32));
+  Encoder Enc(Ctx);
+  auto Values = randomComplexVector(32, 5);
+  auto Work = Values;
+  Enc.fftSpecialInv(Work);
+  Enc.fftSpecial(Work);
+  for (size_t I = 0; I < Values.size(); ++I)
+    EXPECT_NEAR(std::abs(Work[I] - Values[I]), 0.0, 1e-9);
+}
+
+struct PackingCase {
+  size_t N;
+  size_t Slots;
+};
+
+class EncodeRoundTripTest : public ::testing::TestWithParam<PackingCase> {};
+
+TEST_P(EncodeRoundTripTest, EncodeDecode) {
+  auto [N, Slots] = GetParam();
+  Context Ctx(smallParams(N, Slots));
+  Encoder Enc(Ctx);
+  auto Values = randomComplexVector(Slots, 7);
+  Plaintext P = Enc.encode(Values, Ctx.scale(), Ctx.chainLength());
+  auto Decoded = Enc.decode(P);
+  ASSERT_EQ(Decoded.size(), Slots);
+  for (size_t I = 0; I < Slots; ++I)
+    EXPECT_NEAR(std::abs(Decoded[I] - Values[I]), 0.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Packings, EncodeRoundTripTest,
+    ::testing::Values(PackingCase{64, 32},   // full packing
+                      PackingCase{64, 16},   // sparse, gap 2
+                      PackingCase{256, 32},  // sparse, gap 4
+                      PackingCase{1024, 64}, // sparse, gap 8
+                      PackingCase{4096, 2048} // full, larger ring
+                      ));
+
+TEST(EncoderTest, EncodeConstant) {
+  Context Ctx(smallParams(256, 64));
+  Encoder Enc(Ctx);
+  Plaintext P = Enc.encodeConstant(0.375, Ctx.scale(), 2);
+  auto Decoded = Enc.decode(P);
+  for (const auto &V : Decoded) {
+    EXPECT_NEAR(V.real(), 0.375, 1e-9);
+    EXPECT_NEAR(V.imag(), 0.0, 1e-9);
+  }
+}
+
+TEST(EncoderTest, EncodeRealZeroPads) {
+  Context Ctx(smallParams(256, 64));
+  Encoder Enc(Ctx);
+  std::vector<double> Values = {1.0, -2.0, 3.0};
+  Plaintext P = Enc.encodeReal(Values, Ctx.scale(), 1);
+  auto Decoded = Enc.decode(P);
+  EXPECT_NEAR(Decoded[0].real(), 1.0, 1e-6);
+  EXPECT_NEAR(Decoded[1].real(), -2.0, 1e-6);
+  EXPECT_NEAR(Decoded[2].real(), 3.0, 1e-6);
+  for (size_t I = 3; I < Decoded.size(); ++I)
+    EXPECT_NEAR(std::abs(Decoded[I]), 0.0, 1e-6);
+}
+
+/// The load-bearing property behind homomorphic rotations: applying the
+/// Galois automorphism X -> X^{5^k} to an encoded polynomial must rotate
+/// the slot vector left by k, for full AND sparse packing.
+class RotationConsistencyTest : public ::testing::TestWithParam<PackingCase> {
+};
+
+TEST_P(RotationConsistencyTest, AutomorphismRotatesSlots) {
+  auto [N, Slots] = GetParam();
+  Context Ctx(smallParams(N, Slots));
+  Encoder Enc(Ctx);
+  auto Values = randomComplexVector(Slots, 11);
+
+  for (int64_t Step : {1, 2, 5}) {
+    Plaintext P = Enc.encode(Values, Ctx.scale(), 1);
+    RnsPoly Poly = P.Poly;
+    Poly.toCoeff();
+    uint64_t Galois = galoisForRotation(N, Slots, Step);
+    RnsPoly Rotated = Poly.automorphism(Galois);
+    auto Decoded = Enc.decode(Rotated, Ctx.scale());
+    for (size_t I = 0; I < Slots; ++I) {
+      auto Expected = Values[(I + Step) % Slots];
+      EXPECT_NEAR(std::abs(Decoded[I] - Expected), 0.0, 1e-6)
+          << "step " << Step << " slot " << I;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Packings, RotationConsistencyTest,
+                         ::testing::Values(PackingCase{64, 32},
+                                           PackingCase{256, 32},
+                                           PackingCase{1024, 16}));
+
+TEST(EncoderTest, ConjugationAutomorphism) {
+  Context Ctx(smallParams(256, 64));
+  Encoder Enc(Ctx);
+  auto Values = randomComplexVector(64, 13);
+  Plaintext P = Enc.encode(Values, Ctx.scale(), 1);
+  RnsPoly Poly = P.Poly;
+  Poly.toCoeff();
+  RnsPoly Conj = Poly.automorphism(galoisForConjugation(256));
+  auto Decoded = Enc.decode(Conj, Ctx.scale());
+  for (size_t I = 0; I < 64; ++I)
+    EXPECT_NEAR(std::abs(Decoded[I] - std::conj(Values[I])), 0.0, 1e-6);
+}
+
+TEST(EncoderTest, PlaintextProductIsElementwise) {
+  // Pointwise polynomial products must multiply slots elementwise (the
+  // SIMD batching property of paper Sec. 2.2).
+  Context Ctx(smallParams(256, 64));
+  Encoder Enc(Ctx);
+  auto A = randomComplexVector(64, 17);
+  auto B = randomComplexVector(64, 19);
+  Plaintext PA = Enc.encode(A, Ctx.scale(), 2);
+  Plaintext PB = Enc.encode(B, Ctx.scale(), 2);
+  RnsPoly Prod = PA.Poly.mul(PB.Poly);
+  Prod.toCoeff();
+  auto Decoded = Enc.decode(Prod, Ctx.scale() * Ctx.scale());
+  for (size_t I = 0; I < 64; ++I)
+    EXPECT_NEAR(std::abs(Decoded[I] - A[I] * B[I]), 0.0, 1e-5);
+}
+
+TEST(EncoderTest, GarnerReconstructionExactForLargeValues) {
+  // Round-trip signed coefficients through RNS at several levels.
+  Context Ctx(smallParams(64, 16, 8));
+  Encoder Enc(Ctx);
+  size_t N = Ctx.degree();
+  std::vector<long double> Coeffs(N, 0.0L);
+  Rng R(23);
+  for (auto &C : Coeffs)
+    C = static_cast<long double>(R.uniformReal(-1.0, 1.0)) * 0x1.0p55L;
+  // 2^55-sized values need at least two 40-bit-plus primes to fit.
+  for (size_t NumQ : {size_t(2), size_t(3), size_t(9)}) {
+    RnsPoly Poly = Enc.coeffsToPoly(Coeffs, NumQ);
+    auto Back = Enc.polyToCoeffs(Poly);
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_NEAR(static_cast<double>(Back[I] - llroundl(Coeffs[I])), 0.0,
+                  1e-9)
+          << "numQ " << NumQ;
+  }
+}
+
+} // namespace

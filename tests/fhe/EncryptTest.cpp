@@ -1,0 +1,136 @@
+//===----------------------------------------------------------------------===//
+// Encryption round-trip and homomorphism tests: Dec(Enc(x)) ~= x,
+// Dec(Enc(x) + Enc(y)) ~= x + y (Sec. 2.1's defining equations).
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Encryptor.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace ace;
+using namespace ace::fhe;
+
+namespace {
+
+CkksParams testParams(size_t N = 1024, size_t Slots = 256) {
+  CkksParams P;
+  P.RingDegree = N;
+  P.Slots = Slots;
+  P.LogScale = 40;
+  P.LogFirstModulus = 50;
+  P.NumRescaleModuli = 4;
+  P.LogSpecialModulus = 59;
+  P.Seed = 7;
+  return P;
+}
+
+std::vector<double> randomReals(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<double> V(N);
+  for (auto &X : V)
+    X = R.uniformReal(-1.0, 1.0);
+  return V;
+}
+
+class EncryptFixture : public ::testing::Test {
+protected:
+  EncryptFixture()
+      : Ctx(testParams()), Enc(Ctx), Gen(Ctx), Pub(Gen.makePublicKey()),
+        Encryptor_(Ctx, Pub), Decryptor_(Ctx, Gen.secretKey()) {}
+
+  Context Ctx;
+  Encoder Enc;
+  KeyGenerator Gen;
+  PublicKey Pub;
+  Encryptor Encryptor_;
+  Decryptor Decryptor_;
+};
+
+TEST_F(EncryptFixture, RoundTrip) {
+  auto Values = randomReals(Ctx.slots(), 31);
+  Ciphertext Ct = Encryptor_.encryptValues(Enc, Values, Ctx.chainLength());
+  auto Decrypted = Decryptor_.decryptRealValues(Enc, Ct);
+  ASSERT_EQ(Decrypted.size(), Ctx.slots());
+  for (size_t I = 0; I < Values.size(); ++I)
+    EXPECT_NEAR(Decrypted[I], Values[I], 1e-6);
+}
+
+TEST_F(EncryptFixture, CiphertextDiffersFromPlain) {
+  // Sanity: c0 must not literally contain the plaintext polynomial.
+  auto Values = randomReals(Ctx.slots(), 37);
+  Plaintext P = Enc.encodeReal(Values, Ctx.scale(), Ctx.chainLength());
+  Ciphertext Ct = Encryptor_.encrypt(P);
+  RnsPoly C0 = Ct.Polys[0];
+  C0.toCoeff();
+  auto Direct = Enc.decode(C0, Ct.Scale);
+  double MaxErr = 0;
+  for (size_t I = 0; I < Values.size(); ++I)
+    MaxErr = std::max(MaxErr, std::abs(Direct[I].real() - Values[I]));
+  EXPECT_GT(MaxErr, 0.1) << "c0 leaks the message";
+}
+
+TEST_F(EncryptFixture, FreshNoiseIsSmall) {
+  auto Values = randomReals(Ctx.slots(), 41);
+  Ciphertext Ct = Encryptor_.encryptValues(Enc, Values, Ctx.chainLength());
+  auto Decrypted = Decryptor_.decryptRealValues(Enc, Ct);
+  double MaxErr = 0;
+  for (size_t I = 0; I < Values.size(); ++I)
+    MaxErr = std::max(MaxErr, std::abs(Decrypted[I] - Values[I]));
+  // Fresh noise over Delta = 2^40 should stay well below 2^-20.
+  EXPECT_LT(MaxErr, 1e-6);
+}
+
+TEST_F(EncryptFixture, HomomorphicAdditionOfRawCiphertexts) {
+  auto X = randomReals(Ctx.slots(), 43);
+  auto Y = randomReals(Ctx.slots(), 47);
+  Ciphertext CX = Encryptor_.encryptValues(Enc, X, Ctx.chainLength());
+  Ciphertext CY = Encryptor_.encryptValues(Enc, Y, Ctx.chainLength());
+  // Dec(Enc(x) (+) Enc(y)) = x + y, using raw polynomial addition.
+  CX.Polys[0].addInPlace(CY.Polys[0]);
+  CX.Polys[1].addInPlace(CY.Polys[1]);
+  auto Sum = Decryptor_.decryptRealValues(Enc, CX);
+  for (size_t I = 0; I < X.size(); ++I)
+    EXPECT_NEAR(Sum[I], X[I] + Y[I], 1e-6);
+}
+
+TEST_F(EncryptFixture, EncryptAtLowerLevel) {
+  auto Values = randomReals(Ctx.slots(), 53);
+  Ciphertext Ct = Encryptor_.encryptValues(Enc, Values, 2);
+  EXPECT_EQ(Ct.numQ(), 2u);
+  auto Decrypted = Decryptor_.decryptRealValues(Enc, Ct);
+  for (size_t I = 0; I < Values.size(); ++I)
+    EXPECT_NEAR(Decrypted[I], Values[I], 1e-6);
+}
+
+TEST_F(EncryptFixture, DistinctEncryptionsDiffer) {
+  auto Values = randomReals(Ctx.slots(), 59);
+  Plaintext P = Enc.encodeReal(Values, Ctx.scale(), 2);
+  Ciphertext A = Encryptor_.encrypt(P);
+  Ciphertext B = Encryptor_.encrypt(P);
+  // Randomized encryption: identical plaintexts yield distinct
+  // ciphertexts (compare a few residues of c1).
+  bool AnyDiff = false;
+  for (size_t J = 0; J < 16; ++J)
+    AnyDiff |= A.Polys[1].component(0)[J] != B.Polys[1].component(0)[J];
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(EncryptSparseSecretTest, SparseSecretRoundTrip) {
+  CkksParams P = testParams();
+  P.SparseSecret = true;
+  Context Ctx(P);
+  Encoder Enc(Ctx);
+  KeyGenerator Gen(Ctx);
+  PublicKey Pub = Gen.makePublicKey();
+  Encryptor E(Ctx, Pub);
+  Decryptor D(Ctx, Gen.secretKey());
+  auto Values = randomReals(Ctx.slots(), 61);
+  Ciphertext Ct = E.encryptValues(Enc, Values, Ctx.chainLength());
+  auto Decrypted = D.decryptRealValues(Enc, Ct);
+  for (size_t I = 0; I < Values.size(); ++I)
+    EXPECT_NEAR(Decrypted[I], Values[I], 1e-6);
+}
+
+} // namespace

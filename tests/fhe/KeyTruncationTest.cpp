@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+// Level-aware key truncation tests (the Figure 7 memory mechanism): a
+// rotation key truncated to level l works for every ciphertext at or
+// below l, shrinks quadratically, and matches the full key's results.
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Encryptor.h"
+#include "fhe/Evaluator.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace ace;
+using namespace ace::fhe;
+
+namespace {
+
+struct Fixture : ::testing::Test {
+  Fixture() {
+    CkksParams P;
+    P.RingDegree = 1024;
+    P.Slots = 64;
+    P.LogScale = 45;
+    P.LogFirstModulus = 55;
+    P.NumRescaleModuli = 11;
+    P.LogSpecialModulus = 60;
+    P.Seed = 17;
+    Ctx = std::make_unique<Context>(P);
+    Enc = std::make_unique<Encoder>(*Ctx);
+    Gen = std::make_unique<KeyGenerator>(*Ctx);
+    Pub = Gen->makePublicKey();
+    Eval = std::make_unique<Evaluator>(*Ctx, *Enc, Keys);
+    Encrypt = std::make_unique<Encryptor>(*Ctx, Pub);
+    Decrypt = std::make_unique<Decryptor>(*Ctx, Gen->secretKey());
+  }
+
+  std::unique_ptr<Context> Ctx;
+  std::unique_ptr<Encoder> Enc;
+  std::unique_ptr<KeyGenerator> Gen;
+  PublicKey Pub;
+  EvalKeys Keys;
+  std::unique_ptr<Evaluator> Eval;
+  std::unique_ptr<Encryptor> Encrypt;
+  std::unique_ptr<Decryptor> Decrypt;
+};
+
+TEST_F(Fixture, TruncatedKeyShrinksQuadratically) {
+  SwitchKey Full = Gen->makeRotationKey(1);
+  SwitchKey Half = Gen->makeRotationKey(1, /*MaxNumQ=*/6);
+  EXPECT_EQ(Full.Parts.size(), 12u);
+  EXPECT_EQ(Half.Parts.size(), 6u);
+  // 6 digits over 7 moduli vs 12 digits over 13 moduli.
+  double Ratio = static_cast<double>(Half.byteSize()) / Full.byteSize();
+  EXPECT_NEAR(Ratio, 6.0 * 7 / (12.0 * 13), 0.01);
+}
+
+TEST_F(Fixture, TruncatedKeyRotatesCorrectlyBelowItsLevel) {
+  uint64_t Galois = galoisForRotation(Ctx->degree(), Ctx->slots(), 5);
+  Keys.Rotations.emplace(Galois, Gen->makeRotationKey(5, /*MaxNumQ=*/4));
+
+  Rng R(3);
+  std::vector<double> X(Ctx->slots());
+  for (auto &V : X)
+    V = R.uniformReal(-1, 1);
+  for (size_t NumQ : {size_t(2), size_t(3), size_t(4)}) {
+    Ciphertext Ct = Encrypt->encryptValues(*Enc, X, NumQ);
+    auto Out = Decrypt->decryptRealValues(*Enc, Eval->rotate(Ct, 5));
+    for (size_t I = 0; I < X.size(); ++I)
+      EXPECT_NEAR(Out[I], X[(I + 5) % Ctx->slots()], 1e-5)
+          << "numQ " << NumQ;
+  }
+}
+
+TEST_F(Fixture, TruncatedAndFullKeysAgree) {
+  uint64_t G2 = galoisForRotation(Ctx->degree(), Ctx->slots(), 2);
+  EvalKeys FullKeys;
+  FullKeys.Rotations.emplace(G2, Gen->makeRotationKey(2));
+  Evaluator FullEval(*Ctx, *Enc, FullKeys);
+  Keys.Rotations.emplace(G2, Gen->makeRotationKey(2, /*MaxNumQ=*/3));
+
+  Rng R(5);
+  std::vector<double> X(Ctx->slots());
+  for (auto &V : X)
+    V = R.uniformReal(-1, 1);
+  Ciphertext Ct = Encrypt->encryptValues(*Enc, X, 3);
+  auto A = Decrypt->decryptRealValues(*Enc, Eval->rotate(Ct, 2));
+  auto B = Decrypt->decryptRealValues(*Enc, FullEval.rotate(Ct, 2));
+  for (size_t I = 0; I < X.size(); ++I)
+    EXPECT_NEAR(A[I], B[I], 1e-6);
+}
+
+TEST_F(Fixture, TruncateKeyHelperIsIdempotentAtFullLength) {
+  SwitchKey Full = Gen->makeRotationKey(1);
+  SwitchKey Same = KeyGenerator::truncateKey(Full, 0);
+  EXPECT_EQ(Same.byteSize(), Full.byteSize());
+  SwitchKey Same2 = KeyGenerator::truncateKey(Full, 99);
+  EXPECT_EQ(Same2.byteSize(), Full.byteSize());
+}
+
+} // namespace

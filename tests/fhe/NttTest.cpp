@@ -1,0 +1,130 @@
+//===----------------------------------------------------------------------===//
+// Property tests for the negacyclic NTT: inverse round trip and agreement
+// of NTT-based multiplication with schoolbook negacyclic convolution.
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Ntt.h"
+
+#include "fhe/ModArith.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace ace;
+using namespace ace::fhe;
+
+namespace {
+
+/// Schoolbook multiplication in Z_p[X]/(X^N + 1).
+std::vector<uint64_t> negacyclicMul(const std::vector<uint64_t> &A,
+                                    const std::vector<uint64_t> &B,
+                                    uint64_t P) {
+  size_t N = A.size();
+  std::vector<uint64_t> C(N, 0);
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = 0; J < N; ++J) {
+      uint64_t Prod = mulMod(A[I], B[J], P);
+      size_t K = I + J;
+      if (K < N)
+        C[K] = addMod(C[K], Prod, P);
+      else
+        C[K - N] = subMod(C[K - N], Prod, P);
+    }
+  }
+  return C;
+}
+
+class NttRoundTripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NttRoundTripTest, InverseOfForwardIsIdentity) {
+  size_t N = GetParam();
+  uint64_t P = generateNttPrimes(45, 2 * N, 1, {})[0];
+  NttTable Table(N, P);
+  Rng R(42);
+  std::vector<uint64_t> Data(N), Orig;
+  for (auto &V : Data)
+    V = R.uniform(P);
+  Orig = Data;
+  Table.forward(Data.data());
+  EXPECT_NE(Data, Orig); // The transform must actually do something.
+  Table.inverse(Data.data());
+  EXPECT_EQ(Data, Orig);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, NttRoundTripTest,
+                         ::testing::Values(8, 16, 64, 256, 1024, 4096));
+
+class NttMulTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NttMulTest, PointwiseMatchesSchoolbook) {
+  size_t N = GetParam();
+  uint64_t P = generateNttPrimes(40, 2 * N, 1, {})[0];
+  NttTable Table(N, P);
+  Rng R(7);
+  std::vector<uint64_t> A(N), B(N);
+  for (auto &V : A)
+    V = R.uniform(P);
+  for (auto &V : B)
+    V = R.uniform(P);
+  std::vector<uint64_t> Expected = negacyclicMul(A, B, P);
+
+  std::vector<uint64_t> FA = A, FB = B;
+  Table.forward(FA.data());
+  Table.forward(FB.data());
+  for (size_t I = 0; I < N; ++I)
+    FA[I] = mulMod(FA[I], FB[I], P);
+  Table.inverse(FA.data());
+  EXPECT_EQ(FA, Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, NttMulTest,
+                         ::testing::Values(8, 16, 32, 64, 128));
+
+TEST(NttTest, LinearityOfForward) {
+  size_t N = 256;
+  uint64_t P = generateNttPrimes(40, 2 * N, 1, {})[0];
+  NttTable Table(N, P);
+  Rng R(9);
+  std::vector<uint64_t> A(N), B(N), Sum(N);
+  for (size_t I = 0; I < N; ++I) {
+    A[I] = R.uniform(P);
+    B[I] = R.uniform(P);
+    Sum[I] = addMod(A[I], B[I], P);
+  }
+  Table.forward(A.data());
+  Table.forward(B.data());
+  Table.forward(Sum.data());
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Sum[I], addMod(A[I], B[I], P));
+}
+
+TEST(NttTest, ConstantPolynomialIsConstantSpectrum) {
+  // A degree-0 polynomial evaluates to its constant at every root, which
+  // the Evaluator's addConst fast path relies on.
+  size_t N = 128;
+  uint64_t P = generateNttPrimes(40, 2 * N, 1, {})[0];
+  NttTable Table(N, P);
+  std::vector<uint64_t> Data(N, 0);
+  Data[0] = 12345;
+  Table.forward(Data.data());
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Data[I], 12345u);
+}
+
+TEST(NttTest, DistinctPrimesIndependentTables) {
+  size_t N = 64;
+  auto Primes = generateNttPrimes(40, 2 * N, 2, {});
+  NttTable T0(N, Primes[0]), T1(N, Primes[1]);
+  Rng R(11);
+  std::vector<uint64_t> A(N);
+  for (auto &V : A)
+    V = R.uniform(Primes[1] < Primes[0] ? Primes[1] : Primes[0]);
+  std::vector<uint64_t> B = A;
+  T0.forward(A.data());
+  T0.inverse(A.data());
+  T1.forward(B.data());
+  T1.inverse(B.data());
+  EXPECT_EQ(A, B); // Both must round-trip to the same original values.
+}
+
+} // namespace

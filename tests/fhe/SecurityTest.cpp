@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+// Security-table and bootstrap-depth-estimate tests: the inputs to the
+// compiler's automatic parameter selection (paper Table 10).
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Bootstrapper.h"
+#include "fhe/Security.h"
+
+#include <gtest/gtest.h>
+
+using namespace ace;
+using namespace ace::fhe;
+
+namespace {
+
+TEST(SecurityTest, HeStandardAnchorValues) {
+  // Anchor rows of the HE standard (ternary secret, classical security).
+  EXPECT_EQ(maxLogQ(4096, SecurityLevelKind::SL_128), 109);
+  EXPECT_EQ(maxLogQ(16384, SecurityLevelKind::SL_128), 438);
+  EXPECT_EQ(maxLogQ(32768, SecurityLevelKind::SL_128), 881);
+  EXPECT_EQ(maxLogQ(65536, SecurityLevelKind::SL_128), 1772);
+  // Stricter levels shrink the budget.
+  EXPECT_LT(maxLogQ(32768, SecurityLevelKind::SL_192),
+            maxLogQ(32768, SecurityLevelKind::SL_128));
+  EXPECT_LT(maxLogQ(32768, SecurityLevelKind::SL_256),
+            maxLogQ(32768, SecurityLevelKind::SL_192));
+}
+
+TEST(SecurityTest, NonStandardDegreesHaveNoBudget) {
+  EXPECT_EQ(maxLogQ(512, SecurityLevelKind::SL_128), 0);
+  EXPECT_EQ(maxLogQ(3000, SecurityLevelKind::SL_128), 0);
+}
+
+TEST(SecurityTest, MinRingDegreeSelection) {
+  // The paper's Table 10 case: a ~1700-bit chain needs N = 2^16.
+  EXPECT_EQ(minRingDegreeFor(1700, SecurityLevelKind::SL_128), 65536u);
+  EXPECT_EQ(minRingDegreeFor(100, SecurityLevelKind::SL_128), 4096u);
+  EXPECT_EQ(minRingDegreeFor(1800, SecurityLevelKind::SL_128), 131072u);
+  // Toy mode: anything goes.
+  EXPECT_EQ(minRingDegreeFor(100000, SecurityLevelKind::SL_None), 8u);
+}
+
+TEST(SecurityTest, BootstrapDepthEstimateTracksSpan) {
+  BootstrapConfig Cfg;
+  // Fewer slots -> larger span -> more double-angle levels.
+  int Sparse = estimateBootstrapDepth(4096, 64, Cfg, 45, 55);
+  int Dense = estimateBootstrapDepth(4096, 2048, Cfg, 45, 55);
+  EXPECT_GT(Sparse, Dense);
+  EXPECT_GT(Dense, 8);
+  EXPECT_LT(Sparse, 40);
+}
+
+} // namespace

@@ -1,0 +1,207 @@
+//===----------------------------------------------------------------------===//
+// Cleartext executor tests: operator semantics against hand-computed
+// values, shape inference, calibration, and model-zoo properties.
+//===----------------------------------------------------------------------===//
+
+#include "nn/Executor.h"
+#include "nn/ModelZoo.h"
+
+#include <gtest/gtest.h>
+
+using namespace ace;
+using namespace ace::nn;
+using namespace ace::onnx;
+
+namespace {
+
+Graph convGraph(std::vector<float> W, std::vector<int64_t> WShape,
+                std::vector<int64_t> Strides, std::vector<int64_t> Pads) {
+  Graph G;
+  G.Inputs.push_back({"x", {1, WShape[1], 3, 3}});
+  TensorData WT;
+  WT.Shape = WShape;
+  WT.Values = std::move(W);
+  G.Initializers.emplace("w", std::move(WT));
+  Node N;
+  N.Kind = OpKind::OK_Conv;
+  N.Name = "c";
+  N.Inputs = {"x", "w"};
+  N.Outputs = {"y"};
+  N.Attributes["strides"] = Attribute{Strides, {}};
+  N.Attributes["pads"] = Attribute{Pads, {}};
+  G.Nodes.push_back(std::move(N));
+  G.Outputs.push_back({"y", {}});
+  return G;
+}
+
+TEST(ExecutorTest, IdentityConv) {
+  // 1x1 kernel of weight 1: output equals input.
+  Graph G = convGraph({1.0f}, {1, 1, 1, 1}, {1, 1}, {0, 0, 0, 0});
+  Tensor X;
+  X.Shape = {1, 1, 3, 3};
+  X.Values = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto Y = executeSingle(G, X);
+  ASSERT_TRUE(Y.ok());
+  EXPECT_EQ(Y->Shape, (std::vector<int64_t>{1, 1, 3, 3}));
+  for (size_t I = 0; I < 9; ++I)
+    EXPECT_FLOAT_EQ(Y->Values[I], X.Values[I]);
+}
+
+TEST(ExecutorTest, SamePaddedAveragingConv) {
+  // 3x3 all-ones kernel with "same" padding: center output = sum of all.
+  Graph G = convGraph(std::vector<float>(9, 1.0f), {1, 1, 3, 3}, {1, 1},
+                      {1, 1, 1, 1});
+  Tensor X;
+  X.Shape = {1, 1, 3, 3};
+  X.Values = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto Y = executeSingle(G, X);
+  ASSERT_TRUE(Y.ok());
+  EXPECT_FLOAT_EQ(Y->Values[4], 45.0f); // center sees everything
+  EXPECT_FLOAT_EQ(Y->Values[0], 1 + 2 + 4 + 5); // corner
+}
+
+TEST(ExecutorTest, StridedConvHalvesSpatialDims) {
+  Graph G = convGraph({1.0f}, {1, 1, 1, 1}, {2, 2}, {0, 0, 0, 0});
+  Tensor X;
+  X.Shape = {1, 1, 3, 3};
+  X.Values = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto Y = executeSingle(G, X);
+  ASSERT_TRUE(Y.ok());
+  EXPECT_EQ(Y->Shape, (std::vector<int64_t>{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(Y->Values[0], 1);
+  EXPECT_FLOAT_EQ(Y->Values[1], 3);
+  EXPECT_FLOAT_EQ(Y->Values[2], 7);
+  EXPECT_FLOAT_EQ(Y->Values[3], 9);
+}
+
+TEST(ExecutorTest, GemmMatchesHandComputation) {
+  Graph G;
+  G.Inputs.push_back({"x", {1, 3}});
+  TensorData W;
+  W.Shape = {2, 3};
+  W.Values = {1, 2, 3, 4, 5, 6};
+  G.Initializers.emplace("w", std::move(W));
+  TensorData B;
+  B.Shape = {2};
+  B.Values = {0.5f, -0.5f};
+  G.Initializers.emplace("b", std::move(B));
+  Node N;
+  N.Kind = OpKind::OK_Gemm;
+  N.Inputs = {"x", "w", "b"};
+  N.Outputs = {"y"};
+  N.Attributes["transB"] = Attribute{{1}, {}};
+  G.Nodes.push_back(std::move(N));
+  G.Outputs.push_back({"y", {}});
+
+  Tensor X;
+  X.Shape = {1, 3};
+  X.Values = {1, 1, 1};
+  auto Y = executeSingle(G, X);
+  ASSERT_TRUE(Y.ok());
+  EXPECT_FLOAT_EQ(Y->Values[0], 6.5f);
+  EXPECT_FLOAT_EQ(Y->Values[1], 14.5f);
+}
+
+TEST(ExecutorTest, GlobalAveragePool) {
+  Graph G;
+  G.Inputs.push_back({"x", {1, 2, 2, 2}});
+  Node N;
+  N.Kind = OpKind::OK_GlobalAveragePool;
+  N.Inputs = {"x"};
+  N.Outputs = {"y"};
+  G.Nodes.push_back(std::move(N));
+  G.Outputs.push_back({"y", {}});
+  Tensor X;
+  X.Shape = {1, 2, 2, 2};
+  X.Values = {1, 2, 3, 4, 10, 20, 30, 40};
+  auto Y = executeSingle(G, X);
+  ASSERT_TRUE(Y.ok());
+  EXPECT_FLOAT_EQ(Y->Values[0], 2.5f);
+  EXPECT_FLOAT_EQ(Y->Values[1], 25.0f);
+}
+
+TEST(ExecutorTest, ShapeInference) {
+  nn::NanoResNetSpec Spec;
+  Spec.BlocksPerStage = 1;
+  Spec.Channels = {2, 4};
+  Spec.InputHW = 4;
+  Spec.InputChannels = 2;
+  Spec.Classes = 4;
+  Dataset Data = makeSyntheticDataset({1, 2, 4, 4}, 4, 4, 0.1, 5);
+  Model M = buildNanoResNet(Spec, Data, 7);
+  auto Shapes = inferShapes(M.MainGraph);
+  ASSERT_TRUE(Shapes.ok());
+  EXPECT_EQ(Shapes->at("logits"), (std::vector<int64_t>{1, 4}));
+  // Stage 2 halves the spatial dims.
+  bool SawDownsampled = false;
+  for (const auto &[Name, S] : *Shapes)
+    if (S.size() == 4 && S[2] == 2 && S[1] == 4)
+      SawDownsampled = true;
+  EXPECT_TRUE(SawDownsampled);
+}
+
+TEST(ExecutorTest, ActivationBoundsArePositive) {
+  Model M = buildMlp({8, 6, 4}, 3);
+  Tensor X;
+  X.Shape = {1, 8};
+  X.Values.assign(8, 0.5f);
+  auto Bounds = activationBounds(M.MainGraph, X);
+  ASSERT_TRUE(Bounds.ok());
+  for (const auto &[Name, B] : *Bounds)
+    EXPECT_GE(B, 0.0);
+  EXPECT_GT(Bounds->size(), 2u);
+}
+
+TEST(ExecutorTest, UndefinedInputDiagnostic) {
+  Graph G;
+  G.Inputs.push_back({"x", {1, 4}});
+  Node N;
+  N.Kind = OpKind::OK_Relu;
+  N.Name = "r";
+  N.Inputs = {"missing"};
+  N.Outputs = {"y"};
+  G.Nodes.push_back(std::move(N));
+  G.Outputs.push_back({"y", {}});
+  Tensor X;
+  X.Shape = {1, 4};
+  X.Values.assign(4, 0.0f);
+  auto Y = executeSingle(G, X);
+  EXPECT_FALSE(Y.ok());
+  EXPECT_NE(Y.status().message().find("missing"), std::string::npos);
+}
+
+TEST(ModelZooTest, DatasetIsLabeledAndBounded) {
+  Dataset D = makeSyntheticDataset({1, 3, 4, 4}, 5, 40, 0.1, 9);
+  EXPECT_EQ(D.Images.size(), 40u);
+  EXPECT_EQ(D.Prototypes.size(), 5u);
+  for (size_t I = 0; I < D.Images.size(); ++I) {
+    EXPECT_GE(D.Labels[I], 0);
+    EXPECT_LT(D.Labels[I], 5);
+    for (float V : D.Images[I].Values) {
+      EXPECT_GE(V, -1.0f);
+      EXPECT_LE(V, 1.0f);
+    }
+  }
+}
+
+TEST(ModelZooTest, PrototypeReadoutSeparatesClasses) {
+  nn::NanoResNetSpec Spec;
+  Spec.BlocksPerStage = 1;
+  Spec.Channels = {2, 4};
+  Spec.InputHW = 4;
+  Spec.InputChannels = 2;
+  Spec.Classes = 4;
+  Dataset Data = makeSyntheticDataset({1, 2, 4, 4}, 4, 24, 0.08, 5);
+  Model M = buildNanoResNet(Spec, Data, 7);
+  // The constructed readout must classify well above chance (25%).
+  EXPECT_GE(cleartextAccuracy(M.MainGraph, Data), 0.7);
+}
+
+TEST(ModelZooTest, PaperSpecsProgressInDepth) {
+  auto Specs = paperModelSpecs();
+  ASSERT_EQ(Specs.size(), 6u);
+  EXPECT_LT(Specs[0].BlocksPerStage, Specs[5].BlocksPerStage);
+  EXPECT_GT(Specs[2].Classes, Specs[1].Classes); // the CIFAR-100 stand-in
+}
+
+} // namespace

@@ -1,0 +1,96 @@
+//===----------------------------------------------------------------------===//
+// Model-format tests: serialization round trips, attribute handling,
+// malformed-input diagnostics.
+//===----------------------------------------------------------------------===//
+
+#include "onnx/Model.h"
+
+#include "nn/ModelZoo.h"
+
+#include <gtest/gtest.h>
+
+using namespace ace;
+using namespace ace::onnx;
+
+namespace {
+
+TEST(ModelTest, OpKindNamesRoundTrip) {
+  for (OpKind K :
+       {OpKind::OK_Conv, OpKind::OK_Gemm, OpKind::OK_Relu,
+        OpKind::OK_AveragePool, OpKind::OK_GlobalAveragePool,
+        OpKind::OK_Flatten, OpKind::OK_Reshape, OpKind::OK_Add,
+        OpKind::OK_BatchNormalization, OpKind::OK_StridedSlice}) {
+    OpKind Parsed;
+    ASSERT_TRUE(parseOpKind(opKindName(K), Parsed));
+    EXPECT_EQ(Parsed, K);
+  }
+  OpKind Dummy;
+  EXPECT_FALSE(parseOpKind("Gelu", Dummy));
+}
+
+TEST(ModelTest, AttributeAccessors) {
+  Node N;
+  N.Attributes["strides"] = Attribute{{2, 3}, {}};
+  N.Attributes["epsilon"] = Attribute{{}, {0.5f}};
+  EXPECT_EQ(N.intAttr("strides", 1), 2);
+  EXPECT_EQ(N.intsAttr("strides").size(), 2u);
+  EXPECT_EQ(N.intAttr("missing", 7), 7);
+  EXPECT_FLOAT_EQ(N.floatAttr("epsilon", 0), 0.5f);
+  EXPECT_FLOAT_EQ(N.floatAttr("missing", 1.5f), 1.5f);
+}
+
+TEST(ModelTest, SerializationRoundTrip) {
+  Model M = nn::buildLinearInfer(11);
+  std::string Text = serializeModel(M);
+  auto Back = parseModel(Text);
+  ASSERT_TRUE(Back.ok()) << Back.status().message();
+  EXPECT_EQ(Back->MainGraph.Nodes.size(), M.MainGraph.Nodes.size());
+  EXPECT_EQ(Back->MainGraph.Initializers.size(),
+            M.MainGraph.Initializers.size());
+  EXPECT_EQ(Back->parameterCount(), M.parameterCount());
+  // Weight values survive to reasonable precision.
+  const auto &W1 = M.MainGraph.Initializers.at("output.w");
+  const auto &W2 = Back->MainGraph.Initializers.at("output.w");
+  ASSERT_EQ(W1.Values.size(), W2.Values.size());
+  for (size_t I = 0; I < W1.Values.size(); ++I)
+    EXPECT_NEAR(W1.Values[I], W2.Values[I], 1e-6);
+}
+
+TEST(ModelTest, ResNetSerializationRoundTrip) {
+  nn::NanoResNetSpec Spec;
+  Spec.BlocksPerStage = 1;
+  Spec.Channels = {2, 4};
+  Spec.InputHW = 4;
+  Spec.InputChannels = 2;
+  Spec.Classes = 4;
+  nn::Dataset Data =
+      nn::makeSyntheticDataset({1, 2, 4, 4}, 4, 4, 0.1, 5);
+  Model M = nn::buildNanoResNet(Spec, Data, 7);
+  auto Back = parseModel(serializeModel(M));
+  ASSERT_TRUE(Back.ok()) << Back.status().message();
+  // Same graph must produce identical outputs.
+  auto A = nn::executeSingle(M.MainGraph, Data.Images[0]);
+  auto B = nn::executeSingle(Back->MainGraph, Data.Images[0]);
+  ASSERT_TRUE(A.ok() && B.ok());
+  for (size_t I = 0; I < A->Values.size(); ++I)
+    EXPECT_NEAR(A->Values[I], B->Values[I], 1e-5);
+}
+
+TEST(ModelTest, ParserRejectsGarbage) {
+  EXPECT_FALSE(parseModel("not a model").ok());
+  EXPECT_FALSE(parseModel("acemodel 2\nend\n").ok());
+  EXPECT_FALSE(parseModel("acemodel 1\nnode Gelu x 0 0 0\nend\n").ok());
+  // Missing end marker.
+  EXPECT_FALSE(parseModel("acemodel 1\ngraph g\n").ok());
+}
+
+TEST(ModelTest, SaveLoadFile) {
+  Model M = nn::buildMlp({8, 4}, 3);
+  ASSERT_TRUE(saveModel(M, "/tmp/ace_model_test.acemodel").ok());
+  auto Back = loadModel("/tmp/ace_model_test.acemodel");
+  ASSERT_TRUE(Back.ok());
+  EXPECT_EQ(Back->MainGraph.Nodes.size(), 1u);
+  EXPECT_FALSE(loadModel("/tmp/ace_missing_file.acemodel").ok());
+}
+
+} // namespace

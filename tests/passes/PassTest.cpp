@@ -1,0 +1,145 @@
+//===----------------------------------------------------------------------===//
+// Pass-level tests: BN folding, per-phase lowering invariants, parameter
+// selection, rotation-key analysis, POLY lowering and its fusions.
+//===----------------------------------------------------------------------===//
+
+#include "driver/AceCompiler.h"
+#include "expert/ExpertBaseline.h"
+#include "nn/ModelZoo.h"
+#include "passes/CkksToPoly.h"
+#include "passes/Frontend.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace ace;
+
+namespace {
+
+std::vector<nn::Tensor> randomInputs(int64_t Dim, int Count,
+                                     uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<nn::Tensor> Out;
+  for (int I = 0; I < Count; ++I) {
+    nn::Tensor T;
+    T.Shape = {1, Dim};
+    T.Values.resize(Dim);
+    for (auto &V : T.Values)
+      V = static_cast<float>(R.uniformReal(-1, 1));
+    Out.push_back(std::move(T));
+  }
+  return Out;
+}
+
+TEST(FrontendTest, BatchNormFoldsIntoConv) {
+  nn::NanoResNetSpec Spec;
+  Spec.BlocksPerStage = 1;
+  Spec.Channels = {2, 4};
+  Spec.InputHW = 4;
+  Spec.InputChannels = 2;
+  Spec.Classes = 4;
+  Spec.WithBatchNorm = true;
+  nn::Dataset Data = nn::makeSyntheticDataset({1, 2, 4, 4}, 4, 4, 0.1, 5);
+  onnx::Model M = nn::buildNanoResNet(Spec, Data, 7);
+
+  auto Folded = passes::foldBatchNorm(M.MainGraph);
+  ASSERT_TRUE(Folded.ok()) << Folded.status().message();
+  for (const auto &N : Folded->Nodes)
+    EXPECT_NE(N.Kind, onnx::OpKind::OK_BatchNormalization);
+  // Semantics preserved.
+  auto A = nn::executeSingle(M.MainGraph, Data.Images[0]);
+  auto B = nn::executeSingle(*Folded, Data.Images[0]);
+  ASSERT_TRUE(A.ok() && B.ok());
+  for (size_t I = 0; I < A->Values.size(); ++I)
+    EXPECT_NEAR(A->Values[I], B->Values[I], 1e-4);
+}
+
+TEST(PipelineTest, PhaseCountsGrowDownTheStack) {
+  onnx::Model M = nn::buildMlp({16, 12, 8}, 5);
+  driver::AceCompiler Compiler(air::CompileOptions{});
+  auto R = Compiler.compile(M, randomInputs(16, 2, 3));
+  ASSERT_TRUE(R.ok()) << R.status().message();
+  auto &RC = **R;
+  // Lowering expands the program at every level (paper Sec. 4.5: a small
+  // model grows from a handful of NN nodes to hundreds of POLY lines).
+  EXPECT_LT(RC.PhaseNodeCounts["NN"], RC.PhaseNodeCounts["VECTOR"]);
+  EXPECT_LE(RC.PhaseNodeCounts["VECTOR"], RC.PhaseNodeCounts["SIHE"]);
+  EXPECT_LT(RC.PhaseNodeCounts["SIHE"], RC.PhaseNodeCounts["CKKS"]);
+}
+
+TEST(PipelineTest, RotationAnalysisFindsGemvDiagonals) {
+  onnx::Model M = nn::buildLinearInfer(3);
+  driver::AceCompiler Compiler(air::CompileOptions{});
+  auto R = Compiler.compile(M, randomInputs(84, 2, 3));
+  ASSERT_TRUE(R.ok());
+  // Halevi-Shoup over a 128-wide layout: steps are multiples of the
+  // element stride, bounded by the padded capacity.
+  EXPECT_FALSE((*R)->State.RotationSteps.empty());
+  EXPECT_LE((*R)->State.RotationSteps.size(), 128u);
+  for (int64_t S : (*R)->State.RotationSteps) {
+    EXPECT_GT(S, 0);
+    EXPECT_LT(S, 128);
+  }
+  // No ReLU: no relin, no conjugation, no bootstrapping.
+  EXPECT_FALSE((*R)->State.NeedsRelin);
+  EXPECT_FALSE((*R)->State.NeedsConjugation);
+  EXPECT_EQ((*R)->State.BootstrapCount, 0u);
+}
+
+TEST(PipelineTest, ParameterSelectionScalesWithDepth) {
+  driver::AceCompiler Compiler(air::CompileOptions{});
+  auto Shallow = Compiler.compile(nn::buildLinearInfer(3),
+                                  randomInputs(84, 2, 3));
+  auto Deep = Compiler.compile(nn::buildMlp({16, 12, 12, 8}, 5),
+                               randomInputs(16, 2, 3));
+  ASSERT_TRUE(Shallow.ok() && Deep.ok());
+  EXPECT_LT((*Shallow)->State.SelectedParams.NumRescaleModuli,
+            (*Deep)->State.SelectedParams.NumRescaleModuli);
+  // Production selection reports a standardized ring (paper Table 10).
+  EXPECT_GE((*Shallow)->State.SecureRingDegree, 1024u);
+  EXPECT_GE((*Deep)->State.SecureRingDegree,
+            (*Shallow)->State.SecureRingDegree);
+}
+
+TEST(PipelineTest, ExpertOptionsDisableAutomation) {
+  air::CompileOptions Opt = expert::expertOptions(air::CompileOptions{});
+  EXPECT_FALSE(Opt.EnableRotationKeyAnalysis);
+  EXPECT_FALSE(Opt.EnableMinimalBootstrapLevel);
+  EXPECT_FALSE(Opt.EnableRescalePlacement);
+  EXPECT_GT(Opt.ExpertMarginLevels, 0);
+
+  // Expert compilation selects a longer chain for the same model.
+  onnx::Model M = nn::buildMlp({16, 12, 8}, 5);
+  driver::AceCompiler Ace{air::CompileOptions{}};
+  driver::AceCompiler Exp{Opt};
+  auto A = Ace.compile(M, randomInputs(16, 2, 3));
+  auto E = Exp.compile(M, randomInputs(16, 2, 3));
+  ASSERT_TRUE(A.ok() && E.ok());
+  EXPECT_LT((*A)->State.SelectedParams.NumRescaleModuli,
+            (*E)->State.SelectedParams.NumRescaleModuli);
+}
+
+TEST(PolyLoweringTest, FusionReducesLoopAndOpCounts) {
+  onnx::Model M = nn::buildLinearInfer(3);
+  driver::AceCompiler Compiler(air::CompileOptions{});
+  auto R = Compiler.compile(M, randomInputs(84, 2, 3));
+  ASSERT_TRUE(R.ok());
+
+  passes::PolyStats Plain, Fused;
+  air::IrFunction P1("p1"), P2("p2");
+  ASSERT_TRUE(passes::lowerToPoly((*R)->Program, (*R)->State, false, P1,
+                                  &Plain)
+                  .ok());
+  ASSERT_TRUE(
+      passes::lowerToPoly((*R)->Program, (*R)->State, true, P2, &Fused)
+          .ok());
+  EXPECT_LT(Fused.RnsLoops, Plain.RnsLoops);
+  EXPECT_GT(Fused.HwModMulAdd, 0u);
+  EXPECT_GT(Fused.FusedDecompModUp, 0u);
+  EXPECT_EQ(Fused.Decomp, 0u);
+  EXPECT_LT(Fused.totalHwOps(), Plain.totalHwOps());
+  // Both are valid POLY-dialect programs.
+  EXPECT_TRUE(air::verifyFunction(P2, {air::DialectKind::DK_Poly}).ok());
+}
+
+} // namespace

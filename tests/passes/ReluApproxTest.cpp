@@ -1,0 +1,121 @@
+//===----------------------------------------------------------------------===//
+// ReLU approximation tests (paper Sec. 4.3 / [36]): the composite
+// odd-polynomial sign expansion must approximate relu on [-1, 1], in
+// plain math and homomorphically through the compiled pipeline.
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CkksExecutor.h"
+#include "driver/AceCompiler.h"
+#include "nn/ModelZoo.h"
+#include "passes/VectorToSihe.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ace;
+
+namespace {
+
+/// Plain evaluation of the compiler's composite: f(t) iterated, then
+/// relu = 0.5 x (1 + p).
+double compositeRelu(double X, int Iterations) {
+  double T = X;
+  for (int I = 0; I < Iterations; ++I) {
+    double T2 = T * T, T3 = T2 * T, T5 = T2 * T3, T7 = T2 * T5;
+    T = (35 * T - 35 * T3 + 21 * T5 - 5 * T7) / 16;
+  }
+  return 0.5 * X * (1 + T);
+}
+
+TEST(ReluApproxTest, CompositeConvergesToSign) {
+  // Away from zero, more iterations mean a better relu.
+  for (double X : {-0.9, -0.5, -0.2, 0.2, 0.5, 0.9}) {
+    double True = X > 0 ? X : 0.0;
+    double E1 = std::fabs(compositeRelu(X, 1) - True);
+    double E3 = std::fabs(compositeRelu(X, 3) - True);
+    EXPECT_LE(E3, E1 + 1e-12) << "x=" << X;
+    EXPECT_LT(E3, 0.01) << "x=" << X;
+  }
+}
+
+TEST(ReluApproxTest, ErrorConcentratesNearZero) {
+  double MaxFar = 0, MaxNear = 0;
+  for (double X = -1.0; X <= 1.0; X += 0.001) {
+    double Err = std::fabs(compositeRelu(X, 2) - (X > 0 ? X : 0.0));
+    if (std::fabs(X) > 0.15)
+      MaxFar = std::fmax(MaxFar, Err);
+    else
+      MaxNear = std::fmax(MaxNear, Err);
+  }
+  EXPECT_LT(MaxFar, 0.03);
+  EXPECT_GT(MaxNear, MaxFar); // the hard region is around the kink
+}
+
+TEST(ReluApproxTest, DepthModelMatchesOptions) {
+  EXPECT_EQ(passes::reluDepth(1), 8);
+  EXPECT_EQ(passes::reluDepth(2), 13);
+  EXPECT_EQ(passes::reluDepth(3), 18);
+}
+
+TEST(ReluApproxTest, HomomorphicReluThroughPipeline) {
+  // A 1-layer "network" that is effectively identity + relu: gemm with
+  // the identity matrix, then relu, then identity gemm. Compare the
+  // encrypted pipeline against true relu slot by slot.
+  const int64_t D = 8;
+  onnx::Model M;
+  onnx::Graph &G = M.MainGraph;
+  G.Inputs.push_back({"x", {1, D}});
+  onnx::TensorData Id;
+  Id.Shape = {D, D};
+  Id.Values.assign(D * D, 0.0f);
+  for (int64_t I = 0; I < D; ++I)
+    Id.Values[I * D + I] = 1.0f;
+  G.Initializers.emplace("w1", Id);
+  G.Initializers.emplace("w2", Id);
+  for (int Layer = 0; Layer < 2; ++Layer) {
+    onnx::Node N;
+    N.Kind = onnx::OpKind::OK_Gemm;
+    N.Name = "g" + std::to_string(Layer);
+    N.Inputs = {Layer == 0 ? "x" : "r", Layer == 0 ? "w1" : "w2"};
+    N.Outputs = {Layer == 0 ? "y" : "out"};
+    N.Attributes["transB"] = onnx::Attribute{{1}, {}};
+    G.Nodes.push_back(std::move(N));
+    if (Layer == 0) {
+      onnx::Node Relu;
+      Relu.Kind = onnx::OpKind::OK_Relu;
+      Relu.Name = "r";
+      Relu.Inputs = {"y"};
+      Relu.Outputs = {"r"};
+      G.Nodes.push_back(std::move(Relu));
+    }
+  }
+  G.Outputs.push_back({"out", {1, D}});
+
+  Rng R(9);
+  std::vector<nn::Tensor> Calib(2);
+  for (auto &T : Calib) {
+    T.Shape = {1, D};
+    T.Values.resize(D);
+    for (auto &V : T.Values)
+      V = static_cast<float>(R.uniformReal(-0.9, 0.9));
+  }
+
+  driver::AceCompiler Compiler(air::CompileOptions{});
+  auto Result = Compiler.compile(M, Calib);
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
+  codegen::CkksExecutor Exec((*Result)->Program, (*Result)->State);
+  ASSERT_FALSE(Exec.setup());
+
+  auto Logits = Exec.infer(Calib[0]);
+  ASSERT_TRUE(Logits.ok());
+  for (int64_t I = 0; I < D; ++I) {
+    double X = Calib[0].Values[I];
+    double True = X > 0 ? X : 0.0;
+    // Approximation error dominated by the kink region; generous bound.
+    EXPECT_NEAR((*Logits)[I], True, 0.12) << "x=" << X;
+  }
+}
+
+} // namespace

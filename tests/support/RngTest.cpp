@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+// Unit and statistical tests for the deterministic RNG and its samplers.
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace ace;
+
+TEST(RngTest, Deterministic) {
+  Rng A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next64(), B.next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next64() == B.next64();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RngTest, UniformBound) {
+  Rng R(7);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(R.uniform(17), 17u);
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng R(7);
+  std::vector<int> Hits(8, 0);
+  for (int I = 0; I < 8000; ++I)
+    ++Hits[R.uniform(8)];
+  for (int H : Hits)
+    EXPECT_GT(H, 700); // Expected 1000 each; loose 30% tolerance.
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng R(11);
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.uniformReal();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng R(13);
+  double Sum = 0, SumSq = 0;
+  const int Count = 100000;
+  for (int I = 0; I < Count; ++I) {
+    double G = R.gaussian();
+    Sum += G;
+    SumSq += G * G;
+  }
+  EXPECT_NEAR(Sum / Count, 0.0, 0.02);
+  EXPECT_NEAR(SumSq / Count, 1.0, 0.03);
+}
+
+TEST(RngTest, CbdNoiseStdDev) {
+  // The RLWE error distribution must have sigma close to 3.2.
+  Rng R(17);
+  double SumSq = 0, Sum = 0;
+  const int Count = 100000;
+  for (int I = 0; I < Count; ++I) {
+    int32_t V = R.noiseCbd();
+    Sum += V;
+    SumSq += static_cast<double>(V) * V;
+  }
+  double Mean = Sum / Count;
+  double Sigma = std::sqrt(SumSq / Count - Mean * Mean);
+  EXPECT_NEAR(Mean, 0.0, 0.05);
+  EXPECT_NEAR(Sigma, 3.24, 0.1);
+}
+
+TEST(RngTest, TernaryDistribution) {
+  Rng R(19);
+  int Counts[3] = {0, 0, 0}; // -1, 0, +1
+  const int Total = 40000;
+  for (int I = 0; I < Total; ++I)
+    ++Counts[R.ternary() + 1];
+  EXPECT_NEAR(Counts[0], Total / 4, Total / 40);
+  EXPECT_NEAR(Counts[1], Total / 2, Total / 40);
+  EXPECT_NEAR(Counts[2], Total / 4, Total / 40);
+}
+
+TEST(RngTest, UniformVector) {
+  Rng R(23);
+  std::vector<uint64_t> Out;
+  R.uniformVector(997, 512, Out);
+  ASSERT_EQ(Out.size(), 512u);
+  for (uint64_t V : Out)
+    EXPECT_LT(V, 997u);
+}

@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+// Unit tests for ace::Status and ace::StatusOr.
+//===----------------------------------------------------------------------===//
+
+#include "support/Status.h"
+
+#include <gtest/gtest.h>
+
+using namespace ace;
+
+TEST(StatusTest, DefaultIsSuccess) {
+  Status S;
+  EXPECT_TRUE(S.ok());
+  EXPECT_FALSE(static_cast<bool>(S));
+  EXPECT_TRUE(S.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status S = Status::error("file.onnx: unknown operator 'Gelu'");
+  EXPECT_FALSE(S.ok());
+  EXPECT_TRUE(static_cast<bool>(S));
+  EXPECT_EQ(S.message(), "file.onnx: unknown operator 'Gelu'");
+}
+
+TEST(StatusTest, SuccessFactory) {
+  EXPECT_TRUE(Status::success().ok());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> V(42);
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(*V, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> V(Status::error("boom"));
+  ASSERT_FALSE(V.ok());
+  EXPECT_EQ(V.status().message(), "boom");
+}
+
+TEST(StatusOrTest, TakeMovesValue) {
+  StatusOr<std::string> V(std::string("hello"));
+  ASSERT_TRUE(V.ok());
+  EXPECT_EQ(V.take(), "hello");
+}
+
+TEST(StatusOrTest, ArrowAccess) {
+  StatusOr<std::string> V(std::string("abc"));
+  EXPECT_EQ(V->size(), 3u);
+}
