@@ -49,7 +49,11 @@ inline std::vector<BenchModel> buildPaperModels(size_t Count,
     M.Data = nn::makeSyntheticDataset(
         {1, M.Spec.InputChannels, M.Spec.InputHW, M.Spec.InputHW},
         static_cast<int>(M.Spec.Classes), 64, 0.12, Seed + I);
-    M.Model = nn::buildNanoResNet(M.Spec, M.Data, Seed * 31 + I);
+    auto ModelOr = nn::buildNanoResNet(M.Spec, M.Data, Seed * 31 + I);
+    if (!ModelOr.ok())
+      reportFatalError("bench model build failed: " +
+                       ModelOr.status().message());
+    M.Model = ModelOr.take();
     Out.push_back(std::move(M));
   }
   return Out;

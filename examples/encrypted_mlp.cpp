@@ -59,13 +59,24 @@ int main() {
   size_t Match = 0, Total = 6;
   for (size_t I = 0; I < Total; ++I) {
     auto Clear = nn::executeSingle(Model.MainGraph, Data.Images[I]);
-    fhe::Ciphertext Ct = Exec.encryptInput(Data.Images[I]);
-    auto Out = Exec.run(Ct);
+    auto Ct = Exec.encryptInput(Data.Images[I]);
+    if (!Ct.ok()) {
+      std::fprintf(stderr, "encrypt failed: %s\n",
+                   Ct.status().message().c_str());
+      return 1;
+    }
+    auto Out = Exec.run(*Ct);
     if (!Clear.ok() || !Out.ok()) {
       std::fprintf(stderr, "inference failed\n");
       return 1;
     }
-    auto Logits = Exec.decryptLogits(*Out);
+    auto LogitsOr = Exec.decryptLogits(*Out);
+    if (!LogitsOr.ok()) {
+      std::fprintf(stderr, "decrypt failed: %s\n",
+                   LogitsOr.status().message().c_str());
+      return 1;
+    }
+    auto &Logits = *LogitsOr;
     size_t ClearTop = nn::argmax(*Clear);
     size_t EncTop = 0;
     for (size_t K = 1; K < Logits.size(); ++K)

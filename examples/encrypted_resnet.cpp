@@ -31,7 +31,13 @@ int main() {
   nn::Dataset Data = nn::makeSyntheticDataset(
       {1, Spec.InputChannels, Spec.InputHW, Spec.InputHW},
       static_cast<int>(Spec.Classes), 16, 0.12, 3);
-  onnx::Model Model = nn::buildNanoResNet(Spec, Data, 9);
+  auto ModelOr = nn::buildNanoResNet(Spec, Data, 9);
+  if (!ModelOr.ok()) {
+    std::fprintf(stderr, "model build failed: %s\n",
+                 ModelOr.status().message().c_str());
+    return 1;
+  }
+  onnx::Model Model = ModelOr.take();
   std::printf("built %s: %lld parameters, cleartext accuracy %.0f%%\n",
               Spec.Name.c_str(),
               static_cast<long long>(Model.parameterCount()),

@@ -94,13 +94,21 @@ Status CkksExecutor::setup() {
   return Status::success();
 }
 
-fhe::Ciphertext CkksExecutor::encryptInput(const nn::Tensor &Input) {
-  assert(Encrypt && "setup() not run");
+StatusOr<fhe::Ciphertext>
+CkksExecutor::encryptInput(const nn::Tensor &Input) {
+  if (!Encrypt)
+    return Status::invalidArgument("executor: setup() not run");
   const CipherLayout &L = State.InputLayout;
   std::vector<double> Slots(L.slotCount(), 0.0);
   double Inv = 1.0 / State.InputDataScale;
   if (Input.Shape.size() == 4) {
     size_t C = Input.Shape[1], H = Input.Shape[2], W = Input.Shape[3];
+    if (Input.Values.size() < C * H * W)
+      return Status::invalidArgument(
+          "executor: input tensor holds " +
+          std::to_string(Input.Values.size()) + " values but its shape " +
+          std::to_string(C) + "x" + std::to_string(H) + "x" +
+          std::to_string(W) + " needs " + std::to_string(C * H * W));
     for (size_t Cc = 0; Cc < C; ++Cc)
       for (size_t Hh = 0; Hh < H; ++Hh)
         for (size_t Ww = 0; Ww < W; ++Ww)
@@ -110,7 +118,7 @@ fhe::Ciphertext CkksExecutor::encryptInput(const nn::Tensor &Input) {
     for (size_t I = 0; I < Input.Values.size(); ++I)
       Slots[L.slotOf(0, 0, I)] = Input.Values[I] * Inv;
   }
-  return Encrypt->encryptValues(*Enc, Slots, State.InputNumQ);
+  return Encrypt->checkedEncryptValues(*Enc, Slots, State.InputNumQ);
 }
 
 const Plaintext &CkksExecutor::encodedConst(const IrNode *ConstNode,
@@ -129,7 +137,19 @@ const Plaintext &CkksExecutor::encodedConst(const IrNode *ConstNode,
 }
 
 StatusOr<fhe::Ciphertext> CkksExecutor::run(const Ciphertext &Input) {
-  assert(Eval && "setup() not run");
+  if (!Eval)
+    return Status::invalidArgument("executor: setup() not run");
+  // A fresh client input is always encrypted at the context scale with
+  // the layout's packing; rejecting corrupted inputs here catches faults
+  // (e.g. metadata drift) that a purely linear program would otherwise
+  // carry through to wrong logits, because plaintext encoding adapts to
+  // whatever scale the operand claims.
+  ACE_RETURN_IF_ERROR(fhe::validateCiphertext(*Ctx, Input, "run input"));
+  if (!fhe::scalesClose(Input.Scale, Ctx->scale()))
+    return Status::scaleMismatch(
+        fhe::scaleMismatchMessage("executor input", Input.Scale,
+                                  Ctx->scale()) +
+        "; fresh inputs must be encrypted at the context scale");
   RegionTimes.clear();
   std::map<int, Ciphertext> Values;
   const IrNode *ConstOf[1]; // silence unused warnings in release
@@ -156,16 +176,22 @@ StatusOr<fhe::Ciphertext> CkksExecutor::run(const Ciphertext &Input) {
     case NodeKind::NK_CkksRotate: {
       const Ciphertext &A = Values.at(N->Operands[0]->Id);
       int64_t Slots = static_cast<int64_t>(A.Slots);
+      if (Slots <= 0)
+        return Status::invalidArgument(
+            "executor rotate: operand reports " + std::to_string(Slots) +
+            " slots");
       int64_t Step = ((N->rotationSteps() % Slots) + Slots) % Slots;
       if (State.Options.EnableRotationKeyAnalysis) {
-        Values[N->Id] = Eval->rotate(A, Step);
+        ACE_ASSIGN_OR_RETURN(Values[N->Id], Eval->checkedRotate(A, Step));
       } else {
         // Power-of-two key set only: decompose the step bit by bit (the
         // extra key switches are the Expert baseline's rotation cost).
         Ciphertext Cur = A;
-        for (int64_t Bit = 1; Bit < Slots; Bit <<= 1)
-          if (Step & Bit)
-            Cur = Eval->rotate(Cur, Bit);
+        for (int64_t Bit = 1; Bit < Slots; Bit <<= 1) {
+          if (Step & Bit) {
+            ACE_ASSIGN_OR_RETURN(Cur, Eval->checkedRotate(Cur, Bit));
+          }
+        }
         Values[N->Id] = std::move(Cur);
       }
       break;
@@ -173,33 +199,49 @@ StatusOr<fhe::Ciphertext> CkksExecutor::run(const Ciphertext &Input) {
     case NodeKind::NK_CkksMul: {
       const Ciphertext &A = Values.at(N->Operands[0]->Id);
       if (N->Operands[1]->Type == TypeKind::TK_Plain) {
+        ACE_RETURN_IF_ERROR(fhe::validateCiphertext(*Ctx, A, "mulPlain"));
         const Plaintext &P =
             encodedConst(ConstOperand(N->Operands[1]), A, /*ForMul=*/true);
         Values[N->Id] = Eval->mulPlain(A, P);
       } else {
-        Ciphertext B = Values.at(N->Operands[1]->Id);
+        const Ciphertext &B = Values.at(N->Operands[1]->Id);
+        ACE_RETURN_IF_ERROR(fhe::validateCiphertext(*Ctx, A, "mul"));
+        ACE_RETURN_IF_ERROR(fhe::validateCiphertext(*Ctx, B, "mul"));
+        if (A.numQ() != B.numQ())
+          return Status::levelMismatch(
+              "executor mul: lhs at " + std::to_string(A.numQ()) +
+              " active primes, rhs at " + std::to_string(B.numQ()) +
+              " (the compiler should have inserted a modswitch)");
+        if (!fhe::scalesClose(A.Scale, B.Scale))
+          return Status::scaleMismatch(
+              fhe::scaleMismatchMessage("executor mul", A.Scale, B.Scale));
         Values[N->Id] = Eval->mulNoRelin(A, B);
       }
       break;
     }
-    case NodeKind::NK_CkksRelin:
-      Values[N->Id] = Eval->relinearize(Values.at(N->Operands[0]->Id));
+    case NodeKind::NK_CkksRelin: {
+      ACE_ASSIGN_OR_RETURN(
+          Values[N->Id],
+          Eval->checkedRelinearize(Values.at(N->Operands[0]->Id)));
       break;
+    }
     case NodeKind::NK_CkksMulConst: {
       const Ciphertext &A = Values.at(N->Operands[0]->Id);
-      Values[N->Id] = Eval->mulScalar(A, N->Scalar, A.Scale);
+      ACE_ASSIGN_OR_RETURN(Values[N->Id],
+                           Eval->checkedMulScalar(A, N->Scalar, A.Scale));
       break;
     }
     case NodeKind::NK_CkksAddConst: {
-      Ciphertext A = Values.at(N->Operands[0]->Id);
-      Eval->addConstInPlace(A, N->Scalar);
-      Values[N->Id] = std::move(A);
+      ACE_ASSIGN_OR_RETURN(
+          Values[N->Id],
+          Eval->checkedAddConst(Values.at(N->Operands[0]->Id), N->Scalar));
       break;
     }
     case NodeKind::NK_CkksAdd:
     case NodeKind::NK_CkksSub: {
       Ciphertext A = Values.at(N->Operands[0]->Id);
       if (N->Operands[1]->Type == TypeKind::TK_Plain) {
+        ACE_RETURN_IF_ERROR(fhe::validateCiphertext(*Ctx, A, "addPlain"));
         const Plaintext &P = encodedConst(ConstOperand(N->Operands[1]), A,
                                           /*ForMul=*/false);
         if (N->Kind == NodeKind::NK_CkksAdd)
@@ -209,7 +251,7 @@ StatusOr<fhe::Ciphertext> CkksExecutor::run(const Ciphertext &Input) {
         Values[N->Id] = std::move(A);
       } else {
         Ciphertext B = Values.at(N->Operands[1]->Id);
-        Eval->matchForAdd(A, B);
+        ACE_RETURN_IF_ERROR(Eval->checkedMatchForAdd(A, B));
         if (N->Kind == NodeKind::NK_CkksAdd)
           Eval->addInPlace(A, B);
         else
@@ -219,22 +261,28 @@ StatusOr<fhe::Ciphertext> CkksExecutor::run(const Ciphertext &Input) {
       break;
     }
     case NodeKind::NK_CkksRescale: {
-      Ciphertext A = Values.at(N->Operands[0]->Id);
-      Eval->rescaleInPlace(A);
-      Values[N->Id] = std::move(A);
+      ACE_ASSIGN_OR_RETURN(
+          Values[N->Id],
+          Eval->checkedRescale(Values.at(N->Operands[0]->Id)));
       break;
     }
     case NodeKind::NK_CkksModSwitch: {
-      Ciphertext A = Values.at(N->Operands[0]->Id);
-      Eval->modSwitchTo(A, static_cast<size_t>(N->Ints[0]));
-      Values[N->Id] = std::move(A);
+      ACE_ASSIGN_OR_RETURN(
+          Values[N->Id],
+          Eval->checkedModSwitchTo(Values.at(N->Operands[0]->Id),
+                                   static_cast<size_t>(N->Ints[0])));
       break;
     }
     case NodeKind::NK_CkksBootstrap: {
-      assert(Boot && "bootstrap node without a bootstrapper");
+      if (!Boot)
+        return Status::keyMissing(
+            "executor bootstrap: program contains a bootstrap node but "
+            "setup() generated no bootstrapping keys");
       const Ciphertext &A = Values.at(N->Operands[0]->Id);
-      Values[N->Id] =
-          Boot->bootstrap(A, static_cast<size_t>(N->BootstrapTarget));
+      ACE_ASSIGN_OR_RETURN(
+          Values[N->Id],
+          Boot->checkedBootstrap(A,
+                                 static_cast<size_t>(N->BootstrapTarget)));
       break;
     }
     case NodeKind::NK_Return:
@@ -253,20 +301,29 @@ StatusOr<fhe::Ciphertext> CkksExecutor::run(const Ciphertext &Input) {
   return Result;
 }
 
-std::vector<double> CkksExecutor::decryptLogits(const Ciphertext &Output) {
-  auto Slots = Decrypt->decryptRealValues(*Enc, Output);
+StatusOr<std::vector<double>>
+CkksExecutor::decryptLogits(const Ciphertext &Output) {
+  if (!Decrypt)
+    return Status::invalidArgument("executor: setup() not run");
+  ACE_ASSIGN_OR_RETURN(std::vector<double> Slots,
+                       Decrypt->checkedDecryptRealValues(*Enc, Output));
   const CipherLayout &L = State.OutputLayout;
   bool ChannelMode = L.C0 > 1;
   std::vector<double> Logits(State.OutputCount);
   for (int64_t K = 0; K < State.OutputCount; ++K) {
     size_t Slot = ChannelMode ? L.slotOf(K, 0, 0) : L.slotOf(0, 0, K);
+    if (Slot >= Slots.size())
+      return Status::invalidArgument(
+          "executor: output layout maps logit " + std::to_string(K) +
+          " to slot " + std::to_string(Slot) + " but the ciphertext holds " +
+          std::to_string(Slots.size()));
     Logits[K] = Slots[Slot] * State.OutputDataScale;
   }
   return Logits;
 }
 
 StatusOr<std::vector<double>> CkksExecutor::infer(const nn::Tensor &Input) {
-  Ciphertext Ct = encryptInput(Input);
+  ACE_ASSIGN_OR_RETURN(Ciphertext Ct, encryptInput(Input));
   auto Out = run(Ct);
   if (!Out.ok())
     return Out.status();

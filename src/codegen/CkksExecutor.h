@@ -47,13 +47,18 @@ public:
   Status setup();
 
   /// Client-side: packs, normalizes, encodes and encrypts a tensor.
-  fhe::Ciphertext encryptInput(const nn::Tensor &Input);
+  /// Routes through the checked encryptor, so injected ciphertext faults
+  /// (and bad layouts) surface here as a Status.
+  StatusOr<fhe::Ciphertext> encryptInput(const nn::Tensor &Input);
 
-  /// Server-side: runs the encrypted inference.
+  /// Server-side: runs the encrypted inference. Every homomorphic step
+  /// goes through the checked evaluator tier: a corrupted operand or a
+  /// missing key aborts the run with a diagnostic Status instead of
+  /// crashing the process.
   StatusOr<fhe::Ciphertext> run(const fhe::Ciphertext &Input);
 
   /// Client-side: decrypts and unpacks the logits.
-  std::vector<double> decryptLogits(const fhe::Ciphertext &Output);
+  StatusOr<std::vector<double>> decryptLogits(const fhe::Ciphertext &Output);
 
   /// Convenience: encrypt, run, decrypt.
   StatusOr<std::vector<double>> infer(const nn::Tensor &Input);

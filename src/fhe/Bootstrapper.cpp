@@ -286,12 +286,59 @@ Ciphertext Bootstrapper::modRaise(const Ciphertext &Ct, size_t NumQ) const {
   return Out;
 }
 
+StatusOr<Ciphertext> Bootstrapper::checkedBootstrap(const Ciphertext &Ct,
+                                                    size_t TargetNumQ) const {
+  const Context &Ctx = Eval.context();
+  ACE_RETURN_IF_ERROR(validateCiphertext(Ctx, Ct, "bootstrap"));
+  if (Ct.size() != 2)
+    return Status::invalidArgument(
+        "bootstrap: relinearize before bootstrapping (ciphertext has " +
+        std::to_string(Ct.size()) + " components)");
+  if (!Ctx.params().SparseSecret)
+    return Status::invalidArgument(
+        "bootstrap: parameters use a dense secret; bootstrapping "
+        "requires the sparse secret that bounds the ModRaise overflow");
+  if (!scalesClose(Ct.Scale, Ctx.scale()))
+    return Status::scaleMismatch(
+        scaleMismatchMessage("bootstrap", Ct.Scale, Ctx.scale()) +
+        "; the input must be at the context scale");
+  if (TargetNumQ < 1)
+    return Status::invalidArgument("bootstrap: target of 0 active primes");
+  size_t Raised = TargetNumQ + static_cast<size_t>(depthCost());
+  if (Raised > Ctx.chainLength())
+    return Status::depthExhausted(
+        "bootstrap: target of " + std::to_string(TargetNumQ) +
+        " active primes needs a raised chain of " + std::to_string(Raised) +
+        " primes but the modulus chain holds " +
+        std::to_string(Ctx.chainLength()));
+  const EvalKeys &Keys = Eval.keys();
+  if (!Keys.HasRelin)
+    return Status::keyMissing(
+        "bootstrap: relinearization key not generated");
+  if (!Keys.HasConjugate)
+    return Status::keyMissing("bootstrap: conjugation key not generated");
+  for (uint64_t Galois : requiredGaloisElements())
+    if (!Keys.Rotations.count(Galois))
+      return Status::keyMissing(
+          "bootstrap: SubSum Galois key for element " +
+          std::to_string(Galois) + " not generated");
+  for (int64_t Step : requiredRotations()) {
+    uint64_t Galois = galoisForRotation(Ctx.degree(), Ctx.slots(), Step);
+    if (Galois != 1 && !Keys.Rotations.count(Galois))
+      return Status::keyMissing(
+          "bootstrap: BSGS rotation key for step " + std::to_string(Step) +
+          " (galois element " + std::to_string(Galois) +
+          ") not generated");
+  }
+  return bootstrap(Ct, TargetNumQ);
+}
+
 Ciphertext Bootstrapper::bootstrap(const Ciphertext &Ct,
                                    size_t TargetNumQ) const {
   const Context &Ctx = Eval.context();
   assert(Ctx.params().SparseSecret &&
          "bootstrapping requires the sparse secret (bounds RangeK)");
-  assert(scalesClose(Ct.Scale, Ctx.scale()) &&
+  assert(scalesCloseOrReport("bootstrap", Ct.Scale, Ctx.scale()) &&
          "bootstrap input must be at the context scale");
   size_t Raised = TargetNumQ + static_cast<size_t>(depthCost());
   assert(Raised <= Ctx.chainLength() &&

@@ -86,6 +86,14 @@ public:
   /// and must be at the context scale with |values| <= 1.
   Ciphertext bootstrap(const Ciphertext &Ct, size_t TargetNumQ) const;
 
+  /// Release-mode validated variant of bootstrap(): verifies the sparse
+  /// secret, the input scale (naming both scales and their ratio on
+  /// mismatch), the chain depth the target needs, and that every
+  /// required key (relin, conjugation, SubSum Galois, BSGS rotation) is
+  /// present, returning a diagnostic Status instead of asserting.
+  StatusOr<Ciphertext> checkedBootstrap(const Ciphertext &Ct,
+                                        size_t TargetNumQ) const;
+
   /// Bytes held by the cached CoeffToSlot/SlotToCoeff plaintexts.
   size_t cachedPlaintextBytes() const;
 

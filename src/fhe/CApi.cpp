@@ -10,17 +10,84 @@
 
 #include "fhe/Bootstrapper.h"
 #include "fhe/Encryptor.h"
+#include "fhe/Evaluator.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 using namespace ace;
 using namespace ace::fhe;
 
+//===----------------------------------------------------------------------===//
+// Thread-local error channel
+//===----------------------------------------------------------------------===//
+
+namespace {
+thread_local AceErrorCode LastErrorCode = ACE_OK;
+thread_local std::string LastErrorMessage;
+
+AceErrorCode toCCode(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return ACE_OK;
+  case ErrorCode::InvalidArgument:
+    return ACE_ERR_INVALID_ARGUMENT;
+  case ErrorCode::LevelMismatch:
+    return ACE_ERR_LEVEL_MISMATCH;
+  case ErrorCode::ScaleMismatch:
+    return ACE_ERR_SCALE_MISMATCH;
+  case ErrorCode::KeyMissing:
+    return ACE_ERR_KEY_MISSING;
+  case ErrorCode::DepthExhausted:
+    return ACE_ERR_DEPTH_EXHAUSTED;
+  case ErrorCode::ResourceExhausted:
+    return ACE_ERR_RESOURCE_EXHAUSTED;
+  case ErrorCode::Internal:
+    return ACE_ERR_INTERNAL;
+  }
+  return ACE_ERR_INTERNAL;
+}
+
+void setLastError(const Status &S) {
+  LastErrorCode = toCCode(S.code());
+  LastErrorMessage = S.message();
+}
+
+void setLastError(AceErrorCode Code, std::string Message) {
+  LastErrorCode = Code;
+  LastErrorMessage = std::move(Message);
+}
+} // namespace
+
+AceErrorCode ace_last_error(void) { return LastErrorCode; }
+
+const char *ace_last_error_message(void) {
+  return LastErrorMessage.c_str();
+}
+
+void ace_clear_error(void) {
+  LastErrorCode = ACE_OK;
+  LastErrorMessage.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Handles
+//===----------------------------------------------------------------------===//
+
+// Handle structs carry a magic tag so use-after-free and garbage pointers
+// are detected best-effort instead of corrupting memory.
+namespace {
+constexpr uint32_t kContextMagic = 0xACEC0DE1u;
+constexpr uint32_t kCipherMagic = 0xACEC0DE2u;
+constexpr uint32_t kDeadMagic = 0xDEADC0DEu;
+} // namespace
+
 /// The C context bundles the whole runtime.
 struct AceFheContext {
+  uint32_t Magic = kContextMagic;
   std::unique_ptr<Context> Ctx;
   std::unique_ptr<Encoder> Enc;
   std::unique_ptr<KeyGenerator> Gen;
@@ -33,8 +100,43 @@ struct AceFheContext {
 };
 
 struct AceFheCiphertext {
+  uint32_t Magic = kCipherMagic;
   Ciphertext Ct;
 };
+
+namespace {
+bool validContext(const AceFheContext *Ctx, const char *What) {
+  if (Ctx && Ctx->Magic == kContextMagic)
+    return true;
+  setLastError(ACE_ERR_INVALID_ARGUMENT,
+               std::string(What) +
+                   ": null, freed, or corrupted context handle");
+  return false;
+}
+
+bool validCipher(const AceFheCiphertext *Ct, const char *What) {
+  if (Ct && Ct->Magic == kCipherMagic)
+    return true;
+  setLastError(ACE_ERR_INVALID_ARGUMENT,
+               std::string(What) +
+                   ": null, freed, or corrupted ciphertext handle");
+  return false;
+}
+
+/// Wraps a checked-evaluator result into a fresh handle, or records the
+/// error and returns NULL.
+AceFheCiphertext *wrapResult(StatusOr<Ciphertext> Result) {
+  if (!Result.ok()) {
+    setLastError(Result.status());
+    return nullptr;
+  }
+  return new AceFheCiphertext{kCipherMagic, Result.take()};
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Context lifecycle
+//===----------------------------------------------------------------------===//
 
 AceFheContext *ace_create(size_t RingDegree, size_t Slots, int LogScale,
                           int LogQ0, int NumRescale, int LogSpecial,
@@ -48,8 +150,18 @@ AceFheContext *ace_create(size_t RingDegree, size_t Slots, int LogScale,
   P.LogSpecialModulus = LogSpecial;
   P.SparseSecret = SparseSecret != 0;
   P.Seed = Seed;
-  if (!P.valid())
+  if (!P.valid()) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT,
+                 "create: invalid parameters: ring degree " +
+                     std::to_string(RingDegree) + ", " +
+                     std::to_string(Slots) + " slots, log scale " +
+                     std::to_string(LogScale) + ", log q0 " +
+                     std::to_string(LogQ0) + ", " +
+                     std::to_string(NumRescale) +
+                     " rescale primes, log special " +
+                     std::to_string(LogSpecial));
     return nullptr;
+  }
   auto *C = new AceFheContext();
   C->Ctx = std::make_unique<Context>(P);
   C->Enc = std::make_unique<Encoder>(*C->Ctx);
@@ -61,13 +173,35 @@ AceFheContext *ace_create(size_t RingDegree, size_t Slots, int LogScale,
   return C;
 }
 
-void ace_destroy(AceFheContext *Ctx) { delete Ctx; }
+void ace_destroy(AceFheContext *Ctx) {
+  if (!Ctx)
+    return;
+  Ctx->Magic = kDeadMagic;
+  delete Ctx;
+}
 
-void ace_keygen(AceFheContext *C, const int64_t *Steps,
-                const size_t *StepMaxQ, size_t NSteps, int NeedRelin,
-                int NeedConj, int Bootstrap, int BootK, int BootDa,
-                int BootDeg) {
+int ace_keygen(AceFheContext *C, const int64_t *Steps,
+               const size_t *StepMaxQ, size_t NSteps, int NeedRelin,
+               int NeedConj, int Bootstrap, int BootK, int BootDa,
+               int BootDeg) {
+  if (!validContext(C, "keygen"))
+    return ACE_ERR_INVALID_ARGUMENT;
+  if (NSteps > 0 && !Steps) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT,
+                 "keygen: " + std::to_string(NSteps) +
+                     " rotation steps requested but the step array is "
+                     "NULL");
+    return ACE_ERR_INVALID_ARGUMENT;
+  }
   if (Bootstrap) {
+    if (BootK < 1 || BootDa < 0 || BootDeg < 3) {
+      setLastError(ACE_ERR_INVALID_ARGUMENT,
+                   "keygen: invalid bootstrap configuration: range K " +
+                       std::to_string(BootK) + ", double angles " +
+                       std::to_string(BootDa) + ", chebyshev degree " +
+                       std::to_string(BootDeg));
+      return ACE_ERR_INVALID_ARGUMENT;
+    }
     BootstrapConfig Cfg;
     Cfg.RangeK = BootK;
     Cfg.DoubleAngleCount = BootDa;
@@ -94,108 +228,199 @@ void ace_keygen(AceFheContext *C, const int64_t *Steps,
     C->Keys.Conjugate = C->Gen->makeConjugationKey();
     C->Keys.HasConjugate = true;
   }
+  return ACE_OK;
 }
+
+//===----------------------------------------------------------------------===//
+// Encrypt / decrypt
+//===----------------------------------------------------------------------===//
 
 AceFheCiphertext *ace_encrypt(AceFheContext *C, const double *Slots,
                               size_t N, size_t NumQ) {
+  if (!validContext(C, "encrypt"))
+    return nullptr;
+  if (N > 0 && !Slots) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT,
+                 "encrypt: NULL slot array with " + std::to_string(N) +
+                     " values");
+    return nullptr;
+  }
   std::vector<double> V(Slots, Slots + N);
-  V.resize(C->Ctx->slots(), 0.0);
-  return new AceFheCiphertext{C->Encrypt->encryptValues(*C->Enc, V, NumQ)};
+  auto R = C->Encrypt->checkedEncryptValues(*C->Enc, V, NumQ);
+  // Postcondition: a fresh encryption is always at the context scale. In a
+  // generated program every ciphertext derives from the inputs encrypted
+  // here, and downstream plaintext encodes adapt to the operand's recorded
+  // scale — so a corrupted input scale would flow through a purely linear
+  // pipeline undetected. This boundary is the only place it can be caught.
+  if (R.ok() && !scalesClose(R->Scale, C->Ctx->scale())) {
+    setLastError(ACE_ERR_SCALE_MISMATCH,
+                 scaleMismatchMessage("encrypt", R->Scale, C->Ctx->scale()) +
+                     "; a fresh ciphertext must be at the context scale "
+                     "(corrupted metadata?)");
+    return nullptr;
+  }
+  return wrapResult(std::move(R));
 }
 
-void ace_decrypt(AceFheContext *C, const AceFheCiphertext *Ct, double *Out,
-                 size_t N) {
-  auto V = C->Decrypt->decryptRealValues(*C->Enc, Ct->Ct);
-  for (size_t I = 0; I < N && I < V.size(); ++I)
-    Out[I] = V[I];
+int ace_decrypt(AceFheContext *C, const AceFheCiphertext *Ct, double *Out,
+                size_t N) {
+  if (!validContext(C, "decrypt") || !validCipher(Ct, "decrypt"))
+    return ACE_ERR_INVALID_ARGUMENT;
+  if (N > 0 && !Out) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT,
+                 "decrypt: NULL output array with " + std::to_string(N) +
+                     " slots requested");
+    return ACE_ERR_INVALID_ARGUMENT;
+  }
+  auto V = C->Decrypt->checkedDecryptRealValues(*C->Enc, Ct->Ct);
+  if (!V.ok()) {
+    setLastError(V.status());
+    return toCCode(V.status().code());
+  }
+  for (size_t I = 0; I < N && I < V->size(); ++I)
+    Out[I] = (*V)[I];
+  return ACE_OK;
 }
 
-void ace_ct_free(AceFheCiphertext *Ct) { delete Ct; }
+void ace_ct_free(AceFheCiphertext *Ct) {
+  if (!Ct)
+    return;
+  Ct->Magic = kDeadMagic;
+  delete Ct;
+}
+
+//===----------------------------------------------------------------------===//
+// Homomorphic operations
+//===----------------------------------------------------------------------===//
 
 AceFheCiphertext *ace_rotate(AceFheContext *C, const AceFheCiphertext *A,
                              int64_t Steps) {
-  return new AceFheCiphertext{C->Eval->rotate(A->Ct, Steps)};
+  if (!validContext(C, "rotate") || !validCipher(A, "rotate"))
+    return nullptr;
+  return wrapResult(C->Eval->checkedRotate(A->Ct, Steps));
 }
 
 AceFheCiphertext *ace_add(AceFheContext *C, const AceFheCiphertext *A,
                           const AceFheCiphertext *B) {
-  Ciphertext X = A->Ct, Y = B->Ct;
-  C->Eval->matchForAdd(X, Y);
-  C->Eval->addInPlace(X, Y);
-  return new AceFheCiphertext{std::move(X)};
+  if (!validContext(C, "add") || !validCipher(A, "add") ||
+      !validCipher(B, "add"))
+    return nullptr;
+  return wrapResult(C->Eval->checkedAdd(A->Ct, B->Ct));
 }
 
 AceFheCiphertext *ace_sub(AceFheContext *C, const AceFheCiphertext *A,
                           const AceFheCiphertext *B) {
-  Ciphertext X = A->Ct, Y = B->Ct;
-  C->Eval->matchForAdd(X, Y);
-  C->Eval->subInPlace(X, Y);
-  return new AceFheCiphertext{std::move(X)};
+  if (!validContext(C, "sub") || !validCipher(A, "sub") ||
+      !validCipher(B, "sub"))
+    return nullptr;
+  return wrapResult(C->Eval->checkedSub(A->Ct, B->Ct));
 }
 
 AceFheCiphertext *ace_mul(AceFheContext *C, const AceFheCiphertext *A,
                           const AceFheCiphertext *B) {
-  Ciphertext X = A->Ct, Y = B->Ct;
-  C->Eval->matchForAdd(X, Y);
-  return new AceFheCiphertext{C->Eval->mul(X, Y)};
+  if (!validContext(C, "mul") || !validCipher(A, "mul") ||
+      !validCipher(B, "mul"))
+    return nullptr;
+  return wrapResult(C->Eval->checkedMul(A->Ct, B->Ct));
 }
 
 AceFheCiphertext *ace_mul_plain(AceFheContext *C, const AceFheCiphertext *A,
                                 const double *Vec, size_t N) {
+  if (!validContext(C, "mul_plain") || !validCipher(A, "mul_plain"))
+    return nullptr;
+  if (N > 0 && !Vec) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT,
+                 "mul_plain: NULL plaintext vector with " +
+                     std::to_string(N) + " values");
+    return nullptr;
+  }
   std::vector<double> V(Vec, Vec + N);
-  V.resize(C->Ctx->slots(), 0.0);
-  Plaintext P = C->Eval->encodeForMul(A->Ct, V);
-  return new AceFheCiphertext{C->Eval->mulPlain(A->Ct, P)};
+  return wrapResult(C->Eval->checkedMulPlain(A->Ct, V));
 }
 
 AceFheCiphertext *ace_add_plain(AceFheContext *C, const AceFheCiphertext *A,
                                 const double *Vec, size_t N) {
+  if (!validContext(C, "add_plain") || !validCipher(A, "add_plain"))
+    return nullptr;
+  if (N > 0 && !Vec) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT,
+                 "add_plain: NULL plaintext vector with " +
+                     std::to_string(N) + " values");
+    return nullptr;
+  }
   std::vector<double> V(Vec, Vec + N);
-  V.resize(C->Ctx->slots(), 0.0);
-  Plaintext P = C->Eval->encodeForAdd(A->Ct, V);
-  return new AceFheCiphertext{C->Eval->addPlain(A->Ct, P)};
+  return wrapResult(C->Eval->checkedAddPlain(A->Ct, V));
 }
 
 AceFheCiphertext *ace_mul_const(AceFheContext *C, const AceFheCiphertext *A,
                                 double Value) {
-  return new AceFheCiphertext{
-      C->Eval->mulScalar(A->Ct, Value, A->Ct.Scale)};
+  if (!validContext(C, "mul_const") || !validCipher(A, "mul_const"))
+    return nullptr;
+  return wrapResult(
+      C->Eval->checkedMulScalar(A->Ct, Value, A->Ct.Scale));
 }
 
 AceFheCiphertext *ace_add_const(AceFheContext *C, const AceFheCiphertext *A,
                                 double Value) {
-  Ciphertext X = A->Ct;
-  C->Eval->addConstInPlace(X, Value);
-  return new AceFheCiphertext{std::move(X)};
+  if (!validContext(C, "add_const") || !validCipher(A, "add_const"))
+    return nullptr;
+  return wrapResult(C->Eval->checkedAddConst(A->Ct, Value));
 }
 
 AceFheCiphertext *ace_rescale(AceFheContext *C, const AceFheCiphertext *A) {
-  Ciphertext X = A->Ct;
-  C->Eval->rescaleInPlace(X);
-  return new AceFheCiphertext{std::move(X)};
+  if (!validContext(C, "rescale") || !validCipher(A, "rescale"))
+    return nullptr;
+  return wrapResult(C->Eval->checkedRescale(A->Ct));
 }
 
 AceFheCiphertext *ace_modswitch_to(AceFheContext *C,
                                    const AceFheCiphertext *A, size_t NumQ) {
-  Ciphertext X = A->Ct;
-  C->Eval->modSwitchTo(X, NumQ);
-  return new AceFheCiphertext{std::move(X)};
+  if (!validContext(C, "modswitch") || !validCipher(A, "modswitch"))
+    return nullptr;
+  return wrapResult(C->Eval->checkedModSwitchTo(A->Ct, NumQ));
 }
 
 AceFheCiphertext *ace_bootstrap(AceFheContext *C, const AceFheCiphertext *A,
                                 size_t Target) {
-  return new AceFheCiphertext{C->Boot->bootstrap(A->Ct, Target)};
+  if (!validContext(C, "bootstrap") || !validCipher(A, "bootstrap"))
+    return nullptr;
+  if (!C->Boot) {
+    setLastError(ACE_ERR_KEY_MISSING,
+                 "bootstrap: bootstrapping keys not generated (keygen "
+                 "was called without the bootstrap flag)");
+    return nullptr;
+  }
+  return wrapResult(C->Boot->checkedBootstrap(A->Ct, Target));
 }
 
+//===----------------------------------------------------------------------===//
+// Weights
+//===----------------------------------------------------------------------===//
+
 double *ace_load_weights(const char *Path, size_t *Count) {
-  FILE *F = std::fopen(Path, "rb");
-  if (!F)
+  if (!Path) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT,
+                 "load_weights: NULL path");
     return nullptr;
+  }
+  FILE *F = std::fopen(Path, "rb");
+  if (!F) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT,
+                 std::string("load_weights: cannot open '") + Path + "'");
+    return nullptr;
+  }
   std::fseek(F, 0, SEEK_END);
   long Bytes = std::ftell(F);
   std::fseek(F, 0, SEEK_SET);
   size_t N = static_cast<size_t>(Bytes) / sizeof(double);
   double *Data = static_cast<double *>(std::malloc(N * sizeof(double)));
+  if (!Data) {
+    std::fclose(F);
+    setLastError(ACE_ERR_RESOURCE_EXHAUSTED,
+                 "load_weights: cannot allocate " +
+                     std::to_string(N * sizeof(double)) + " bytes");
+    return nullptr;
+  }
   size_t Read = std::fread(Data, sizeof(double), N, F);
   std::fclose(F);
   if (Count)

@@ -12,6 +12,13 @@
 /// for CPU execution against its library). Handles are opaque; every
 /// ciphertext returned must be released with ace_ct_free.
 ///
+/// Error channel: no call crashes on a caller mistake. Fallible calls
+/// return NULL (handle-producing) or a nonzero AceErrorCode
+/// (int-returning); the thread-local ace_last_error() /
+/// ace_last_error_message() pair then describes the failure, naming the
+/// offending levels, scales, or rotation steps. Passing a freed or
+/// corrupted handle is detected best-effort via handle magic tags.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ACE_FHE_CAPI_H
@@ -27,7 +34,33 @@ extern "C" {
 typedef struct AceFheContext AceFheContext;
 typedef struct AceFheCiphertext AceFheCiphertext;
 
+/// Failure categories, mirroring the C++ ace::ErrorCode enum.
+typedef enum AceErrorCode {
+  ACE_OK = 0,
+  ACE_ERR_INVALID_ARGUMENT = 1,
+  ACE_ERR_LEVEL_MISMATCH = 2,
+  ACE_ERR_SCALE_MISMATCH = 3,
+  ACE_ERR_KEY_MISSING = 4,
+  ACE_ERR_DEPTH_EXHAUSTED = 5,
+  ACE_ERR_RESOURCE_EXHAUSTED = 6,
+  ACE_ERR_INTERNAL = 7,
+} AceErrorCode;
+
+/// The code of the last failed call on this thread (ACE_OK when no call
+/// failed since ace_clear_error). Sticky: successful calls do not reset
+/// it.
+AceErrorCode ace_last_error(void);
+
+/// Human-readable description of the last failure on this thread; the
+/// empty string when none. The pointer stays valid until the next failing
+/// call on the same thread.
+const char *ace_last_error_message(void);
+
+/// Resets the thread's error state to ACE_OK.
+void ace_clear_error(void);
+
 /// Creates a runtime context (parameters as selected by the compiler).
+/// Returns NULL with the error channel set on invalid parameters.
 AceFheContext *ace_create(size_t ring_degree, size_t slots, int log_scale,
                           int log_q0, int num_rescale, int log_special,
                           int sparse_secret, uint64_t seed);
@@ -36,21 +69,23 @@ void ace_destroy(AceFheContext *ctx);
 /// Generates keys: rotation steps (with optional per-step level caps via
 /// step_maxq, may be NULL), relinearization/conjugation, and - when
 /// bootstrap is nonzero - the bootstrapping key material with the given
-/// configuration.
-void ace_keygen(AceFheContext *ctx, const int64_t *steps,
-                const size_t *step_maxq, size_t nsteps, int need_relin,
-                int need_conj, int bootstrap, int boot_k, int boot_da,
-                int boot_deg);
+/// configuration. Returns ACE_OK or an error code.
+int ace_keygen(AceFheContext *ctx, const int64_t *steps,
+               const size_t *step_maxq, size_t nsteps, int need_relin,
+               int need_conj, int bootstrap, int boot_k, int boot_da,
+               int boot_deg);
 
 /// Encrypts slot values (length = slot count) at numq active primes.
 AceFheCiphertext *ace_encrypt(AceFheContext *ctx, const double *slots,
                               size_t n, size_t numq);
-/// Decrypts into out (length = slot count).
-void ace_decrypt(AceFheContext *ctx, const AceFheCiphertext *ct,
-                 double *out, size_t n);
+/// Decrypts into out (length = slot count). Returns ACE_OK or an error
+/// code.
+int ace_decrypt(AceFheContext *ctx, const AceFheCiphertext *ct,
+                double *out, size_t n);
 void ace_ct_free(AceFheCiphertext *ct);
 
-/// Homomorphic operations (paper Table 6). Results are fresh handles.
+/// Homomorphic operations (paper Table 6). Results are fresh handles;
+/// NULL with the error channel set on failure.
 AceFheCiphertext *ace_rotate(AceFheContext *ctx, const AceFheCiphertext *a,
                              int64_t steps);
 AceFheCiphertext *ace_add(AceFheContext *ctx, const AceFheCiphertext *a,
@@ -77,7 +112,8 @@ AceFheCiphertext *ace_bootstrap(AceFheContext *ctx,
 
 /// Loads the external weight blob written next to the generated program
 /// (paper Sec. 3.4 stores weights externally). Returns a malloc'd array
-/// the caller frees; count receives the number of doubles.
+/// the caller frees; count receives the number of doubles. NULL with the
+/// error channel set when the file cannot be read.
 double *ace_load_weights(const char *path, size_t *count);
 
 #ifdef __cplusplus

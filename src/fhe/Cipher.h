@@ -20,6 +20,7 @@
 #define ACE_FHE_CIPHER_H
 
 #include "fhe/RnsPoly.h"
+#include "support/Status.h"
 
 #include <cassert>
 #include <vector>
@@ -64,6 +65,16 @@ struct Ciphertext {
     return Sum;
   }
 };
+
+/// Release-mode integrity check of a ciphertext against its context:
+/// polynomial count in {2, 3}, consistent per-polynomial prime counts
+/// within the chain, NTT form without special component, the context's
+/// slot count, and a finite positive scale. Returns a Status naming the
+/// offending value so corrupted metadata surfaces as a recoverable error
+/// instead of undefined behavior. \p What names the operation for the
+/// diagnostic. (Defined in Evaluator.cpp.)
+Status validateCiphertext(const Context &Ctx, const Ciphertext &A,
+                          const char *What);
 
 } // namespace fhe
 } // namespace ace

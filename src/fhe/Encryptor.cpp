@@ -8,10 +8,28 @@
 
 #include "fhe/Encryptor.h"
 
+#include "support/FaultInjector.h"
+
 #include <cassert>
 
 using namespace ace;
 using namespace ace::fhe;
+
+void ace::fhe::applyCiphertextFaults(Ciphertext &Ct) {
+  FaultInjector &Faults = FaultInjector::instance();
+  if (!Faults.enabled())
+    return;
+  // Each corruption models a realistic bug class: scale bookkeeping gone
+  // wrong (the CHET/nGraph-HE2 failure mode), a mispacked tensor, and a
+  // rescale that dropped a prime from only part of the ciphertext.
+  if (Faults.shouldFire(FaultKind::ScaleDrift))
+    Ct.Scale *= 1.05;
+  if (Faults.shouldFire(FaultKind::SlotCorrupt))
+    Ct.Slots = Ct.Slots * 2 + 1;
+  if (Faults.shouldFire(FaultKind::TruncateChain) && !Ct.Polys.empty() &&
+      Ct.Polys.back().numQ() > 1)
+    Ct.Polys.back().dropLastQ();
+}
 
 Encryptor::Encryptor(const Context &Ctx, const PublicKey &Key)
     : Ctx(Ctx), Key(Key), Rand(Ctx.params().Seed ^ 0x9e3779b9ULL) {}
@@ -71,6 +89,25 @@ Ciphertext Encryptor::encryptValues(const Encoder &Enc,
   return encrypt(Enc.encodeReal(Values, Ctx.scale(), NumQ));
 }
 
+StatusOr<Ciphertext>
+Encryptor::checkedEncryptValues(const Encoder &Enc,
+                                const std::vector<double> &Values,
+                                size_t NumQ) {
+  if (NumQ < 1 || NumQ > Ctx.chainLength())
+    return Status::levelMismatch(
+        "encrypt: requested " + std::to_string(NumQ) +
+        " active primes but the modulus chain holds " +
+        std::to_string(Ctx.chainLength()));
+  if (Values.size() > Ctx.slots())
+    return Status::invalidArgument(
+        "encrypt: " + std::to_string(Values.size()) +
+        " values exceed the context's " + std::to_string(Ctx.slots()) +
+        " slots");
+  Ciphertext Ct = encryptValues(Enc, Values, NumQ);
+  applyCiphertextFaults(Ct);
+  return Ct;
+}
+
 Decryptor::Decryptor(const Context &Ctx, const SecretKey &Key)
     : Ctx(Ctx), Key(Key) {}
 
@@ -107,4 +144,11 @@ std::vector<double> Decryptor::decryptRealValues(const Encoder &Enc,
   for (size_t I = 0; I < Complexes.size(); ++I)
     Reals[I] = Complexes[I].real();
   return Reals;
+}
+
+StatusOr<std::vector<double>>
+Decryptor::checkedDecryptRealValues(const Encoder &Enc,
+                                    const Ciphertext &Ct) {
+  ACE_RETURN_IF_ERROR(validateCiphertext(Ctx, Ct, "decrypt"));
+  return decryptRealValues(Enc, Ct);
 }

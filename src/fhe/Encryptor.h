@@ -39,11 +39,25 @@ public:
   Ciphertext encryptValues(const Encoder &Enc,
                            const std::vector<double> &Values, size_t NumQ);
 
+  /// Release-mode validated variant of encryptValues: verifies \p NumQ
+  /// lies within the modulus chain and \p Values fits the slot count,
+  /// and routes the fresh ciphertext through the fault-injection hook
+  /// (applyCiphertextFaults) so armed metadata corruptions take effect.
+  StatusOr<Ciphertext> checkedEncryptValues(const Encoder &Enc,
+                                            const std::vector<double> &Values,
+                                            size_t NumQ);
+
 private:
   const Context &Ctx;
   const PublicKey &Key;
   Rng Rand;
 };
+
+/// Fault-injection hook for freshly produced ciphertexts: applies any
+/// armed metadata corruption (scale drift, slot-count corruption,
+/// inconsistent prime-chain truncation) to \p Ct. No-op when the
+/// injector has nothing armed.
+void applyCiphertextFaults(Ciphertext &Ct);
 
 /// Decrypts ciphertexts with the secret key.
 class Decryptor {
@@ -61,6 +75,12 @@ public:
   /// Decrypts and decodes, returning real parts only.
   std::vector<double> decryptRealValues(const Encoder &Enc,
                                         const Ciphertext &Ct);
+
+  /// Release-mode validated variant of decryptRealValues: rejects
+  /// malformed or metadata-corrupted ciphertexts with a diagnostic
+  /// instead of decoding garbage.
+  StatusOr<std::vector<double>>
+  checkedDecryptRealValues(const Encoder &Enc, const Ciphertext &Ct);
 
 private:
   const Context &Ctx;

@@ -9,6 +9,7 @@
 #include "fhe/Evaluator.h"
 
 #include "fhe/ModArith.h"
+#include "support/FaultInjector.h"
 
 #include <cassert>
 #include <cstdio>
@@ -21,6 +22,74 @@ bool ace::fhe::scalesClose(double A, double B) {
   return std::fabs(A - B) <= 1e-3 * std::fmax(A, B);
 }
 
+std::string ace::fhe::scaleMismatchMessage(const char *What, double A,
+                                           double B) {
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "%s: scale mismatch: lhs scale %.6g vs rhs scale %.6g "
+                "(ratio %.9g)",
+                What, A, B, B != 0.0 ? A / B : std::nan(""));
+  return Buf;
+}
+
+bool ace::fhe::scalesCloseOrReport(const char *What, double A, double B) {
+  if (scalesClose(A, B))
+    return true;
+  std::fprintf(stderr, "ace: %s\n", scaleMismatchMessage(What, A, B).c_str());
+  return false;
+}
+
+Status ace::fhe::validateCiphertext(const Context &Ctx, const Ciphertext &A,
+                                    const char *What) {
+  std::string Op(What);
+  if (A.Polys.empty() || A.size() > 3)
+    return Status::invalidArgument(
+        Op + ": malformed ciphertext with " + std::to_string(A.size()) +
+        " polynomial components (expected 2 or 3)");
+  size_t NumQ = A.Polys[0].numQ();
+  if (NumQ < 1 || NumQ > Ctx.chainLength())
+    return Status::levelMismatch(
+        Op + ": ciphertext has " + std::to_string(NumQ) +
+        " active primes but the modulus chain holds " +
+        std::to_string(Ctx.chainLength()));
+  for (const RnsPoly &Poly : A.Polys) {
+    if (Poly.numQ() != NumQ)
+      return Status::internal(
+          Op + ": corrupted ciphertext: component prime counts differ (" +
+          std::to_string(Poly.numQ()) + " vs " + std::to_string(NumQ) +
+          "); the prime chain was truncated inconsistently");
+    if (Poly.hasSpecial() || !Poly.isNtt())
+      return Status::internal(
+          Op + ": corrupted ciphertext: polynomial not in plain NTT form");
+  }
+  if (A.Slots != Ctx.slots())
+    return Status::invalidArgument(
+        Op + ": ciphertext slot count " + std::to_string(A.Slots) +
+        " does not match the context's " + std::to_string(Ctx.slots()) +
+        " slots");
+  if (!std::isfinite(A.Scale) || A.Scale <= 0.0)
+    return Status::invalidArgument(
+        Op + ": ciphertext scale " + std::to_string(A.Scale) +
+        " is not a finite positive number");
+  return Status::success();
+}
+
+/// Shared preamble of every checked entry point: honors the simulated
+/// allocation-failure fault, then validates operand integrity.
+static Status checkedEntry(const Context &Ctx, const char *What,
+                           const Ciphertext *A, const Ciphertext *B) {
+  FaultInjector &Faults = FaultInjector::instance();
+  if (Faults.enabled() && Faults.shouldFire(FaultKind::AllocFail))
+    return Status::resourceExhausted(
+        std::string(What) +
+        ": cannot allocate ciphertext storage (injected fault)");
+  if (A)
+    ACE_RETURN_IF_ERROR(validateCiphertext(Ctx, *A, What));
+  if (B)
+    ACE_RETURN_IF_ERROR(validateCiphertext(Ctx, *B, What));
+  return Status::success();
+}
+
 Evaluator::Evaluator(const Context &Ctx, const Encoder &Enc,
                      const EvalKeys &Keys)
     : Ctx(Ctx), Enc(Enc), Keys(Keys) {
@@ -31,7 +100,7 @@ void Evaluator::checkAddCompatible(const Ciphertext &A,
                                    const Ciphertext &B) const {
   assert(A.numQ() == B.numQ() && "additive operands at different levels");
   assert(A.Slots == B.Slots && "additive operands with different slots");
-  assert(scalesClose(A.Scale, B.Scale) &&
+  assert(scalesCloseOrReport("add", A.Scale, B.Scale) &&
          "additive operands with mismatched scales");
 }
 
@@ -84,7 +153,8 @@ Ciphertext Evaluator::negate(const Ciphertext &A) const {
 
 void Evaluator::addPlainInPlace(Ciphertext &A, const Plaintext &P) const {
   assert(P.numQ() >= A.numQ() && "plaintext level below ciphertext level");
-  assert(scalesClose(A.Scale, P.Scale) && "addPlain scale mismatch");
+  assert(scalesCloseOrReport("addPlain", A.Scale, P.Scale) &&
+         "addPlain scale mismatch");
   ++Counters.Add;
   if (P.numQ() == A.numQ()) {
     A.Polys[0].addInPlace(P.Poly);
@@ -504,6 +574,230 @@ void Evaluator::matchForAdd(Ciphertext &A, Ciphertext &B) const {
     modSwitchTo(A, B.numQ());
   else if (B.numQ() > A.numQ())
     modSwitchTo(B, A.numQ());
-  assert(scalesClose(A.Scale, B.Scale) &&
+  assert(scalesCloseOrReport("matchForAdd", A.Scale, B.Scale) &&
          "operands cannot be aligned: scales differ");
+}
+
+//===----------------------------------------------------------------------===//
+// Checked entry points
+//===----------------------------------------------------------------------===//
+
+Status Evaluator::checkedMatchForAdd(Ciphertext &A, Ciphertext &B) const {
+  ACE_RETURN_IF_ERROR(checkedEntry(Ctx, "matchForAdd", &A, &B));
+  if (A.numQ() > B.numQ())
+    modSwitchTo(A, B.numQ());
+  else if (B.numQ() > A.numQ())
+    modSwitchTo(B, A.numQ());
+  if (!scalesClose(A.Scale, B.Scale))
+    return Status::scaleMismatch(
+        scaleMismatchMessage("matchForAdd", A.Scale, B.Scale) +
+        " at " + std::to_string(A.numQ()) + " active primes");
+  return Status::success();
+}
+
+StatusOr<Ciphertext> Evaluator::checkedAdd(const Ciphertext &A,
+                                           const Ciphertext &B) const {
+  Ciphertext X = A, Y = B;
+  ACE_RETURN_IF_ERROR(checkedMatchForAdd(X, Y));
+  if (X.Slots != Y.Slots)
+    return Status::invalidArgument(
+        "add: operands pack different slot counts (" +
+        std::to_string(X.Slots) + " vs " + std::to_string(Y.Slots) + ")");
+  addInPlace(X, Y);
+  return X;
+}
+
+StatusOr<Ciphertext> Evaluator::checkedSub(const Ciphertext &A,
+                                           const Ciphertext &B) const {
+  Ciphertext X = A, Y = B;
+  ACE_RETURN_IF_ERROR(checkedMatchForAdd(X, Y));
+  if (X.Slots != Y.Slots)
+    return Status::invalidArgument(
+        "sub: operands pack different slot counts (" +
+        std::to_string(X.Slots) + " vs " + std::to_string(Y.Slots) + ")");
+  subInPlace(X, Y);
+  return X;
+}
+
+/// True when the armed fault harness says this key lookup must fail.
+static bool keyDropped(FaultKind Kind) {
+  FaultInjector &Faults = FaultInjector::instance();
+  return Faults.enabled() && Faults.shouldFire(Kind);
+}
+
+Status Evaluator::checkedRelinSupport(const char *What,
+                                      size_t NumQ) const {
+  if (!Keys.HasRelin || keyDropped(FaultKind::DropRelinKey))
+    return Status::keyMissing(
+        std::string(What) +
+        ": relinearization key not generated (call keygen with relin "
+        "enabled)");
+  if (Keys.Relin.Parts.size() < NumQ)
+    return Status::keyMissing(
+        std::string(What) + ": relinearization key truncated to " +
+        std::to_string(Keys.Relin.Parts.size()) +
+        " digits but the ciphertext has " + std::to_string(NumQ) +
+        " active primes");
+  return Status::success();
+}
+
+StatusOr<Ciphertext> Evaluator::checkedMul(const Ciphertext &A,
+                                           const Ciphertext &B) const {
+  Ciphertext X = A, Y = B;
+  ACE_RETURN_IF_ERROR(checkedMatchForAdd(X, Y));
+  if (X.size() != 2 || Y.size() != 2)
+    return Status::invalidArgument(
+        "mul: operands must be relinearized two-polynomial ciphertexts "
+        "(got " + std::to_string(X.size()) + " and " +
+        std::to_string(Y.size()) + " components)");
+  ACE_RETURN_IF_ERROR(checkedRelinSupport("mul", X.numQ()));
+  return mul(X, Y);
+}
+
+StatusOr<Ciphertext>
+Evaluator::checkedMulPlain(const Ciphertext &A,
+                           const std::vector<double> &Values) const {
+  ACE_RETURN_IF_ERROR(checkedEntry(Ctx, "mulPlain", &A, nullptr));
+  if (Values.size() > Ctx.slots())
+    return Status::invalidArgument(
+        "mulPlain: " + std::to_string(Values.size()) +
+        " plaintext values exceed the context's " +
+        std::to_string(Ctx.slots()) + " slots");
+  if (A.numQ() < 2)
+    return Status::depthExhausted(
+        "mulPlain: ciphertext at the base modulus (1 active prime); no "
+        "rescale prime is available to multiply against");
+  std::vector<double> Padded = Values;
+  Padded.resize(Ctx.slots(), 0.0);
+  return mulPlain(A, encodeForMul(A, Padded));
+}
+
+StatusOr<Ciphertext>
+Evaluator::checkedAddPlain(const Ciphertext &A,
+                           const std::vector<double> &Values) const {
+  ACE_RETURN_IF_ERROR(checkedEntry(Ctx, "addPlain", &A, nullptr));
+  if (Values.size() > Ctx.slots())
+    return Status::invalidArgument(
+        "addPlain: " + std::to_string(Values.size()) +
+        " plaintext values exceed the context's " +
+        std::to_string(Ctx.slots()) + " slots");
+  std::vector<double> Padded = Values;
+  Padded.resize(Ctx.slots(), 0.0);
+  return addPlain(A, encodeForAdd(A, Padded));
+}
+
+StatusOr<Ciphertext> Evaluator::checkedMulScalar(const Ciphertext &A,
+                                                 double Value,
+                                                 double TargetScale) const {
+  ACE_RETURN_IF_ERROR(checkedEntry(Ctx, "mulScalar", &A, nullptr));
+  if (A.numQ() < 2)
+    return Status::depthExhausted(
+        "mulScalar: ciphertext at the base modulus (1 active prime); no "
+        "rescale prime is available to scale against");
+  if (!std::isfinite(Value))
+    return Status::invalidArgument("mulScalar: non-finite scalar operand");
+  double Target = TargetScale <= 0.0 ? A.Scale : TargetScale;
+  long double Raw = static_cast<long double>(std::fabs(Value)) *
+                    static_cast<long double>(Target * mulPlainScale(A) /
+                                             A.Scale);
+  if (!(Raw < 0x1.0p62L))
+    return Status::invalidArgument(
+        "mulScalar: scalar " + std::to_string(Value) +
+        " overflows the 62-bit encoding at target scale " +
+        std::to_string(Target));
+  return mulScalar(A, Value, TargetScale);
+}
+
+StatusOr<Ciphertext> Evaluator::checkedAddConst(const Ciphertext &A,
+                                                double Value) const {
+  ACE_RETURN_IF_ERROR(checkedEntry(Ctx, "addConst", &A, nullptr));
+  long double Raw = static_cast<long double>(Value) *
+                    static_cast<long double>(A.Scale);
+  if (!std::isfinite(Value) || !(fabsl(Raw) < 0x1.0p62L))
+    return Status::invalidArgument(
+        "addConst: constant " + std::to_string(Value) +
+        " overflows the 62-bit encoding at scale " +
+        std::to_string(A.Scale));
+  Ciphertext R = A;
+  addConstInPlace(R, Value);
+  return R;
+}
+
+StatusOr<Ciphertext> Evaluator::checkedRotate(const Ciphertext &A,
+                                              int64_t Steps) const {
+  ACE_RETURN_IF_ERROR(checkedEntry(Ctx, "rotate", &A, nullptr));
+  if (A.size() != 2)
+    return Status::invalidArgument(
+        "rotate: relinearize before rotating (ciphertext has " +
+        std::to_string(A.size()) + " components)");
+  int64_t Slots = static_cast<int64_t>(A.Slots);
+  int64_t K = ((Steps % Slots) + Slots) % Slots;
+  if (K == 0)
+    return A;
+  uint64_t Galois = galoisForRotation(Ctx.degree(), A.Slots, K);
+  auto It = Keys.Rotations.find(Galois);
+  if (It == Keys.Rotations.end() || keyDropped(FaultKind::DropGaloisKey))
+    return Status::keyMissing(
+        "rotate: no rotation key for step " + std::to_string(Steps) +
+        " (galois element " + std::to_string(Galois) +
+        "); the key analysis did not request this step");
+  if (It->second.Parts.size() < A.numQ())
+    return Status::keyMissing(
+        "rotate: rotation key for step " + std::to_string(Steps) +
+        " truncated to " + std::to_string(It->second.Parts.size()) +
+        " digits but the ciphertext has " + std::to_string(A.numQ()) +
+        " active primes");
+  ++Counters.Rotate;
+  return applyGalois(A, Galois, It->second);
+}
+
+StatusOr<Ciphertext> Evaluator::checkedConjugate(const Ciphertext &A) const {
+  ACE_RETURN_IF_ERROR(checkedEntry(Ctx, "conjugate", &A, nullptr));
+  if (A.size() != 2)
+    return Status::invalidArgument(
+        "conjugate: relinearize before conjugating (ciphertext has " +
+        std::to_string(A.size()) + " components)");
+  if (!Keys.HasConjugate || keyDropped(FaultKind::DropGaloisKey))
+    return Status::keyMissing("conjugate: conjugation key not generated");
+  if (Keys.Conjugate.Parts.size() < A.numQ())
+    return Status::keyMissing(
+        "conjugate: conjugation key truncated to " +
+        std::to_string(Keys.Conjugate.Parts.size()) +
+        " digits but the ciphertext has " + std::to_string(A.numQ()) +
+        " active primes");
+  return conjugate(A);
+}
+
+StatusOr<Ciphertext> Evaluator::checkedRelinearize(const Ciphertext &A) const {
+  ACE_RETURN_IF_ERROR(checkedEntry(Ctx, "relinearize", &A, nullptr));
+  if (A.size() != 3)
+    return Status::invalidArgument(
+        "relinearize: expected a three-polynomial Cipher3, got " +
+        std::to_string(A.size()) + " components");
+  ACE_RETURN_IF_ERROR(checkedRelinSupport("relinearize", A.numQ()));
+  return relinearize(A);
+}
+
+StatusOr<Ciphertext> Evaluator::checkedRescale(const Ciphertext &A) const {
+  ACE_RETURN_IF_ERROR(checkedEntry(Ctx, "rescale", &A, nullptr));
+  if (A.numQ() < 2)
+    return Status::depthExhausted(
+        "rescale: depth exhausted: ciphertext already at the base modulus "
+        "(1 active prime)");
+  Ciphertext R = A;
+  rescaleInPlace(R);
+  return R;
+}
+
+StatusOr<Ciphertext> Evaluator::checkedModSwitchTo(const Ciphertext &A,
+                                                   size_t NumQ) const {
+  ACE_RETURN_IF_ERROR(checkedEntry(Ctx, "modSwitch", &A, nullptr));
+  if (NumQ < 1 || NumQ > A.numQ())
+    return Status::levelMismatch(
+        "modSwitch: target of " + std::to_string(NumQ) +
+        " active primes is outside [1, " + std::to_string(A.numQ()) +
+        "] for this ciphertext");
+  Ciphertext R = A;
+  modSwitchTo(R, NumQ);
+  return R;
 }

@@ -45,6 +45,13 @@ struct OpCounters {
 };
 
 /// Stateless-per-operation evaluator bound to a context and key set.
+///
+/// Two tiers of entry points: the plain operations below document their
+/// preconditions with asserts only (hot paths, trusted compiled programs),
+/// while the checked* family validates every precondition in release
+/// builds too and returns Status/StatusOr with diagnostics naming the
+/// actual operand levels, scales, and rotation steps. The C API and the
+/// executor route through the checked tier; see docs/error-handling.md.
 class Evaluator {
 public:
   Evaluator(const Context &Ctx, const Encoder &Enc, const EvalKeys &Keys);
@@ -52,6 +59,43 @@ public:
   const Context &context() const { return Ctx; }
   const Encoder &encoder() const { return Enc; }
   const EvalKeys &keys() const { return Keys; }
+
+  /// \name Checked entry points (release-mode validated, recoverable).
+  /// Each validates operand integrity (validateCiphertext), the
+  /// operation's level/scale/key preconditions, and honors the
+  /// fault-injection harness; failures come back as Status with the
+  /// concrete offending values in the message.
+  /// @{
+  /// Mod-switches the higher operand down and verifies the scales agree.
+  Status checkedMatchForAdd(Ciphertext &A, Ciphertext &B) const;
+  StatusOr<Ciphertext> checkedAdd(const Ciphertext &A,
+                                  const Ciphertext &B) const;
+  StatusOr<Ciphertext> checkedSub(const Ciphertext &A,
+                                  const Ciphertext &B) const;
+  /// Product including relinearization (level-matches the operands
+  /// first, like the C API's ace_mul).
+  StatusOr<Ciphertext> checkedMul(const Ciphertext &A,
+                                  const Ciphertext &B) const;
+  /// Encodes \p Values at the rescale-exact scale and multiplies.
+  StatusOr<Ciphertext> checkedMulPlain(const Ciphertext &A,
+                                       const std::vector<double> &Values)
+      const;
+  /// Encodes \p Values at the ciphertext's scale and adds.
+  StatusOr<Ciphertext> checkedAddPlain(const Ciphertext &A,
+                                       const std::vector<double> &Values)
+      const;
+  StatusOr<Ciphertext> checkedMulScalar(const Ciphertext &A, double Value,
+                                        double TargetScale = 0.0) const;
+  StatusOr<Ciphertext> checkedAddConst(const Ciphertext &A,
+                                       double Value) const;
+  StatusOr<Ciphertext> checkedRotate(const Ciphertext &A,
+                                     int64_t Steps) const;
+  StatusOr<Ciphertext> checkedConjugate(const Ciphertext &A) const;
+  StatusOr<Ciphertext> checkedRelinearize(const Ciphertext &A) const;
+  StatusOr<Ciphertext> checkedRescale(const Ciphertext &A) const;
+  StatusOr<Ciphertext> checkedModSwitchTo(const Ciphertext &A,
+                                          size_t NumQ) const;
+  /// @}
 
   /// \name Additive operations (operands need matching level and scale).
   /// @{
@@ -168,12 +212,25 @@ private:
 
   const std::vector<uint64_t> &monomialNtt(size_t ModIndex) const;
   void checkAddCompatible(const Ciphertext &A, const Ciphertext &B) const;
+  /// Verifies the relinearization key exists and covers \p NumQ digits.
+  Status checkedRelinSupport(const char *What, size_t NumQ) const;
 };
 
 /// True when two scales differ by less than a relative 1e-3 (rescale
 /// primes are near but not exactly 2^LogScale, so scales drift slightly;
 /// the induced value error is of the same order as the scheme noise).
 bool scalesClose(double A, double B);
+
+/// Formats a scale-mismatch diagnostic that names both scales and their
+/// ratio, e.g. "add: scale mismatch: lhs scale 3.51844e+13 vs rhs scale
+/// 3.69435e+13 (ratio 0.952389)".
+std::string scaleMismatchMessage(const char *What, double A, double B);
+
+/// Returns scalesClose(A, B); on mismatch prints the full diagnostic
+/// (both scales and their ratio) to stderr first. Intended for assert
+/// conditions so a failing assert shows the actual values:
+///   assert(scalesCloseOrReport("add", A.Scale, B.Scale));
+bool scalesCloseOrReport(const char *What, double A, double B);
 
 } // namespace fhe
 } // namespace ace

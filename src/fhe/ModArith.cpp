@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 using namespace ace;
 using namespace ace::fhe;
@@ -96,7 +97,8 @@ uint64_t ace::fhe::findGenerator(uint64_t P) {
     if (IsGenerator)
       return Candidate;
   }
-  reportFatalError("no generator found (modulus not prime?)");
+  reportFatalError("no generator found for modulus " + std::to_string(P) +
+                   " (modulus not prime?)");
 }
 
 uint64_t ace::fhe::findPrimitiveRoot(uint64_t Order, uint64_t P) {
@@ -128,7 +130,11 @@ ace::fhe::generateNttPrimes(int Bits, uint64_t Factor, size_t Count,
     Primes.push_back(Candidate);
   }
   if (Primes.size() < Count)
-    reportFatalError("not enough NTT-friendly primes in range");
+    reportFatalError("not enough NTT-friendly " + std::to_string(Bits) +
+                     "-bit primes with factor " + std::to_string(Factor) +
+                     ": needed " + std::to_string(Count) + ", found " +
+                     std::to_string(Primes.size()) + " (with " +
+                     std::to_string(Exclude.size()) + " excluded)");
   return Primes;
 }
 
@@ -158,7 +164,12 @@ ace::fhe::generateBalancedNttPrimes(int Bits, uint64_t Factor, size_t Count,
     ++Hi;
   }
   if (Pool.size() < Count)
-    reportFatalError("not enough NTT-friendly primes near target");
+    reportFatalError("not enough NTT-friendly primes near 2^" +
+                     std::to_string(Bits) + " with factor " +
+                     std::to_string(Factor) + ": needed " +
+                     std::to_string(Count) + ", found " +
+                     std::to_string(Pool.size()) + " (with " +
+                     std::to_string(Exclude.size()) + " excluded)");
   std::sort(Pool.begin(), Pool.end(), [&](uint64_t A, uint64_t B) {
     return std::fabs(A - Target) < std::fabs(B - Target);
   });

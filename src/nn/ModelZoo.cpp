@@ -210,8 +210,9 @@ std::vector<NanoResNetSpec> ace::nn::paperModelSpecs() {
   return Specs;
 }
 
-Model ace::nn::buildNanoResNet(const NanoResNetSpec &Spec,
-                               const Dataset &Data, uint64_t Seed) {
+StatusOr<Model> ace::nn::buildNanoResNet(const NanoResNetSpec &Spec,
+                                         const Dataset &Data,
+                                         uint64_t Seed) {
   Model M;
   M.ProducerName = Spec.Name;
   Graph &G = M.MainGraph;
@@ -266,8 +267,10 @@ Model ace::nn::buildNanoResNet(const NanoResNetSpec &Spec,
   for (int64_t K = 0; K < Usable; ++K) {
     auto Feat = executeSingle(Features, Data.Prototypes[K]);
     if (!Feat.ok())
-      reportFatalError("prototype feature extraction failed: " +
-                       Feat.status().message());
+      return Status::error("building '" + Spec.Name +
+                           "': prototype feature extraction for class " +
+                           std::to_string(K) + " failed: " +
+                           Feat.status().message());
     double Sq = 0;
     for (float V : Feat->Values)
       Sq += static_cast<double>(V) * V;

@@ -72,9 +72,11 @@ struct NanoResNetSpec {
 std::vector<NanoResNetSpec> paperModelSpecs();
 
 /// Builds a nano-ResNet and its matching dataset; the final FC layer is
-/// the prototype readout over \p Dataset.Prototypes.
-onnx::Model buildNanoResNet(const NanoResNetSpec &Spec,
-                            const Dataset &Data, uint64_t Seed);
+/// the prototype readout over \p Dataset.Prototypes. Returns an error
+/// Status (instead of aborting) when the prototype feature extraction
+/// fails - e.g. a malformed spec or dataset.
+StatusOr<onnx::Model> buildNanoResNet(const NanoResNetSpec &Spec,
+                                      const Dataset &Data, uint64_t Seed);
 
 /// Classification accuracy of \p Graph on \p Data using the cleartext
 /// executor.

@@ -13,6 +13,28 @@
 
 using namespace ace;
 
+const char *ace::errorCodeName(ErrorCode Code) {
+  switch (Code) {
+  case ErrorCode::Ok:
+    return "ok";
+  case ErrorCode::InvalidArgument:
+    return "invalid-argument";
+  case ErrorCode::LevelMismatch:
+    return "level-mismatch";
+  case ErrorCode::ScaleMismatch:
+    return "scale-mismatch";
+  case ErrorCode::KeyMissing:
+    return "key-missing";
+  case ErrorCode::DepthExhausted:
+    return "depth-exhausted";
+  case ErrorCode::ResourceExhausted:
+    return "resource-exhausted";
+  case ErrorCode::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
+
 void ace::reportFatalError(const std::string &Message) {
   std::fprintf(stderr, "ace fatal error: %s\n", Message.c_str());
   std::abort();

@@ -8,9 +8,10 @@
 ///
 /// \file
 /// Lightweight recoverable-error types for a library that does not use C++
-/// exceptions. Status carries success or an error message; StatusOr<T>
-/// carries a value or an error. Both follow the LLVM Error discipline in
-/// spirit (errors must be inspected), without the heavy machinery.
+/// exceptions. Status carries success or an error code plus message;
+/// StatusOr<T> carries a value or an error. Both follow the LLVM Error
+/// discipline in spirit (errors must be inspected), without the heavy
+/// machinery. See docs/error-handling.md for the project-wide discipline.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,16 +19,37 @@
 #define ACE_SUPPORT_STATUS_H
 
 #include <cassert>
+#include <new>
 #include <string>
 #include <utility>
 
 namespace ace {
 
+/// Machine-inspectable failure category. The codes mirror the runtime's
+/// precondition classes: what the caller passed (InvalidArgument), CKKS
+/// level/scale management (LevelMismatch, ScaleMismatch, DepthExhausted),
+/// key material (KeyMissing), resources (ResourceExhausted), and broken
+/// internal invariants (Internal).
+enum class ErrorCode : unsigned char {
+  Ok = 0,
+  InvalidArgument,
+  LevelMismatch,
+  ScaleMismatch,
+  KeyMissing,
+  DepthExhausted,
+  ResourceExhausted,
+  Internal,
+};
+
+/// Stable lowercase name of \p Code ("ok", "invalid-argument", ...).
+const char *errorCodeName(ErrorCode Code);
+
 /// Result of a fallible operation that produces no value.
 ///
-/// A default-constructed Status is success. Failure carries a human-readable
-/// message; messages follow the LLVM diagnostic style (lowercase first
-/// letter, no trailing period).
+/// A default-constructed Status is success. Failure carries an ErrorCode
+/// and a human-readable message; messages follow the LLVM diagnostic style
+/// (lowercase first letter, no trailing period) and name the concrete
+/// offending values (levels, scales, steps) wherever possible.
 class Status {
 public:
   Status() = default;
@@ -35,25 +57,60 @@ public:
   /// Creates a success value.
   static Status success() { return Status(); }
 
-  /// Creates a failure value carrying \p Message.
-  static Status error(std::string Message) {
+  /// Creates a failure value carrying \p Message under \p Code.
+  static Status error(ErrorCode Code, std::string Message) {
+    assert(Code != ErrorCode::Ok && "error Status requires a failure code");
     Status S;
-    S.Failed = true;
+    S.Code = Code == ErrorCode::Ok ? ErrorCode::Internal : Code;
     S.Message = std::move(Message);
     return S;
   }
 
+  /// Creates a failure value with the generic Internal code (legacy
+  /// call sites that predate the error-code enum).
+  static Status error(std::string Message) {
+    return error(ErrorCode::Internal, std::move(Message));
+  }
+
+  /// \name Per-code factories.
+  /// @{
+  static Status invalidArgument(std::string M) {
+    return error(ErrorCode::InvalidArgument, std::move(M));
+  }
+  static Status levelMismatch(std::string M) {
+    return error(ErrorCode::LevelMismatch, std::move(M));
+  }
+  static Status scaleMismatch(std::string M) {
+    return error(ErrorCode::ScaleMismatch, std::move(M));
+  }
+  static Status keyMissing(std::string M) {
+    return error(ErrorCode::KeyMissing, std::move(M));
+  }
+  static Status depthExhausted(std::string M) {
+    return error(ErrorCode::DepthExhausted, std::move(M));
+  }
+  static Status resourceExhausted(std::string M) {
+    return error(ErrorCode::ResourceExhausted, std::move(M));
+  }
+  static Status internal(std::string M) {
+    return error(ErrorCode::Internal, std::move(M));
+  }
+  /// @}
+
   /// True when the operation succeeded.
-  bool ok() const { return !Failed; }
+  bool ok() const { return Code == ErrorCode::Ok; }
 
   /// True when the operation failed (enables `if (auto S = f())` idiom).
-  explicit operator bool() const { return Failed; }
+  explicit operator bool() const { return !ok(); }
+
+  /// The failure category; ErrorCode::Ok for success values.
+  ErrorCode code() const { return Code; }
 
   /// The error message; empty for success values.
   const std::string &message() const { return Message; }
 
 private:
-  bool Failed = false;
+  ErrorCode Code = ErrorCode::Ok;
   std::string Message;
 };
 
@@ -61,18 +118,62 @@ private:
 ///
 /// Mirrors llvm::Expected without the checked-flag machinery: callers test
 /// ok() before dereferencing; dereferencing a failed StatusOr asserts.
+/// The value lives in inline storage that is only constructed on success,
+/// so T does not need to be default-constructible.
 template <typename T> class StatusOr {
 public:
   /// Constructs a success value.
-  StatusOr(T Value) : Value(std::move(Value)) {}
-
-  /// Constructs a failure from a failed Status.
-  StatusOr(Status S) : Failure(std::move(S)) {
-    assert(!Failure.ok() && "StatusOr constructed from success Status");
+  StatusOr(T Value) : HasValue(true) {
+    new (&Storage) T(std::move(Value));
   }
 
+  /// Constructs a failure from a failed Status. Constructing from a
+  /// success Status is a caller bug; it is coerced to an Internal error so
+  /// release builds never observe an ok() StatusOr without a value.
+  StatusOr(Status S) : Failure(std::move(S)), HasValue(false) {
+    assert(!Failure.ok() && "StatusOr constructed from success Status");
+    if (Failure.ok())
+      Failure = Status::internal("StatusOr constructed from success Status");
+  }
+
+  StatusOr(const StatusOr &Other)
+      : Failure(Other.Failure), HasValue(Other.HasValue) {
+    if (HasValue)
+      new (&Storage) T(*Other.valuePtr());
+  }
+
+  StatusOr(StatusOr &&Other)
+      : Failure(std::move(Other.Failure)), HasValue(Other.HasValue) {
+    if (HasValue)
+      new (&Storage) T(std::move(*Other.valuePtr()));
+  }
+
+  StatusOr &operator=(const StatusOr &Other) {
+    if (this == &Other)
+      return *this;
+    destroyValue();
+    Failure = Other.Failure;
+    HasValue = Other.HasValue;
+    if (HasValue)
+      new (&Storage) T(*Other.valuePtr());
+    return *this;
+  }
+
+  StatusOr &operator=(StatusOr &&Other) {
+    if (this == &Other)
+      return *this;
+    destroyValue();
+    Failure = std::move(Other.Failure);
+    HasValue = Other.HasValue;
+    if (HasValue)
+      new (&Storage) T(std::move(*Other.valuePtr()));
+    return *this;
+  }
+
+  ~StatusOr() { destroyValue(); }
+
   /// True when a value is present.
-  bool ok() const { return Failure.ok(); }
+  bool ok() const { return HasValue; }
 
   /// The failure description (success Status when ok()).
   const Status &status() const { return Failure; }
@@ -80,30 +181,42 @@ public:
   /// Accesses the contained value; asserts when in the error state.
   T &operator*() {
     assert(ok() && "dereferencing failed StatusOr");
-    return Value;
+    return *valuePtr();
   }
   const T &operator*() const {
     assert(ok() && "dereferencing failed StatusOr");
-    return Value;
+    return *valuePtr();
   }
   T *operator->() {
     assert(ok() && "dereferencing failed StatusOr");
-    return &Value;
+    return valuePtr();
   }
   const T *operator->() const {
     assert(ok() && "dereferencing failed StatusOr");
-    return &Value;
+    return valuePtr();
   }
 
   /// Moves the contained value out; asserts when in the error state.
   T take() {
     assert(ok() && "taking value from failed StatusOr");
-    return std::move(Value);
+    return std::move(*valuePtr());
   }
 
 private:
-  T Value{};
+  T *valuePtr() { return std::launder(reinterpret_cast<T *>(&Storage)); }
+  const T *valuePtr() const {
+    return std::launder(reinterpret_cast<const T *>(&Storage));
+  }
+  void destroyValue() {
+    if (HasValue) {
+      valuePtr()->~T();
+      HasValue = false;
+    }
+  }
+
+  alignas(T) unsigned char Storage[sizeof(T)];
   Status Failure;
+  bool HasValue;
 };
 
 /// Aborts the process with \p Message. Used for unrecoverable internal
@@ -111,5 +224,27 @@ private:
 [[noreturn]] void reportFatalError(const std::string &Message);
 
 } // namespace ace
+
+/// Evaluates \p Expr (a Status expression) and returns it from the
+/// enclosing function when it is a failure. StatusOr return types accept
+/// the implicit conversion.
+#define ACE_RETURN_IF_ERROR(Expr)                                            \
+  do {                                                                       \
+    ::ace::Status AceStatusInMacro_ = (Expr);                                \
+    if (!AceStatusInMacro_.ok())                                             \
+      return AceStatusInMacro_;                                              \
+  } while (false)
+
+/// Evaluates \p Expr (a StatusOr expression); on success move-assigns the
+/// value into \p Lhs, on failure returns the error status.
+#define ACE_ASSIGN_OR_RETURN(Lhs, Expr)                                      \
+  ACE_ASSIGN_OR_RETURN_IMPL_(ACE_STATUS_CONCAT_(AceOr_, __LINE__), Lhs, Expr)
+#define ACE_ASSIGN_OR_RETURN_IMPL_(Tmp, Lhs, Expr)                           \
+  auto Tmp = (Expr);                                                         \
+  if (!Tmp.ok())                                                             \
+    return Tmp.status();                                                     \
+  Lhs = Tmp.take()
+#define ACE_STATUS_CONCAT_(A, B) ACE_STATUS_CONCAT_IMPL_(A, B)
+#define ACE_STATUS_CONCAT_IMPL_(A, B) A##B
 
 #endif // ACE_SUPPORT_STATUS_H

@@ -7,6 +7,7 @@
 #include "codegen/CkksExecutor.h"
 #include "driver/AceCompiler.h"
 #include "nn/ModelZoo.h"
+#include "support/FaultInjector.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -110,7 +111,9 @@ TEST(EndToEndTest, TinyCnnMatchesCleartext) {
   nn::Dataset Data = nn::makeSyntheticDataset(
       {1, Spec.InputChannels, Spec.InputHW, Spec.InputHW}, Spec.Classes, 6,
       0.1, 23);
-  onnx::Model Model = nn::buildNanoResNet(Spec, Data, 29);
+  auto ModelOr = nn::buildNanoResNet(Spec, Data, 29);
+  ASSERT_TRUE(ModelOr.ok()) << ModelOr.status().message();
+  onnx::Model Model = ModelOr.take();
 
   driver::AceCompiler Compiler(toyOptions());
   auto Result = Compiler.compile(Model, Data.Images);
@@ -133,6 +136,42 @@ TEST(EndToEndTest, TinyCnnMatchesCleartext) {
     Agree += nn::argmax(L) == nn::argmax(*Clear);
   }
   EXPECT_GE(Agree, 2u) << "encrypted decisions diverged from cleartext";
+}
+
+TEST(EndToEndTest, ExecutorPropagatesInjectedFaults) {
+  // A fault injected at encryption must abort the encrypted inference
+  // with a diagnostic Status - the full compiled pipeline never crashes
+  // and never returns wrong logits.
+  onnx::Model Model = nn::buildLinearInfer(3);
+  auto Inputs = randomInputs({1, 84}, 1, 17);
+
+  driver::AceCompiler Compiler(toyOptions());
+  auto Result = Compiler.compile(Model, Inputs);
+  ASSERT_TRUE(Result.ok()) << Result.status().message();
+  auto &R = **Result;
+
+  codegen::CkksExecutor Exec(R.Program, R.State);
+  ASSERT_FALSE(Exec.setup());
+
+  FaultInjector::instance().reset();
+  for (FaultKind Kind :
+       {FaultKind::ScaleDrift, FaultKind::SlotCorrupt,
+        FaultKind::TruncateChain}) {
+    FaultInjector::instance().arm(Kind);
+    auto Logits = Exec.infer(Inputs[0]);
+    FaultInjector::instance().reset();
+    ASSERT_FALSE(Logits.ok())
+        << "fault " << faultKindName(Kind) << " was swallowed";
+    EXPECT_FALSE(Logits.status().message().empty());
+    EXPECT_NE(Logits.status().code(), ErrorCode::Ok);
+  }
+
+  // With the injector quiet again the same executor still works.
+  auto Clear = nn::executeSingle(Model.MainGraph, Inputs[0]);
+  ASSERT_TRUE(Clear.ok());
+  auto Logits = Exec.infer(Inputs[0]);
+  ASSERT_TRUE(Logits.ok()) << Logits.status().message();
+  expectLogitsClose(*Logits, *Clear, 0.02);
 }
 
 } // namespace

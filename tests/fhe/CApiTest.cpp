@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 namespace {
@@ -22,8 +23,10 @@ struct CApiFixture : ::testing::Test {
                      /*sparse_secret=*/0, /*seed=*/9);
     ASSERT_NE(Ctx, nullptr);
     int64_t Steps[] = {1, 3};
-    ace_keygen(Ctx, Steps, nullptr, 2, /*need_relin=*/1, /*need_conj=*/0,
-               /*bootstrap=*/0, 12, 2, 39);
+    ASSERT_EQ(ace_keygen(Ctx, Steps, nullptr, 2, /*need_relin=*/1,
+                         /*need_conj=*/0, /*bootstrap=*/0, 12, 2, 39),
+              ACE_OK);
+    ace_clear_error();
   }
   void TearDown() override { ace_destroy(Ctx); }
 };
@@ -94,9 +97,16 @@ TEST_F(CApiFixture, ModSwitch) {
 }
 
 TEST(CApiTest, RejectsInvalidParameters) {
+  ace_clear_error();
   EXPECT_EQ(ace_create(1000 /*not a power of two*/, 64, 45, 55, 8, 60, 0,
                        1),
             nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(ace_last_error_message()).find("1000"),
+            std::string::npos);
+  ace_clear_error();
+  EXPECT_EQ(ace_last_error(), ACE_OK);
+  EXPECT_STREQ(ace_last_error_message(), "");
 }
 
 TEST(CApiTest, WeightBlobRoundTrip) {
@@ -114,6 +124,161 @@ TEST(CApiTest, WeightBlobRoundTrip) {
     EXPECT_DOUBLE_EQ(Back[I], W[I]);
   free(Back);
   EXPECT_EQ(ace_load_weights("/tmp/ace_missing.bin", &Count), nullptr);
+}
+
+
+//===----------------------------------------------------------------------===//
+// Error-path tests: every caller mistake must come back as an error code
+// plus a descriptive message - never a crash (ISSUE: C-API error channel).
+//===----------------------------------------------------------------------===//
+
+TEST_F(CApiFixture, NullHandlesReturnErrors) {
+  ace_clear_error();
+  std::vector<double> X(64, 0.1);
+  std::vector<double> Out(64);
+
+  EXPECT_EQ(ace_encrypt(nullptr, X.data(), 64, 9), nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_INVALID_ARGUMENT);
+
+  AceFheCiphertext *Ct = ace_encrypt(Ctx, X.data(), 64, 9);
+  ASSERT_NE(Ct, nullptr);
+
+  EXPECT_EQ(ace_rotate(Ctx, nullptr, 1), nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(ace_add(Ctx, Ct, nullptr), nullptr);
+  EXPECT_EQ(ace_mul(nullptr, Ct, Ct), nullptr);
+  EXPECT_EQ(ace_decrypt(Ctx, nullptr, Out.data(), 64),
+            ACE_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(ace_decrypt(Ctx, Ct, nullptr, 64), ACE_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(ace_keygen(nullptr, nullptr, nullptr, 0, 0, 0, 0, 0, 0, 0),
+            ACE_ERR_INVALID_ARGUMENT);
+  ace_ct_free(Ct);
+}
+
+TEST_F(CApiFixture, InvalidHandlePatternIsRejected) {
+  // A zeroed buffer stands in for a freed/garbage handle: the magic tag
+  // does not match, so the call reports instead of dereferencing junk.
+  ace_clear_error();
+  alignas(16) unsigned char Zeros[256] = {0};
+  auto *Bogus = reinterpret_cast<AceFheCiphertext *>(Zeros);
+  EXPECT_EQ(ace_rotate(Ctx, Bogus, 1), nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(ace_last_error_message()).find("handle"),
+            std::string::npos);
+
+  auto *BogusCtx = reinterpret_cast<AceFheContext *>(Zeros);
+  std::vector<double> X(64, 0.1);
+  EXPECT_EQ(ace_encrypt(BogusCtx, X.data(), 64, 9), nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_INVALID_ARGUMENT);
+}
+
+TEST_F(CApiFixture, RotateWithoutKeyNamesTheStep) {
+  // Keygen covered steps {1, 3}; step 5 has no Galois key.
+  ace_clear_error();
+  std::vector<double> X(64, 0.1);
+  AceFheCiphertext *Ct = ace_encrypt(Ctx, X.data(), 64, 9);
+  ASSERT_NE(Ct, nullptr);
+  EXPECT_EQ(ace_rotate(Ctx, Ct, 5), nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_KEY_MISSING);
+  EXPECT_NE(std::string(ace_last_error_message()).find("step 5"),
+            std::string::npos);
+  ace_ct_free(Ct);
+}
+
+TEST_F(CApiFixture, EncryptTooManyValuesFails) {
+  ace_clear_error();
+  std::vector<double> X(65, 0.1); // context has 64 slots
+  EXPECT_EQ(ace_encrypt(Ctx, X.data(), X.size(), 9), nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(ace_last_error_message()).find("65"),
+            std::string::npos);
+
+  // Bad level requests are level errors naming the chain length.
+  EXPECT_EQ(ace_encrypt(Ctx, X.data(), 64, 99), nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_LEVEL_MISMATCH);
+}
+
+TEST_F(CApiFixture, RescaleAtBaseLevelIsDepthExhausted) {
+  ace_clear_error();
+  std::vector<double> X(64, 0.1);
+  AceFheCiphertext *Ct = ace_encrypt(Ctx, X.data(), 64, 1);
+  ASSERT_NE(Ct, nullptr);
+  EXPECT_EQ(ace_rescale(Ctx, Ct), nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_DEPTH_EXHAUSTED);
+  ace_ct_free(Ct);
+}
+
+TEST_F(CApiFixture, BootstrapWithoutKeysIsKeyMissing) {
+  ace_clear_error();
+  std::vector<double> X(64, 0.1);
+  AceFheCiphertext *Ct = ace_encrypt(Ctx, X.data(), 64, 1);
+  ASSERT_NE(Ct, nullptr);
+  EXPECT_EQ(ace_bootstrap(Ctx, Ct, 4), nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_KEY_MISSING);
+  EXPECT_NE(std::string(ace_last_error_message()).find("bootstrap"),
+            std::string::npos);
+  ace_ct_free(Ct);
+}
+
+TEST(CApiTest, MulWithoutRelinKeyIsKeyMissing) {
+  AceFheContext *Ctx = ace_create(1024, 64, 45, 55, 8, 60, 0, 9);
+  ASSERT_NE(Ctx, nullptr);
+  // Keygen without the relin key.
+  ASSERT_EQ(ace_keygen(Ctx, nullptr, nullptr, 0, /*need_relin=*/0, 0, 0, 12,
+                       2, 39),
+            ACE_OK);
+  ace_clear_error();
+  std::vector<double> X(64, 0.1);
+  AceFheCiphertext *Ct = ace_encrypt(Ctx, X.data(), 64, 9);
+  ASSERT_NE(Ct, nullptr);
+  EXPECT_EQ(ace_mul(Ctx, Ct, Ct), nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_KEY_MISSING);
+  ace_ct_free(Ct);
+  ace_destroy(Ctx);
+}
+
+TEST(CApiTest, MismatchedSlotCountsAreRejected) {
+  // Two contexts with different slot counts; a ciphertext from one fed
+  // into the other must be caught by operand validation.
+  AceFheContext *C64 = ace_create(1024, 64, 45, 55, 8, 60, 0, 9);
+  AceFheContext *C32 = ace_create(1024, 32, 45, 55, 8, 60, 0, 9);
+  ASSERT_NE(C64, nullptr);
+  ASSERT_NE(C32, nullptr);
+  ASSERT_EQ(ace_keygen(C64, nullptr, nullptr, 0, 1, 0, 0, 12, 2, 39),
+            ACE_OK);
+  ASSERT_EQ(ace_keygen(C32, nullptr, nullptr, 0, 1, 0, 0, 12, 2, 39),
+            ACE_OK);
+  ace_clear_error();
+  std::vector<double> X(32, 0.1);
+  AceFheCiphertext *Ct = ace_encrypt(C32, X.data(), 32, 9);
+  ASSERT_NE(Ct, nullptr);
+  EXPECT_EQ(ace_add(C64, Ct, Ct), nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_INVALID_ARGUMENT);
+  EXPECT_NE(std::string(ace_last_error_message()).find("slot"),
+            std::string::npos);
+  ace_ct_free(Ct);
+  ace_destroy(C64);
+  ace_destroy(C32);
+}
+
+TEST(CApiTest, ErrorChannelIsSticky) {
+  ace_clear_error();
+  AceFheContext *Ctx = ace_create(1024, 64, 45, 55, 8, 60, 0, 9);
+  ASSERT_NE(Ctx, nullptr);
+  ASSERT_EQ(ace_keygen(Ctx, nullptr, nullptr, 0, 0, 0, 0, 12, 2, 39),
+            ACE_OK);
+  std::vector<double> X(65, 0.1);
+  EXPECT_EQ(ace_encrypt(Ctx, X.data(), 65, 9), nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_INVALID_ARGUMENT);
+  // A successful call does not clear the sticky error...
+  AceFheCiphertext *Ct = ace_encrypt(Ctx, X.data(), 64, 9);
+  ASSERT_NE(Ct, nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_INVALID_ARGUMENT);
+  // ...only ace_clear_error does.
+  ace_clear_error();
+  EXPECT_EQ(ace_last_error(), ACE_OK);
+  ace_ct_free(Ct);
+  ace_destroy(Ctx);
 }
 
 } // namespace

@@ -128,7 +128,9 @@ TEST(ExecutorTest, ShapeInference) {
   Spec.InputChannels = 2;
   Spec.Classes = 4;
   Dataset Data = makeSyntheticDataset({1, 2, 4, 4}, 4, 4, 0.1, 5);
-  Model M = buildNanoResNet(Spec, Data, 7);
+  auto MOr = buildNanoResNet(Spec, Data, 7);
+  ASSERT_TRUE(MOr.ok()) << MOr.status().message();
+  Model M = MOr.take();
   auto Shapes = inferShapes(M.MainGraph);
   ASSERT_TRUE(Shapes.ok());
   EXPECT_EQ(Shapes->at("logits"), (std::vector<int64_t>{1, 4}));
@@ -192,7 +194,9 @@ TEST(ModelZooTest, PrototypeReadoutSeparatesClasses) {
   Spec.InputChannels = 2;
   Spec.Classes = 4;
   Dataset Data = makeSyntheticDataset({1, 2, 4, 4}, 4, 24, 0.08, 5);
-  Model M = buildNanoResNet(Spec, Data, 7);
+  auto MOr = buildNanoResNet(Spec, Data, 7);
+  ASSERT_TRUE(MOr.ok()) << MOr.status().message();
+  Model M = MOr.take();
   // The constructed readout must classify well above chance (25%).
   EXPECT_GE(cleartextAccuracy(M.MainGraph, Data), 0.7);
 }

@@ -65,7 +65,9 @@ TEST(ModelTest, ResNetSerializationRoundTrip) {
   Spec.Classes = 4;
   nn::Dataset Data =
       nn::makeSyntheticDataset({1, 2, 4, 4}, 4, 4, 0.1, 5);
-  Model M = nn::buildNanoResNet(Spec, Data, 7);
+  auto MOr = nn::buildNanoResNet(Spec, Data, 7);
+  ASSERT_TRUE(MOr.ok()) << MOr.status().message();
+  Model M = MOr.take();
   auto Back = parseModel(serializeModel(M));
   ASSERT_TRUE(Back.ok()) << Back.status().message();
   // Same graph must produce identical outputs.

@@ -40,7 +40,9 @@ TEST(FrontendTest, BatchNormFoldsIntoConv) {
   Spec.Classes = 4;
   Spec.WithBatchNorm = true;
   nn::Dataset Data = nn::makeSyntheticDataset({1, 2, 4, 4}, 4, 4, 0.1, 5);
-  onnx::Model M = nn::buildNanoResNet(Spec, Data, 7);
+  auto MOr = nn::buildNanoResNet(Spec, Data, 7);
+  ASSERT_TRUE(MOr.ok()) << MOr.status().message();
+  onnx::Model M = MOr.take();
 
   auto Folded = passes::foldBatchNorm(M.MainGraph);
   ASSERT_TRUE(Folded.ok()) << Folded.status().message();

@@ -48,3 +48,117 @@ TEST(StatusOrTest, ArrowAccess) {
   StatusOr<std::string> V(std::string("abc"));
   EXPECT_EQ(V->size(), 3u);
 }
+
+TEST(StatusTest, ErrorCodeFactories) {
+  EXPECT_EQ(Status::success().code(), ErrorCode::Ok);
+  EXPECT_EQ(Status::invalidArgument("x").code(), ErrorCode::InvalidArgument);
+  EXPECT_EQ(Status::levelMismatch("x").code(), ErrorCode::LevelMismatch);
+  EXPECT_EQ(Status::scaleMismatch("x").code(), ErrorCode::ScaleMismatch);
+  EXPECT_EQ(Status::keyMissing("x").code(), ErrorCode::KeyMissing);
+  EXPECT_EQ(Status::depthExhausted("x").code(), ErrorCode::DepthExhausted);
+  EXPECT_EQ(Status::resourceExhausted("x").code(),
+            ErrorCode::ResourceExhausted);
+  EXPECT_EQ(Status::internal("x").code(), ErrorCode::Internal);
+  // The legacy untyped factory maps to Internal.
+  EXPECT_EQ(Status::error("x").code(), ErrorCode::Internal);
+}
+
+TEST(StatusTest, ErrorCodeNames) {
+  EXPECT_STREQ(errorCodeName(ErrorCode::Ok), "ok");
+  EXPECT_STREQ(errorCodeName(ErrorCode::InvalidArgument),
+               "invalid-argument");
+  EXPECT_STREQ(errorCodeName(ErrorCode::LevelMismatch), "level-mismatch");
+  EXPECT_STREQ(errorCodeName(ErrorCode::ScaleMismatch), "scale-mismatch");
+  EXPECT_STREQ(errorCodeName(ErrorCode::KeyMissing), "key-missing");
+  EXPECT_STREQ(errorCodeName(ErrorCode::DepthExhausted), "depth-exhausted");
+  EXPECT_STREQ(errorCodeName(ErrorCode::ResourceExhausted),
+               "resource-exhausted");
+  EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
+}
+
+namespace {
+Status failingHelper(ErrorCode Code) {
+  ACE_RETURN_IF_ERROR(Status::error(Code, "inner failure"));
+  return Status::internal("unreachable");
+}
+
+StatusOr<int> doubledOrError(StatusOr<int> In) {
+  ACE_ASSIGN_OR_RETURN(int V, std::move(In));
+  return 2 * V;
+}
+} // namespace
+
+TEST(StatusTest, ReturnIfErrorPropagatesCodeAndMessage) {
+  Status S = failingHelper(ErrorCode::KeyMissing);
+  EXPECT_EQ(S.code(), ErrorCode::KeyMissing);
+  EXPECT_EQ(S.message(), "inner failure");
+  // A success Status passes through without returning.
+  EXPECT_TRUE([] {
+    ACE_RETURN_IF_ERROR(Status::success());
+    return Status::success();
+  }()
+                  .ok());
+}
+
+TEST(StatusTest, AssignOrReturnUnwrapsAndPropagates) {
+  auto Ok = doubledOrError(StatusOr<int>(21));
+  ASSERT_TRUE(Ok.ok());
+  EXPECT_EQ(*Ok, 42);
+  auto Err = doubledOrError(Status::depthExhausted("no primes left"));
+  ASSERT_FALSE(Err.ok());
+  EXPECT_EQ(Err.status().code(), ErrorCode::DepthExhausted);
+  EXPECT_EQ(Err.status().message(), "no primes left");
+}
+
+namespace {
+/// Regression type for the old `T Value{}` StatusOr layout: no default
+/// constructor, and instance counting to catch double-destroy.
+struct NoDefault {
+  explicit NoDefault(int X) : X(X) { ++Live; }
+  NoDefault(const NoDefault &O) : X(O.X) { ++Live; }
+  NoDefault(NoDefault &&O) noexcept : X(O.X) { ++Live; }
+  ~NoDefault() { --Live; }
+  int X;
+  static int Live;
+};
+int NoDefault::Live = 0;
+} // namespace
+
+TEST(StatusOrTest, WorksWithoutDefaultConstructor) {
+  {
+    StatusOr<NoDefault> V(NoDefault(7));
+    ASSERT_TRUE(V.ok());
+    EXPECT_EQ(V->X, 7);
+    StatusOr<NoDefault> Copy = V;
+    EXPECT_EQ(Copy->X, 7);
+    StatusOr<NoDefault> Moved = std::move(Copy);
+    EXPECT_EQ(Moved->X, 7);
+    StatusOr<NoDefault> Err(Status::invalidArgument("nope"));
+    EXPECT_FALSE(Err.ok());
+    Err = std::move(Moved); // error -> value assignment
+    ASSERT_TRUE(Err.ok());
+    EXPECT_EQ(Err->X, 7);
+    V = Status::keyMissing("gone"); // value -> error assignment
+    EXPECT_FALSE(V.ok());
+    EXPECT_EQ(V.status().code(), ErrorCode::KeyMissing);
+  }
+  // Every constructed instance was destroyed exactly once.
+  EXPECT_EQ(NoDefault::Live, 0);
+}
+
+TEST(StatusOrTest, ErrorKeepsCode) {
+  StatusOr<std::string> V(Status::scaleMismatch("1.0 vs 2.0"));
+  ASSERT_FALSE(V.ok());
+  EXPECT_EQ(V.status().code(), ErrorCode::ScaleMismatch);
+}
+
+#ifndef NDEBUG
+TEST(StatusOrDeathTest, DereferencingErrorAsserts) {
+  StatusOr<int> V(Status::internal("bad"));
+  EXPECT_DEATH({ (void)*V; }, "");
+}
+
+TEST(StatusDeathTest, OkCodeWithErrorFactoryAsserts) {
+  EXPECT_DEATH({ (void)Status::error(ErrorCode::Ok, "not an error"); }, "");
+}
+#endif
