@@ -8,6 +8,7 @@
 #include "fhe/Bootstrapper.h"
 #include "fhe/Encryptor.h"
 #include "support/Rng.h"
+#include "support/Telemetry.h"
 
 #include <benchmark/benchmark.h>
 
@@ -108,6 +109,34 @@ void BM_Bootstrap(benchmark::State &State) {
     benchmark::DoNotOptimize(F.Boot->bootstrap(Low, 3));
 }
 BENCHMARK(BM_Bootstrap)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+// Telemetry overhead guard (docs/observability.md): with telemetry
+// disabled the hook sites must reduce to a branch on a cached flag, so
+// the disabled and never-instrumented rotate paths should be
+// indistinguishable. Compare BM_Rotate (above; telemetry off = the
+// default) against this enabled variant: the enabled cost bounds the
+// hook overhead from above, and any disabled-path regression shows up
+// as BM_Rotate drift against its recorded baseline.
+void BM_RotateTelemetryEnabled(benchmark::State &State) {
+  Fixture F(State.range(0));
+  telemetry::Telemetry::instance().setEnabled(true);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(F.Eval->rotate(F.CtA, 1));
+  telemetry::Telemetry::instance().setEnabled(false);
+  telemetry::Telemetry::instance().clear();
+}
+BENCHMARK(BM_RotateTelemetryEnabled)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+// The disabled-path branch in isolation: telemetry::enabled() is all a
+// counter-only hook site pays when telemetry is off.
+void BM_TelemetryDisabledCheck(benchmark::State &State) {
+  for (auto _ : State)
+    benchmark::DoNotOptimize(telemetry::enabled());
+}
+BENCHMARK(BM_TelemetryDisabledCheck)->Unit(benchmark::kNanosecond);
 
 } // namespace
 

@@ -8,6 +8,8 @@
 
 #include "BenchUtil.h"
 
+#include "support/Telemetry.h"
+
 #include <cstdio>
 
 using namespace ace;
@@ -17,17 +19,26 @@ int main(int argc, char **argv) {
   BenchArgs Args(argc, argv, /*DefaultModels=*/6, /*DefaultImages=*/0);
   auto Models = buildPaperModels(Args.Models);
 
+  // Phase breakdowns come from the telemetry spans the pass manager
+  // opens around every pass (the per-result TimingRegistry stays as a
+  // backward-compat adapter fed by the same spans).
+  telemetry::Telemetry &Tel = telemetry::Telemetry::instance();
+  Tel.setEnabled(true);
+
   std::printf("=== Figure 5: compile time per model (seconds) ===\n");
   std::printf("%-18s %8s | %6s %7s %6s %6s %7s\n", "model", "total",
               "NN%", "VECTOR%", "SIHE%", "CKKS%", "Others%");
   for (auto &M : Models) {
+    Tel.clear();
     auto R = compileOrDie(M.Model, M.Data, benchOptions());
-    const TimingRegistry &T = R->State.Timing;
-    double Total = T.total();
-    double Known = T.get("NN") + T.get("VECTOR") + T.get("SIHE") +
-                   T.get("CKKS");
+    double Known = Tel.phaseSeconds("NN") + Tel.phaseSeconds("VECTOR") +
+                   Tel.phaseSeconds("SIHE") + Tel.phaseSeconds("CKKS");
+    // "compile" wraps the whole pipeline, so total - phases = Others.
+    double Total = Tel.phaseSeconds("compile");
+    if (Total <= 0)
+      Total = Known;
     auto Pct = [&](const char *Phase) {
-      return Total > 0 ? 100.0 * T.get(Phase) / Total : 0.0;
+      return Total > 0 ? 100.0 * Tel.phaseSeconds(Phase) / Total : 0.0;
     };
     std::printf("%-18s %8.3f | %6.1f %7.1f %6.1f %6.1f %7.1f\n",
                 M.Spec.Name.c_str(), Total, Pct("NN"), Pct("VECTOR"),

@@ -10,6 +10,8 @@
 
 #include "BenchUtil.h"
 
+#include "support/Telemetry.h"
+
 #include <cstdio>
 
 using namespace ace;
@@ -19,30 +21,41 @@ namespace {
 
 struct RunResult {
   double Conv = 0, Boot = 0, Relu = 0, Pool = 0, Gemm = 0, Other = 0;
+  uint64_t CtCtMuls = 0, Rotations = 0, Bootstraps = 0;
   double total() const { return Conv + Boot + Relu + Pool + Gemm + Other; }
 };
 
 RunResult runOne(const BenchModel &M, const air::CompileOptions &Opt) {
+  // Region breakdown and op counts both come from telemetry: the
+  // executor's region spans accumulate per origin-operator phase times,
+  // and the evaluator hooks count the FHE ops behind them.
+  telemetry::Telemetry &Tel = telemetry::Telemetry::instance();
+  Tel.clear();
   auto R = compileOrDie(M.Model, M.Data, Opt);
   codegen::CkksExecutor Exec(R->Program, R->State);
   if (Status S = Exec.setup()) {
     std::fprintf(stderr, "setup failed: %s\n", S.message().c_str());
     std::exit(1);
   }
+  telemetry::CounterSnapshot Before = Tel.counters();
   auto Logits = Exec.infer(M.Data.Images[0]);
   if (!Logits.ok()) {
     std::fprintf(stderr, "inference failed: %s\n",
                  Logits.status().message().c_str());
     std::exit(1);
   }
-  const TimingRegistry &T = Exec.regionTimes();
+  telemetry::CounterSnapshot Ops = Tel.counters().deltaSince(Before);
   RunResult Out;
-  Out.Conv = T.get("conv");
-  Out.Boot = T.get("bootstrap");
-  Out.Relu = T.get("relu");
-  Out.Pool = T.get("pool");
-  Out.Gemm = T.get("gemm");
-  Out.Other = T.get("add") + T.get("other") + T.get("input");
+  Out.Conv = Tel.phaseSeconds("conv");
+  Out.Boot = Tel.phaseSeconds("bootstrap");
+  Out.Relu = Tel.phaseSeconds("relu");
+  Out.Pool = Tel.phaseSeconds("pool");
+  Out.Gemm = Tel.phaseSeconds("gemm");
+  Out.Other = Tel.phaseSeconds("add") + Tel.phaseSeconds("other") +
+              Tel.phaseSeconds("input");
+  Out.CtCtMuls = Ops.get(telemetry::Counter::CtCtMul);
+  Out.Rotations = Ops.get(telemetry::Counter::Rotate);
+  Out.Bootstraps = Ops.get(telemetry::Counter::Bootstrap);
   return Out;
 }
 
@@ -51,6 +64,7 @@ RunResult runOne(const BenchModel &M, const air::CompileOptions &Opt) {
 int main(int argc, char **argv) {
   BenchArgs Args(argc, argv, /*DefaultModels=*/2, /*DefaultImages=*/1);
   auto Models = buildPaperModels(Args.Models);
+  telemetry::Telemetry::instance().setEnabled(true);
 
   std::printf("=== Figure 6: per-image inference time, ACE vs Expert "
               "(seconds) ===\n");
@@ -67,6 +81,15 @@ int main(int argc, char **argv) {
     };
     Print("ace", Ace);
     Print("expert", Exp);
+    std::printf("%-18s %-7s | ct-ct-muls %llu vs %llu, rotations %llu vs "
+                "%llu, bootstraps %llu vs %llu\n",
+                "", "ops",
+                static_cast<unsigned long long>(Ace.CtCtMuls),
+                static_cast<unsigned long long>(Exp.CtCtMuls),
+                static_cast<unsigned long long>(Ace.Rotations),
+                static_cast<unsigned long long>(Exp.Rotations),
+                static_cast<unsigned long long>(Ace.Bootstraps),
+                static_cast<unsigned long long>(Exp.Bootstraps));
     double Speedup = Exp.total() / Ace.total();
     SpeedupSum += Speedup;
     std::printf("%-18s %-7s | conv %+5.1f%%  bootstrap %+5.1f%%  relu "

@@ -10,6 +10,8 @@
 
 #include "BenchUtil.h"
 
+#include "support/Telemetry.h"
+
 #include <cstdio>
 
 using namespace ace;
@@ -24,6 +26,7 @@ struct MemResult {
   size_t TotalBytes = 0;
   size_t ChainLen = 0;
   size_t RingDegree = 0;
+  size_t PeakRssBytes = 0;
 };
 
 MemResult runOne(const BenchModel &M, const air::CompileOptions &Opt) {
@@ -41,6 +44,9 @@ MemResult runOne(const BenchModel &M, const air::CompileOptions &Opt) {
   Out.ChainLen =
       static_cast<size_t>(R->State.SelectedParams.NumRescaleModuli) + 1;
   Out.RingDegree = R->State.SelectedParams.RingDegree;
+  // Setup sampled RSS into telemetry — the same source of truth the
+  // --telemetry-report summaries print.
+  Out.PeakRssBytes = telemetry::Telemetry::instance().peakRssBytes();
   return Out;
 }
 
@@ -56,10 +62,12 @@ double productionKeyGiB(size_t L, size_t N) {
 int main(int argc, char **argv) {
   BenchArgs Args(argc, argv, /*DefaultModels=*/3, /*DefaultImages=*/0);
   auto Models = buildPaperModels(Args.Models);
+  telemetry::Telemetry::instance().setEnabled(true);
 
   std::printf("=== Figure 7: key memory, ACE vs Expert ===\n");
-  std::printf("%-18s %-7s | %8s %12s %12s | %14s\n", "model", "impl",
-              "rotkeys", "eval-keys", "total-mem", "prod-scale-keys");
+  std::printf("%-18s %-7s | %8s %12s %12s %10s | %14s\n", "model", "impl",
+              "rotkeys", "eval-keys", "total-mem", "peak-rss",
+              "prod-scale-keys");
   for (auto &M : Models) {
     MemResult Ace = runOne(M, benchOptions());
     MemResult Exp = runOne(M, expert::expertOptions(benchOptions()));
@@ -69,10 +77,11 @@ int main(int argc, char **argv) {
       double Scale = 65536.0 / static_cast<double>(ToyN);
       double ProjGiB = static_cast<double>(R.KeyBytes) * Scale /
                        (1024.0 * 1024.0 * 1024.0);
-      std::printf("%-18s %-7s | %8zu %12s %12s | %10.1f GiB\n",
+      std::printf("%-18s %-7s | %8zu %12s %12s %10s | %10.1f GiB\n",
                   M.Spec.Name.c_str(), Impl, R.RotationKeys,
                   formatBytes(R.KeyBytes).c_str(),
-                  formatBytes(R.TotalBytes).c_str(), ProjGiB);
+                  formatBytes(R.TotalBytes).c_str(),
+                  formatBytes(R.PeakRssBytes).c_str(), ProjGiB);
     };
     Print("ace", Ace, Ace.RingDegree);
     Print("expert", Exp, Exp.RingDegree);

@@ -12,19 +12,32 @@
 // ReLU layer is approximated by composite sign polynomials and preceded
 // by an automatically placed bootstrap.
 //
-// Run: ./encrypted_mlp
+// Run: ./encrypted_mlp [--telemetry-report[=json]]
+//   ACE_TRACE=trace.json ./encrypted_mlp   # chrome://tracing span dump
 //
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CkksExecutor.h"
 #include "driver/AceCompiler.h"
 #include "nn/ModelZoo.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
+#include <cstring>
+#include <iostream>
 
 using namespace ace;
 
-int main() {
+int main(int argc, char **argv) {
+  bool Report = false, ReportJson = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--telemetry-report") == 0)
+      Report = true;
+    else if (std::strcmp(argv[I], "--telemetry-report=json") == 0)
+      Report = ReportJson = true;
+  }
+  if (Report)
+    telemetry::Telemetry::instance().setEnabled(true);
   // A 2-hidden-layer MLP classifying synthetic 24-dim vectors.
   const int Classes = 6;
   onnx::Model Model = nn::buildMlp({24, 16, 12, Classes}, 31);
@@ -94,5 +107,7 @@ int main() {
   for (const auto &[Region, Seconds] : Exec.regionTimes().entries())
     std::printf("%s=%.2fs ", Region.c_str(), Seconds);
   std::printf("\nencrypted_mlp OK\n");
+  if (Report)
+    driver::printTelemetryReport(std::cout, ReportJson);
   return Match >= Total - 1 ? 0 : 1;
 }

@@ -14,7 +14,7 @@
 //   3. Generate keys, encrypt an input vector, run the encrypted gemv on
 //      the server side, decrypt, and compare with cleartext execution.
 //
-// Run: ./quickstart
+// Run: ./quickstart [--telemetry-report[=json]]
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,12 +22,24 @@
 #include "driver/AceCompiler.h"
 #include "nn/ModelZoo.h"
 #include "support/Rng.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
+#include <cstring>
+#include <iostream>
 
 using namespace ace;
 
-int main() {
+int main(int argc, char **argv) {
+  bool Report = false, ReportJson = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--telemetry-report") == 0)
+      Report = true;
+    else if (std::strcmp(argv[I], "--telemetry-report=json") == 0)
+      Report = ReportJson = true;
+  }
+  if (Report)
+    telemetry::Telemetry::instance().setEnabled(true);
   // --- 1. The model (paper Fig. 4), round-tripped through a model file.
   onnx::Model Model = nn::buildLinearInfer(/*Seed=*/42);
   if (Status S = onnx::saveModel(Model, "linear_infer.acemodel")) {
@@ -108,5 +120,7 @@ int main() {
     std::printf("%-8zu %12.6f %12.6f\n", K,
                 static_cast<double>(Clear->Values[K]), (*Encrypted)[K]);
   std::printf("\nquickstart OK\n");
+  if (Report)
+    driver::printTelemetryReport(std::cout, ReportJson);
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "air/Layout.h"
 #include "fhe/Context.h"
 #include "onnx/Model.h"
+#include "support/Telemetry.h"
 #include "support/Timer.h"
 
 #include <map>
@@ -121,14 +122,18 @@ public:
   virtual Status run(IrFunction &F, CompileState &State) = 0;
 };
 
-/// Runs passes in order, timing each under its phase label.
+/// Runs passes in order, tracing each one. Every pass gets a telemetry
+/// span named after the pass, nested (by start/duration containment)
+/// inside a span for its phase label; phase wall time still accumulates
+/// into State.Timing for the Figure 5 breakdown.
 class PassManager {
 public:
   void add(std::unique_ptr<Pass> P) { Passes.push_back(std::move(P)); }
 
   Status run(IrFunction &F, CompileState &State) {
     for (auto &P : Passes) {
-      ScopedTimer Timer(State.Timing, P->phase());
+      telemetry::TraceSpan PhaseSpan("phase", P->phase(), &State.Timing);
+      telemetry::TraceSpan PassSpan("pass", P->name());
       if (Status S = P->run(F, State))
         return Status::error(std::string(P->name()) + ": " + S.message());
     }

@@ -8,6 +8,8 @@
 
 #include "codegen/CkksExecutor.h"
 
+#include "support/Telemetry.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -23,6 +25,7 @@ CkksExecutor::CkksExecutor(const IrFunction &F, const CompileState &State)
 CkksExecutor::~CkksExecutor() = default;
 
 Status CkksExecutor::setup() {
+  telemetry::TraceSpan Span("executor", "setup");
   WallTimer Clock;
   const fhe::CkksParams &P = State.SelectedParams;
   if (!P.valid())
@@ -91,6 +94,10 @@ Status CkksExecutor::setup() {
   Memory.add(MemCategoryKind::MC_RotationKeys, Keys.rotationByteSize());
 
   SetupSeconds = Clock.seconds();
+  if (telemetry::enabled()) {
+    telemetry::Telemetry::instance().recordSnapshot("executor:setup");
+    telemetry::Telemetry::instance().sampleRss("rss");
+  }
   return Status::success();
 }
 
@@ -151,6 +158,7 @@ StatusOr<fhe::Ciphertext> CkksExecutor::run(const Ciphertext &Input) {
                                   Ctx->scale()) +
         "; fresh inputs must be encrypted at the context scale");
   RegionTimes.clear();
+  telemetry::TraceSpan RunSpan("executor", "run");
   std::map<int, Ciphertext> Values;
   const IrNode *ConstOf[1]; // silence unused warnings in release
   (void)ConstOf;
@@ -168,7 +176,8 @@ StatusOr<fhe::Ciphertext> CkksExecutor::run(const Ciphertext &Input) {
     if (N->Kind == NodeKind::NK_ConstVec ||
         N->Kind == NodeKind::NK_CkksEncode)
       continue; // materialized at use
-    WallTimer Clock;
+    telemetry::TraceSpan RegionSpan("region", originKindName(N->Origin),
+                                    &RegionTimes);
     switch (N->Kind) {
     case NodeKind::NK_Input:
       Values[N->Id] = Input;
@@ -293,11 +302,14 @@ StatusOr<fhe::Ciphertext> CkksExecutor::run(const Ciphertext &Input) {
       return Status::error(std::string("executor: unsupported node ") +
                            nodeKindName(N->Kind));
     }
-    RegionTimes.add(originKindName(N->Origin), Clock.seconds());
   }
   if (!HaveResult)
     return Status::error("executor: program produced no result");
   Memory.add(MemCategoryKind::MC_Ciphertexts, Result.byteSize());
+  if (telemetry::enabled()) {
+    telemetry::Telemetry::instance().recordSnapshot("executor:run");
+    telemetry::Telemetry::instance().sampleRss("rss");
+  }
   return Result;
 }
 

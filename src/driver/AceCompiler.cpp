@@ -13,6 +13,8 @@
 #include "passes/SiheToCkks.h"
 #include "passes/VectorToSihe.h"
 
+#include <iostream>
+
 using namespace ace;
 using namespace ace::driver;
 using namespace ace::air;
@@ -21,22 +23,29 @@ StatusOr<std::unique_ptr<CompileResult>>
 AceCompiler::compile(const onnx::Model &Model,
                      const std::vector<nn::Tensor> &Calibration,
                      bool KeepDumps) {
+  telemetry::TraceSpan CompileSpan("compiler", "compile");
   auto Result = std::make_unique<CompileResult>();
   CompileState &State = Result->State;
   State.Options = Options;
   State.Model = &Model;
   IrFunction &F = Result->Program;
 
+  telemetry::Telemetry &Tel = telemetry::Telemetry::instance();
+
   auto Snapshot = [&](const char *Phase, DialectKind Dialect) -> Status {
     Result->PhaseNodeCounts[Phase] = F.countDialect(Dialect);
     if (KeepDumps)
       Result->PhaseDumps[Phase] = printFunction(F);
+    if (telemetry::enabled()) {
+      Tel.recordSnapshot(std::string("compile:") + Phase);
+      Tel.sampleRss("rss");
+    }
     return verifyFunction(F);
   };
 
   // Frontend (timed as the NN phase of Figure 5).
   {
-    ScopedTimer Timer(State.Timing, "NN");
+    telemetry::TraceSpan Span("phase", "NN", &State.Timing);
     if (Status S = passes::importModel(Model, Calibration, F, State))
       return S;
     if (Status S = Snapshot("NN", DialectKind::DK_Nn))
@@ -65,4 +74,8 @@ AceCompiler::compile(const onnx::Model &Model,
     return S;
 
   return Result;
+}
+
+void ace::driver::printTelemetryReport(std::ostream &OS, bool Json) {
+  telemetry::Telemetry::instance().writeReport(OS, Json);
 }

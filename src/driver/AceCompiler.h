@@ -22,6 +22,7 @@
 #include "nn/Executor.h"
 #include "onnx/Model.h"
 
+#include <iosfwd>
 #include <memory>
 
 namespace ace {
@@ -36,6 +37,12 @@ struct CompileResult {
   /// Pretty-printed IR snapshots per phase (debug/instrumentation).
   std::map<std::string, std::string> PhaseDumps;
 };
+
+/// Writes the process-wide telemetry summary (counters, ciphertext
+/// health, span times, snapshots, peak RSS) to \p OS — the body behind
+/// every example's --telemetry-report flag. Text by default, JSON when
+/// \p Json.
+void printTelemetryReport(std::ostream &OS, bool Json = false);
 
 /// Compiles models under fixed options.
 class AceCompiler {

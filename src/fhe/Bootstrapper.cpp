@@ -9,6 +9,7 @@
 #include "fhe/Bootstrapper.h"
 
 #include "fhe/ModArith.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 #include <cmath>
@@ -336,6 +337,10 @@ StatusOr<Ciphertext> Bootstrapper::checkedBootstrap(const Ciphertext &Ct,
 Ciphertext Bootstrapper::bootstrap(const Ciphertext &Ct,
                                    size_t TargetNumQ) const {
   const Context &Ctx = Eval.context();
+  telemetry::FheOpSpan Span;
+  if (telemetry::enabled())
+    Span.begin(telemetry::Counter::Bootstrap, Ct.numQ(), Ct.Scale,
+               Eval.noiseBudgetBits(Ct));
   assert(Ctx.params().SparseSecret &&
          "bootstrapping requires the sparse secret (bounds RangeK)");
   assert(scalesCloseOrReport("bootstrap", Ct.Scale, Ctx.scale()) &&
@@ -349,25 +354,35 @@ Ciphertext Bootstrapper::bootstrap(const Ciphertext &Ct,
   // 1. Down to q_0 and back up onto the working chain. The plaintext
   //    becomes p + q_0 * I with |I| <= K.
   Ciphertext Work = Ct;
-  Eval.modSwitchTo(Work, 1);
-  Work = modRaise(Work, Raised);
+  {
+    telemetry::TraceSpan Stage("bootstrap", "ModRaise");
+    Eval.modSwitchTo(Work, 1);
+    Work = modRaise(Work, Raised);
+  }
 
   // 2. SubSum trace: projects the (general) overflow polynomial onto the
   //    packing subring, multiplying message and overflow by span. The
   //    overflow bound becomes K2 = span * K; EvalMod's extra double-angle
   //    iterations absorb it.
-  for (uint64_t Galois : requiredGaloisElements()) {
-    Ciphertext Rotated = Eval.rotateGalois(Work, Galois);
-    Eval.addInPlace(Work, Rotated);
+  {
+    telemetry::TraceSpan Stage("bootstrap", "SubSum");
+    for (uint64_t Galois : requiredGaloisElements()) {
+      Ciphertext Rotated = Eval.rotateGalois(Work, Galois);
+      Eval.addInPlace(Work, Rotated);
+    }
   }
 
   // 3. CoeffToSlot, then normalize into [-1, 1]: first a pure metadata
   //    scale change (exact; see matrixEntry), then an exact downscale
   //    back to Delta so EvalMod's multiplications stay on the rescale
   //    waterline.
-  Ciphertext Z = matvec(Work, /*MatrixId=*/0);
-  Z.Scale = Eval.context().firstModulus() * (rangeBound() + 1);
-  Eval.downscaleInPlace(Z, Eval.context().scale());
+  Ciphertext Z = [&] {
+    telemetry::TraceSpan Stage("bootstrap", "CoeffToSlot");
+    Ciphertext R = matvec(Work, /*MatrixId=*/0);
+    R.Scale = Eval.context().firstModulus() * (rangeBound() + 1);
+    Eval.downscaleInPlace(R, Eval.context().scale());
+    return R;
+  }();
 
   // 4. Separate real and imaginary coefficient vectors.
   Ciphertext ZConj = Eval.conjugate(Z);
@@ -375,15 +390,22 @@ Ciphertext Bootstrapper::bootstrap(const Ciphertext &Ct,
   Ciphertext CtB = Eval.negate(Eval.mulByI(Eval.sub(Z, ZConj)));
 
   // 5. EvalMod on both.
-  Ciphertext YA = evalMod(CtA);
-  Ciphertext YB = evalMod(CtB);
+  Ciphertext YA, YB;
+  {
+    telemetry::TraceSpan Stage("bootstrap", "EvalMod");
+    YA = evalMod(CtA);
+    YB = evalMod(CtB);
+  }
 
   // 6. Recombine and SlotToCoeff (whose constants restore the original
   //    message normalization).
   Ciphertext YBi = Eval.mulByI(YB);
   Eval.matchForAdd(YA, YBi);
   Ciphertext Combined = Eval.add(YA, YBi);
-  Ciphertext Out = matvec(Combined, /*MatrixId=*/1);
+  Ciphertext Out = [&] {
+    telemetry::TraceSpan Stage("bootstrap", "SlotToCoeff");
+    return matvec(Combined, /*MatrixId=*/1);
+  }();
 
   // 7. The doubling chain's multiplicative scale drift lands the result
   //    slightly off the input scale; one exact downscale restores it.

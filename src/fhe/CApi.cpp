@@ -11,9 +11,11 @@
 #include "fhe/Bootstrapper.h"
 #include "fhe/Encryptor.h"
 #include "fhe/Evaluator.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -426,4 +428,62 @@ double *ace_load_weights(const char *Path, size_t *Count) {
   if (Count)
     *Count = Read;
   return Data;
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+void ace_telemetry_enable(int On) {
+  telemetry::Telemetry::instance().setEnabled(On != 0);
+}
+
+int ace_telemetry_enabled(void) { return telemetry::enabled() ? 1 : 0; }
+
+void ace_telemetry_reset(void) { telemetry::Telemetry::instance().clear(); }
+
+uint64_t ace_telemetry_counter(const char *Name) {
+  if (!Name) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT, "telemetry_counter: NULL name");
+    return 0;
+  }
+  telemetry::Counter C;
+  if (!telemetry::counterFromName(Name, C)) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT,
+                 std::string("telemetry_counter: unknown counter '") +
+                     Name + "'");
+    return 0;
+  }
+  return telemetry::Telemetry::instance().counterValue(C);
+}
+
+void ace_telemetry_snapshot(const char *Label) {
+  telemetry::Telemetry::instance().recordSnapshot(Label ? Label : "");
+}
+
+char *ace_telemetry_report(int AsJson) {
+  std::string R =
+      telemetry::Telemetry::instance().reportString(AsJson != 0);
+  char *Out = static_cast<char *>(std::malloc(R.size() + 1));
+  if (!Out) {
+    setLastError(ACE_ERR_RESOURCE_EXHAUSTED,
+                 "telemetry_report: cannot allocate report buffer");
+    return nullptr;
+  }
+  std::memcpy(Out, R.c_str(), R.size() + 1);
+  return Out;
+}
+
+int ace_telemetry_write_trace(const char *Path) {
+  if (!Path) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT,
+                 "telemetry_write_trace: NULL path");
+    return ACE_ERR_INVALID_ARGUMENT;
+  }
+  Status S = telemetry::Telemetry::instance().writeChromeTraceFile(Path);
+  if (!S.ok()) {
+    setLastError(S);
+    return toCCode(S.code());
+  }
+  return ACE_OK;
 }

@@ -116,6 +116,34 @@ AceFheCiphertext *ace_bootstrap(AceFheContext *ctx,
 /// error channel set when the file cannot be read.
 double *ace_load_weights(const char *path, size_t *count);
 
+/// \name Telemetry (see docs/observability.md)
+/// The generated C programs call these so traces and op counts from the
+/// generated-C path match the in-process executor. Also driven by the
+/// environment: ACE_TRACE=<file> enables collection at load time and
+/// writes a chrome://tracing JSON at exit; ACE_TELEMETRY=1 enables
+/// collection only.
+/// @{
+
+/// Enables (nonzero) or disables (zero) telemetry collection.
+void ace_telemetry_enable(int on);
+/// Nonzero when telemetry collection is enabled.
+int ace_telemetry_enabled(void);
+/// Drops all recorded telemetry (counters, events, health, snapshots).
+void ace_telemetry_reset(void);
+/// Value of the named counter ("ct-ct-mul", "rotate", "bootstrap", ...).
+/// Returns 0 and sets the error channel for unknown names.
+uint64_t ace_telemetry_counter(const char *name);
+/// Records a named snapshot of all counters (per-phase reporting).
+void ace_telemetry_snapshot(const char *label);
+/// Telemetry summary as a malloc'd string the caller frees; text, or
+/// JSON when as_json is nonzero.
+char *ace_telemetry_report(int as_json);
+/// Writes the Chrome trace-event JSON to path. Returns ACE_OK or an
+/// error code.
+int ace_telemetry_write_trace(const char *path);
+
+/// @}
+
 #ifdef __cplusplus
 } // extern "C"
 #endif

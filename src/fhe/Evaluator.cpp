@@ -10,13 +10,26 @@
 
 #include "fhe/ModArith.h"
 #include "support/FaultInjector.h"
+#include "support/Telemetry.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cmath>
+#include <limits>
 
 using namespace ace;
 using namespace ace::fhe;
+
+namespace {
+
+/// Disabled-path cost of a counter-only telemetry site: one relaxed load.
+inline void countOp(telemetry::Counter C, uint64_t N = 1) {
+  if (telemetry::enabled())
+    telemetry::Telemetry::instance().count(C, N);
+}
+
+} // namespace
 
 bool ace::fhe::scalesClose(double A, double B) {
   return std::fabs(A - B) <= 1e-3 * std::fmax(A, B);
@@ -96,6 +109,18 @@ Evaluator::Evaluator(const Context &Ctx, const Encoder &Enc,
   MonomialNtt.resize(Ctx.chainLength() + 1);
 }
 
+double Evaluator::noiseBudgetBits(const Ciphertext &A) const {
+  if (LogQPrefix.empty()) {
+    LogQPrefix.resize(Ctx.chainLength() + 1, 0.0);
+    for (size_t I = 0; I < Ctx.chainLength(); ++I)
+      LogQPrefix[I + 1] =
+          LogQPrefix[I] + std::log2(static_cast<double>(Ctx.qModulus(I)));
+  }
+  size_t NumQ = std::min(A.numQ(), Ctx.chainLength());
+  double LogScale = A.Scale > 0.0 ? std::log2(A.Scale) : 0.0;
+  return LogQPrefix[NumQ] - LogScale;
+}
+
 void Evaluator::checkAddCompatible(const Ciphertext &A,
                                    const Ciphertext &B) const {
   assert(A.numQ() == B.numQ() && "additive operands at different levels");
@@ -111,6 +136,7 @@ void Evaluator::checkAddCompatible(const Ciphertext &A,
 void Evaluator::addInPlace(Ciphertext &A, const Ciphertext &B) const {
   checkAddCompatible(A, B);
   ++Counters.Add;
+  countOp(telemetry::Counter::Add);
   // Adding a Cipher and a Cipher3 is permitted: missing components are
   // implicitly zero.
   if (B.size() > A.size())
@@ -130,6 +156,7 @@ Ciphertext Evaluator::add(const Ciphertext &A, const Ciphertext &B) const {
 void Evaluator::subInPlace(Ciphertext &A, const Ciphertext &B) const {
   checkAddCompatible(A, B);
   ++Counters.Add;
+  countOp(telemetry::Counter::Add);
   if (B.size() > A.size())
     A.Polys.resize(B.size(),
                    RnsPoly(Ctx, A.numQ(), /*HasSpecial=*/false,
@@ -156,6 +183,7 @@ void Evaluator::addPlainInPlace(Ciphertext &A, const Plaintext &P) const {
   assert(scalesCloseOrReport("addPlain", A.Scale, P.Scale) &&
          "addPlain scale mismatch");
   ++Counters.Add;
+  countOp(telemetry::Counter::Add);
   if (P.numQ() == A.numQ()) {
     A.Polys[0].addInPlace(P.Poly);
     return;
@@ -203,6 +231,10 @@ Ciphertext Evaluator::mulNoRelin(const Ciphertext &A,
   assert(A.numQ() == B.numQ() && "product operands at different levels");
   assert(A.Slots == B.Slots && "product operands with different slots");
   ++Counters.MulCipher;
+  telemetry::FheOpSpan Span;
+  if (telemetry::enabled())
+    Span.begin(telemetry::Counter::CtCtMul, A.numQ(), A.Scale,
+               noiseBudgetBits(A));
 
   Ciphertext R;
   R.Scale = A.Scale * B.Scale;
@@ -225,6 +257,10 @@ Ciphertext Evaluator::mul(const Ciphertext &A, const Ciphertext &B) const {
 void Evaluator::mulPlainInPlace(Ciphertext &A, const Plaintext &P) const {
   assert(P.numQ() >= A.numQ() && "plaintext level below ciphertext level");
   ++Counters.MulPlain;
+  telemetry::FheOpSpan Span;
+  if (telemetry::enabled())
+    Span.begin(telemetry::Counter::CtPtMul, A.numQ(), A.Scale,
+               noiseBudgetBits(A));
   if (P.numQ() == A.numQ()) {
     for (auto &Poly : A.Polys)
       Poly.mulInPlace(P.Poly);
@@ -246,6 +282,7 @@ Ciphertext Evaluator::mulPlain(const Ciphertext &A, const Plaintext &P) const {
 Ciphertext Evaluator::mulScalar(const Ciphertext &A, double Value,
                                 double TargetScale) const {
   ++Counters.MulPlain;
+  countOp(telemetry::Counter::CtPtMul);
   Ciphertext R = A;
   if (TargetScale <= 0.0)
     TargetScale = A.Scale;
@@ -316,6 +353,14 @@ std::pair<RnsPoly, RnsPoly> Evaluator::switchKey(const RnsPoly &D,
   assert(Key.Parts.size() >= D.numQ() &&
          "switch key truncated below this ciphertext's level");
   ++Counters.KeySwitch;
+  telemetry::FheOpSpan Span;
+  if (telemetry::enabled()) {
+    // One digit per active chain prime (RNS decomposition).
+    telemetry::Telemetry::instance().count(
+        telemetry::Counter::KeySwitchDigit, D.numQ());
+    Span.begin(telemetry::Counter::KeySwitch, D.numQ(), /*Scale=*/0.0,
+               std::numeric_limits<double>::quiet_NaN());
+  }
 
   size_t L = D.numQ();
   size_t N = Ctx.degree();
@@ -393,6 +438,10 @@ Ciphertext Evaluator::relinearize(const Ciphertext &A) const {
   assert(A.size() == 3 && "relinearize expects a Cipher3");
   assert(Keys.HasRelin && "relinearization key not generated");
   ++Counters.Relinearize;
+  telemetry::FheOpSpan Span;
+  if (telemetry::enabled())
+    Span.begin(telemetry::Counter::Relinearize, A.numQ(), A.Scale,
+               noiseBudgetBits(A));
 
   RnsPoly D = A.Polys[2];
   D.toCoeff();
@@ -439,6 +488,10 @@ Ciphertext Evaluator::rotate(const Ciphertext &A, int64_t Steps) const {
   if (K == 0)
     return A;
   ++Counters.Rotate;
+  telemetry::FheOpSpan Span;
+  if (telemetry::enabled())
+    Span.begin(telemetry::Counter::Rotate, A.numQ(), A.Scale,
+               noiseBudgetBits(A));
   uint64_t Galois = galoisForRotation(Ctx.degree(), Slots, K);
   auto It = Keys.Rotations.find(Galois);
   assert(It != Keys.Rotations.end() &&
@@ -451,6 +504,10 @@ Ciphertext Evaluator::rotateGalois(const Ciphertext &A,
   if (Galois == 1)
     return A;
   ++Counters.Rotate;
+  telemetry::FheOpSpan Span;
+  if (telemetry::enabled())
+    Span.begin(telemetry::Counter::Rotate, A.numQ(), A.Scale,
+               noiseBudgetBits(A));
   auto It = Keys.Rotations.find(Galois);
   assert(It != Keys.Rotations.end() && "Galois key missing");
   return applyGalois(A, Galois, It->second);
@@ -459,6 +516,10 @@ Ciphertext Evaluator::rotateGalois(const Ciphertext &A,
 Ciphertext Evaluator::conjugate(const Ciphertext &A) const {
   assert(Keys.HasConjugate && "conjugation key not generated");
   ++Counters.Conjugate;
+  telemetry::FheOpSpan Span;
+  if (telemetry::enabled())
+    Span.begin(telemetry::Counter::Conjugate, A.numQ(), A.Scale,
+               noiseBudgetBits(A));
   return applyGalois(A, galoisForConjugation(Ctx.degree()), Keys.Conjugate);
 }
 
@@ -470,6 +531,10 @@ void Evaluator::rescaleInPlace(Ciphertext &A) const {
   size_t L = A.numQ();
   assert(L >= 2 && "cannot rescale past the base modulus");
   ++Counters.Rescale;
+  telemetry::FheOpSpan Span;
+  if (telemetry::enabled())
+    Span.begin(telemetry::Counter::Rescale, A.numQ(), A.Scale,
+               noiseBudgetBits(A));
   size_t N = Ctx.degree();
   size_t Last = L - 1;
   uint64_t QLast = Ctx.qModulus(Last);
@@ -500,6 +565,7 @@ void Evaluator::rescaleInPlace(Ciphertext &A) const {
 void Evaluator::modSwitchInPlace(Ciphertext &A) const {
   assert(A.numQ() >= 2 && "cannot mod-switch past the base modulus");
   ++Counters.ModSwitch;
+  countOp(telemetry::Counter::ModSwitch);
   for (auto &Poly : A.Polys)
     Poly.dropLastQ();
 }
@@ -748,6 +814,10 @@ StatusOr<Ciphertext> Evaluator::checkedRotate(const Ciphertext &A,
         " digits but the ciphertext has " + std::to_string(A.numQ()) +
         " active primes");
   ++Counters.Rotate;
+  telemetry::FheOpSpan Span;
+  if (telemetry::enabled())
+    Span.begin(telemetry::Counter::Rotate, A.numQ(), A.Scale,
+               noiseBudgetBits(A));
   return applyGalois(A, Galois, It->second);
 }
 

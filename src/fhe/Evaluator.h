@@ -202,6 +202,11 @@ public:
   /// Mutable operation counters.
   OpCounters &counters() const { return Counters; }
 
+  /// Estimated remaining noise budget of \p A in bits: log2 of the active
+  /// modulus product minus log2 of the scale. The telemetry layer records
+  /// it per operation so traces show budget draining toward bootstrap.
+  double noiseBudgetBits(const Ciphertext &A) const;
+
 private:
   const Context &Ctx;
   const Encoder &Enc;
@@ -209,6 +214,9 @@ private:
   mutable OpCounters Counters;
   /// NTT form of the monomial X^{N/2} per modulus, built lazily.
   mutable std::vector<std::vector<uint64_t>> MonomialNtt;
+  /// LogQPrefix[I] = sum of log2(q_j) for j < I, built lazily for
+  /// noiseBudgetBits.
+  mutable std::vector<double> LogQPrefix;
 
   const std::vector<uint64_t> &monomialNtt(size_t ModIndex) const;
   void checkAddCompatible(const Ciphertext &A, const Ciphertext &B) const;

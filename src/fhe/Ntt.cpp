@@ -9,6 +9,7 @@
 #include "fhe/Ntt.h"
 
 #include "fhe/ModArith.h"
+#include "support/Telemetry.h"
 
 #include <cassert>
 
@@ -62,6 +63,8 @@ NttTable::NttTable(size_t N, uint64_t Modulus) : N(N), Modulus(Modulus) {
 }
 
 void NttTable::forward(uint64_t *Data) const {
+  if (telemetry::enabled())
+    telemetry::Telemetry::instance().count(telemetry::Counter::NttForward);
   // Cooley-Tukey decimation-in-time; merges the psi twist into the
   // butterflies so no separate pre-multiplication pass is needed.
   size_t T = N;
@@ -83,6 +86,8 @@ void NttTable::forward(uint64_t *Data) const {
 }
 
 void NttTable::inverse(uint64_t *Data) const {
+  if (telemetry::enabled())
+    telemetry::Telemetry::instance().count(telemetry::Counter::NttInverse);
   // Gentleman-Sande decimation-in-frequency with inverse twiddles.
   size_t T = 1;
   for (size_t M = N; M > 1; M >>= 1) {

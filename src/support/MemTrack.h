@@ -80,6 +80,14 @@ private:
 /// Formats a byte count as a human-friendly string ("12.3 MB").
 std::string formatBytes(size_t Bytes);
 
+/// Current process resident-set size in bytes (/proc/self/status VmRSS).
+/// Returns 0 when the platform does not expose it.
+size_t currentRssBytes();
+
+/// Process peak resident-set size in bytes (/proc/self/status VmHWM).
+/// Returns 0 when the platform does not expose it.
+size_t peakRssBytes();
+
 } // namespace ace
 
 #endif // ACE_SUPPORT_MEMTRACK_H

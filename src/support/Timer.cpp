@@ -11,20 +11,17 @@
 using namespace ace;
 
 void TimingRegistry::add(const std::string &Phase, double Seconds) {
-  for (auto &Entry : Entries) {
-    if (Entry.first == Phase) {
-      Entry.second += Seconds;
-      return;
-    }
+  auto [It, Inserted] = Index.try_emplace(Phase, Entries.size());
+  if (Inserted) {
+    Entries.emplace_back(Phase, Seconds);
+    return;
   }
-  Entries.emplace_back(Phase, Seconds);
+  Entries[It->second].second += Seconds;
 }
 
 double TimingRegistry::get(const std::string &Phase) const {
-  for (const auto &Entry : Entries)
-    if (Entry.first == Phase)
-      return Entry.second;
-  return 0.0;
+  auto It = Index.find(Phase);
+  return It == Index.end() ? 0.0 : Entries[It->second].second;
 }
 
 double TimingRegistry::total() const {

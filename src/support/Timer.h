@@ -19,6 +19,7 @@
 
 #include <chrono>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -60,10 +61,16 @@ public:
   }
 
   /// Drops all recorded data.
-  void clear() { Entries.clear(); }
+  void clear() {
+    Entries.clear();
+    Index.clear();
+  }
 
 private:
   std::vector<std::pair<std::string, double>> Entries;
+  /// Phase name -> position in Entries, so add()/get() are O(1) amortized
+  /// while Entries keeps first-seen order for reporting.
+  std::unordered_map<std::string, size_t> Index;
 };
 
 /// RAII helper: times its scope and records into a TimingRegistry.

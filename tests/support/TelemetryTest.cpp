@@ -1,0 +1,222 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+//
+// Telemetry unit tests: counter atomicity under threads, span nesting in
+// the event buffer, JSON escaping, the Chrome trace shape, health
+// aggregation, and the disabled-path contract (no events, no counts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace ace;
+using namespace ace::telemetry;
+
+namespace {
+
+/// Every test runs against the process-wide singleton, so serialize state:
+/// clear + enable on entry, clear + restore-disabled on exit.
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Telemetry::instance().clear();
+    Telemetry::instance().setEnabled(true);
+  }
+  void TearDown() override {
+    Telemetry::instance().setEnabled(false);
+    Telemetry::instance().clear();
+  }
+};
+
+TEST_F(TelemetryTest, CounterNamesRoundTrip) {
+  for (size_t I = 0; I < kCounterCount; ++I) {
+    Counter C = static_cast<Counter>(I);
+    Counter Back;
+    ASSERT_TRUE(counterFromName(counterName(C), Back))
+        << counterName(C);
+    EXPECT_EQ(C, Back);
+  }
+  Counter Out;
+  EXPECT_FALSE(counterFromName("no-such-counter", Out));
+}
+
+TEST_F(TelemetryTest, AtomicCountersUnderThreads) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < kThreads; ++T)
+    Threads.emplace_back([] {
+      for (uint64_t I = 0; I < kPerThread; ++I)
+        Telemetry::instance().count(Counter::Rotate);
+    });
+  for (auto &T : Threads)
+    T.join();
+  EXPECT_EQ(kThreads * kPerThread,
+            Telemetry::instance().counterValue(Counter::Rotate));
+}
+
+TEST_F(TelemetryTest, DisabledPathRecordsNothing) {
+  Telemetry::instance().setEnabled(false);
+  {
+    TraceSpan Span("test", "invisible");
+    FheOpSpan Op;
+    if (enabled()) // mirrors every hook site
+      Op.begin(Counter::CtCtMul, 3, 1.0, 10.0);
+  }
+  EXPECT_EQ(0u, Telemetry::instance().eventCount());
+  EXPECT_EQ(0u, Telemetry::instance().counterValue(Counter::CtCtMul));
+  EXPECT_TRUE(Telemetry::instance().health().empty());
+}
+
+TEST_F(TelemetryTest, SpanNestingByContainment) {
+  {
+    TraceSpan Outer("test", "outer");
+    { TraceSpan Inner("test", "inner"); }
+  }
+  auto Events = Telemetry::instance().eventsCopy();
+  ASSERT_EQ(2u, Events.size());
+  // Inner closes first, so it lands first in the buffer.
+  const TraceEvent &Inner = Events[0];
+  const TraceEvent &Outer = Events[1];
+  EXPECT_EQ("inner", Inner.Name);
+  EXPECT_EQ("outer", Outer.Name);
+  // chrome://tracing infers nesting from ts/dur containment per thread.
+  EXPECT_EQ(Inner.Tid, Outer.Tid);
+  EXPECT_GE(Inner.TsUs, Outer.TsUs);
+  EXPECT_LE(Inner.TsUs + Inner.DurUs, Outer.TsUs + Outer.DurUs + 1e-6);
+}
+
+TEST_F(TelemetryTest, PhaseSecondsAccumulateAcrossSpans) {
+  { TraceSpan A("test", "phase-x"); }
+  { TraceSpan B("test", "phase-x"); }
+  EXPECT_GT(Telemetry::instance().phaseSeconds("phase-x"), 0.0);
+  EXPECT_EQ(0.0, Telemetry::instance().phaseSeconds("phase-y"));
+}
+
+TEST_F(TelemetryTest, TimingRegistryAdapterRecordsWhenDisabled) {
+  Telemetry::instance().setEnabled(false);
+  TimingRegistry Also;
+  { TraceSpan Span("test", "compat", &Also); }
+  // The adapter keeps legacy consumers fed even with telemetry off...
+  EXPECT_GT(Also.get("compat"), 0.0);
+  // ...without leaking anything into the disabled telemetry buffer.
+  EXPECT_EQ(0u, Telemetry::instance().eventCount());
+}
+
+TEST_F(TelemetryTest, FheOpSpanRecordsHealthAndEvent) {
+  {
+    FheOpSpan Op;
+    Op.begin(Counter::Rescale, /*NumQ=*/5, /*Scale=*/1024.0,
+             /*NoiseBudgetBits=*/42.5);
+  }
+  EXPECT_EQ(1u, Telemetry::instance().counterValue(Counter::Rescale));
+  auto Events = Telemetry::instance().eventsCopy();
+  ASSERT_EQ(1u, Events.size());
+  EXPECT_EQ("rescale", Events[0].Name);
+  EXPECT_EQ(5, Events[0].Level);
+  EXPECT_DOUBLE_EQ(10.0, Events[0].Log2Scale);
+  EXPECT_DOUBLE_EQ(42.5, Events[0].NoiseBudgetBits);
+
+  auto Health = Telemetry::instance().health();
+  ASSERT_EQ(1u, Health.size());
+  EXPECT_EQ(Counter::Rescale, Health[0].first);
+  EXPECT_EQ(1u, Health[0].second.Count);
+  EXPECT_EQ(5, Health[0].second.MinLevel);
+  EXPECT_EQ(5, Health[0].second.MaxLevel);
+  EXPECT_DOUBLE_EQ(42.5, Health[0].second.MinNoiseBudgetBits);
+}
+
+TEST_F(TelemetryTest, JsonEscape) {
+  EXPECT_EQ("plain", jsonEscape("plain"));
+  EXPECT_EQ("a\\\"b", jsonEscape("a\"b"));
+  EXPECT_EQ("a\\\\b", jsonEscape("a\\b"));
+  EXPECT_EQ("a\\nb\\tc", jsonEscape("a\nb\tc"));
+  EXPECT_EQ("ctl\\u0001", jsonEscape(std::string("ctl\x01")));
+}
+
+TEST_F(TelemetryTest, ChromeTraceShape) {
+  { TraceSpan Span("cat", "span \"quoted\""); }
+  Telemetry::instance().count(Counter::Bootstrap);
+  std::ostringstream OS;
+  Telemetry::instance().writeChromeTrace(OS);
+  std::string S = OS.str();
+  EXPECT_NE(std::string::npos, S.find("\"traceEvents\":["));
+  EXPECT_NE(std::string::npos, S.find("\"name\":\"span \\\"quoted\\\"\""));
+  EXPECT_NE(std::string::npos, S.find("\"ph\":\"X\""));
+  EXPECT_NE(std::string::npos, S.find("\"droppedEvents\":0"));
+}
+
+TEST_F(TelemetryTest, SinkReceivesEvents) {
+  struct CountingSink : TraceSink {
+    size_t Seen = 0;
+    void onEvent(const TraceEvent &) override { ++Seen; }
+  } Sink;
+  Telemetry::instance().setSink(&Sink);
+  { TraceSpan Span("test", "sinked"); }
+  Telemetry::instance().setSink(nullptr);
+  EXPECT_EQ(1u, Sink.Seen);
+}
+
+TEST_F(TelemetryTest, SnapshotDeltas) {
+  Telemetry::instance().count(Counter::CtCtMul, 3);
+  Telemetry::instance().recordSnapshot("after-three");
+  Telemetry::instance().count(Counter::CtCtMul, 2);
+  Telemetry::instance().recordSnapshot("after-five");
+  auto Snaps = Telemetry::instance().snapshots();
+  ASSERT_EQ(2u, Snaps.size());
+  EXPECT_EQ("after-three", Snaps[0].first);
+  EXPECT_EQ(3u, Snaps[0].second.get(Counter::CtCtMul));
+  CounterSnapshot D = Snaps[1].second.deltaSince(Snaps[0].second);
+  EXPECT_EQ(2u, D.get(Counter::CtCtMul));
+}
+
+TEST_F(TelemetryTest, ReportMentionsCountersAndJsonParsesShape) {
+  Telemetry::instance().count(Counter::Rotate, 7);
+  std::string Text = Telemetry::instance().reportString(/*Json=*/false);
+  EXPECT_NE(std::string::npos, Text.find("rotate"));
+  std::string Json = Telemetry::instance().reportString(/*Json=*/true);
+  EXPECT_EQ('{', Json.front());
+  EXPECT_NE(std::string::npos, Json.find("\"rotate\":7"));
+}
+
+TEST_F(TelemetryTest, RssSampleFoldsIntoPeak) {
+  Telemetry::instance().sampleRss("rss-test");
+  // Linux exposes VmRSS; elsewhere the sample is 0 and peak stays 0.
+#if defined(__linux__)
+  EXPECT_GT(Telemetry::instance().peakRssBytes(), 0u);
+#endif
+  auto Events = Telemetry::instance().eventsCopy();
+  ASSERT_EQ(1u, Events.size());
+  EXPECT_EQ('C', Events[0].Phase);
+}
+
+TEST(TimingRegistryTest, IndexedAddPreservesFirstSeenOrder) {
+  TimingRegistry T;
+  T.add("b", 1.0);
+  T.add("a", 2.0);
+  T.add("b", 3.0);
+  ASSERT_EQ(2u, T.entries().size());
+  EXPECT_EQ("b", T.entries()[0].first);
+  EXPECT_EQ("a", T.entries()[1].first);
+  EXPECT_DOUBLE_EQ(4.0, T.get("b"));
+  EXPECT_DOUBLE_EQ(2.0, T.get("a"));
+  EXPECT_DOUBLE_EQ(6.0, T.total());
+  T.clear();
+  EXPECT_TRUE(T.entries().empty());
+  EXPECT_DOUBLE_EQ(0.0, T.get("b"));
+  T.add("c", 1.5);
+  EXPECT_DOUBLE_EQ(1.5, T.get("c"));
+}
+
+} // namespace
