@@ -22,10 +22,13 @@
 #include "driver/AceCompiler.h"
 #include "expert/ExpertBaseline.h"
 #include "nn/ModelZoo.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace ace {
@@ -68,10 +71,16 @@ inline air::CompileOptions benchOptions(uint64_t Seed = 13) {
   return Opt;
 }
 
-/// Parses `--models=N`, `--images=N`, `--all` style flags.
+/// Parses `--models=N`, `--images=N`, `--all`, `--threads=N`,
+/// `--thread-sweep`, `--json=PATH` style flags. A positive --threads is
+/// applied to the process-wide pool immediately (see
+/// support/ThreadPool.h); otherwise the ACE_THREADS default stands.
 struct BenchArgs {
   size_t Models;
   size_t Images;
+  int Threads = 0;
+  bool ThreadSweep = false;
+  std::string JsonPath;
   BenchArgs(int Argc, char **Argv, size_t DefaultModels,
             size_t DefaultImages)
       : Models(DefaultModels), Images(DefaultImages) {
@@ -82,9 +91,61 @@ struct BenchArgs {
         Models = std::strtoul(Argv[I] + 9, nullptr, 10);
       else if (!std::strncmp(Argv[I], "--images=", 9))
         Images = std::strtoul(Argv[I] + 9, nullptr, 10);
+      else if (!std::strncmp(Argv[I], "--threads=", 10))
+        Threads = std::atoi(Argv[I] + 10);
+      else if (!std::strcmp(Argv[I], "--thread-sweep"))
+        ThreadSweep = true;
+      else if (!std::strncmp(Argv[I], "--json=", 7))
+        JsonPath = Argv[I] + 7;
     }
+    if (Threads > 0)
+      ThreadPool::instance().setNumThreads(static_cast<size_t>(Threads));
   }
 };
+
+/// \name Bench JSON metadata
+/// Every --json file carries the context needed to compare BENCH_*.json
+/// trajectories across PRs: the bench name, worker-thread count, git
+/// revision and build type (both baked in at configure time), and the
+/// host's core count.
+/// @{
+
+#ifndef ACE_GIT_REV
+#define ACE_GIT_REV "unknown"
+#endif
+#ifndef ACE_BUILD_TYPE
+#define ACE_BUILD_TYPE "unknown"
+#endif
+
+/// The shared `"metadata": {...}` object for bench JSON files.
+inline std::string benchMetadataJson(const std::string &BenchName) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"bench\": \"%s\", \"threads\": %zu, \"git_rev\": "
+                "\"%s\", \"build_type\": \"%s\", \"host_cores\": %u}",
+                BenchName.c_str(), ThreadPool::instance().numThreads(),
+                ACE_GIT_REV, ACE_BUILD_TYPE,
+                std::thread::hardware_concurrency());
+  return Buf;
+}
+
+/// Writes `{"metadata": ..., "results": [ResultsJson]}` to Path.
+/// ResultsJson must already be valid JSON (an array or object body).
+inline void writeBenchJson(const std::string &Path,
+                           const std::string &BenchName,
+                           const std::string &ResultsJson) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(F, "{\"metadata\": %s,\n \"results\": %s}\n",
+               benchMetadataJson(BenchName).c_str(), ResultsJson.c_str());
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+}
+
+/// @}
 
 inline std::unique_ptr<driver::CompileResult>
 compileOrDie(const onnx::Model &Model, const nn::Dataset &Data,

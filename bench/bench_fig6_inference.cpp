@@ -5,7 +5,11 @@
 // reports Conv -31.5%, Bootstrap -63.3%, ReLU -44.6%, 2.24x average.
 //
 // Defaults cover the two smallest models (single-core friendly); pass
-// --all or --models=N for the full sweep.
+// --all or --models=N for the full sweep. --thread-sweep instead runs
+// the MLP end-to-end at 1/2/4/8 worker threads, verifies the decrypted
+// logits are bit-identical at every count, and reports the speedup
+// (docs/performance.md quotes this table). --json=PATH writes either
+// mode's numbers with git-rev/build-type/threads metadata.
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -13,6 +17,7 @@
 #include "support/Telemetry.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace ace;
 using namespace ace::bench;
@@ -59,10 +64,94 @@ RunResult runOne(const BenchModel &M, const air::CompileOptions &Opt) {
   return Out;
 }
 
+// Runs the 2-hidden-layer MLP end to end at 1/2/4/8 worker threads:
+// compile and key-setup once, encrypt the input once, then time run()
+// at each thread count and require the decrypted logits to be
+// bit-identical to the single-threaded reference (the pool's
+// determinism guarantee, see support/ThreadPool.h).
+int runThreadSweep(const std::string &JsonPath) {
+  const int Classes = 6;
+  onnx::Model Model = nn::buildMlp({24, 16, 12, Classes}, 31);
+  nn::Dataset Data = nn::makeSyntheticDataset({1, 24}, Classes,
+                                              /*Count=*/8,
+                                              /*NoiseSigma=*/0.1, 77);
+  auto R = compileOrDie(Model, Data, benchOptions());
+  codegen::CkksExecutor Exec(R->Program, R->State);
+  if (Status S = Exec.setup()) {
+    std::fprintf(stderr, "setup failed: %s\n", S.message().c_str());
+    return 1;
+  }
+  // Encrypt once so every thread count evaluates the same ciphertext
+  // (infer() re-encrypts and would advance the RNG between runs).
+  auto Ct = Exec.encryptInput(Data.Images[0]);
+  if (!Ct.ok()) {
+    std::fprintf(stderr, "encrypt failed: %s\n",
+                 Ct.status().message().c_str());
+    return 1;
+  }
+
+  std::printf("=== Thread sweep: MLP encrypted inference ===\n");
+  std::printf("%8s %10s %9s  %s\n", "threads", "seconds", "speedup",
+              "logits");
+  std::vector<double> Reference;
+  std::string Rows;
+  double Serial = 0;
+  bool AllIdentical = true;
+  for (size_t T : {1, 2, 4, 8}) {
+    ThreadPool::instance().setNumThreads(T);
+    WallTimer Clock;
+    auto Out = Exec.run(*Ct);
+    if (!Out.ok()) {
+      std::fprintf(stderr, "inference failed at %zu threads: %s\n", T,
+                   Out.status().message().c_str());
+      return 1;
+    }
+    double Seconds = Clock.seconds();
+    auto LogitsOr = Exec.decryptLogits(*Out);
+    if (!LogitsOr.ok()) {
+      std::fprintf(stderr, "decrypt failed: %s\n",
+                   LogitsOr.status().message().c_str());
+      return 1;
+    }
+    bool Identical = true;
+    if (T == 1) {
+      Reference = *LogitsOr;
+      Serial = Seconds;
+    } else {
+      Identical =
+          LogitsOr->size() == Reference.size() &&
+          std::memcmp(LogitsOr->data(), Reference.data(),
+                      Reference.size() * sizeof(double)) == 0;
+      AllIdentical = AllIdentical && Identical;
+    }
+    std::printf("%8zu %10.2f %8.2fx  %s\n", T, Seconds,
+                Serial / Seconds,
+                Identical ? "bit-identical" : "MISMATCH");
+    char Row[128];
+    std::snprintf(Row, sizeof(Row),
+                  "%s{\"threads\": %zu, \"seconds\": %.4f, "
+                  "\"bit_identical\": %s}",
+                  Rows.empty() ? "" : ",\n  ", T, Seconds,
+                  Identical ? "true" : "false");
+    Rows += Row;
+  }
+  ThreadPool::instance().setNumThreads(0); // back to the env default
+  if (!JsonPath.empty())
+    writeBenchJson(JsonPath, "fig6_thread_sweep", "[" + Rows + "]");
+  if (!AllIdentical) {
+    std::fprintf(stderr, "determinism violation: logits differ across "
+                         "thread counts\n");
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   BenchArgs Args(argc, argv, /*DefaultModels=*/2, /*DefaultImages=*/1);
+  if (Args.ThreadSweep)
+    return runThreadSweep(Args.JsonPath);
   auto Models = buildPaperModels(Args.Models);
   telemetry::Telemetry::instance().setEnabled(true);
 
@@ -71,6 +160,7 @@ int main(int argc, char **argv) {
   std::printf("%-18s %-7s | %8s %8s %8s %8s | %8s\n", "model", "impl",
               "conv", "bootstr", "relu", "rest", "total");
   double SpeedupSum = 0;
+  std::string Rows;
   for (auto &M : Models) {
     RunResult Ace = runOne(M, benchOptions());
     RunResult Exp = runOne(M, expert::expertOptions(benchOptions()));
@@ -92,6 +182,14 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(Exp.Bootstraps));
     double Speedup = Exp.total() / Ace.total();
     SpeedupSum += Speedup;
+    char Row[256];
+    std::snprintf(Row, sizeof(Row),
+                  "%s{\"model\": \"%s\", \"ace_total\": %.4f, "
+                  "\"expert_total\": %.4f, \"ace_bootstrap\": %.4f, "
+                  "\"speedup\": %.4f}",
+                  Rows.empty() ? "" : ",\n  ", M.Spec.Name.c_str(),
+                  Ace.total(), Exp.total(), Ace.Boot, Speedup);
+    Rows += Row;
     std::printf("%-18s %-7s | conv %+5.1f%%  bootstrap %+5.1f%%  relu "
                 "%+5.1f%%  speedup %.2fx\n",
                 "", "delta", 100.0 * (Ace.Conv - Exp.Conv) / Exp.Conv,
@@ -101,5 +199,7 @@ int main(int argc, char **argv) {
   std::printf("\naverage speedup: %.2fx (paper: 2.24x; Conv -31.5%%, "
               "Bootstrap -63.3%%, ReLU -44.6%%)\n",
               SpeedupSum / Models.size());
+  if (!Args.JsonPath.empty())
+    writeBenchJson(Args.JsonPath, "fig6_inference", "[" + Rows + "]");
   return 0;
 }

@@ -12,7 +12,7 @@
 // ReLU layer is approximated by composite sign polynomials and preceded
 // by an automatically placed bootstrap.
 //
-// Run: ./encrypted_mlp [--telemetry-report[=json]]
+// Run: ./encrypted_mlp [--telemetry-report[=json]] [--threads=N]
 //   ACE_TRACE=trace.json ./encrypted_mlp   # chrome://tracing span dump
 //
 //===----------------------------------------------------------------------===//
@@ -23,6 +23,7 @@
 #include "support/Telemetry.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
@@ -30,11 +31,14 @@ using namespace ace;
 
 int main(int argc, char **argv) {
   bool Report = false, ReportJson = false;
+  int Threads = 0;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--telemetry-report") == 0)
       Report = true;
     else if (std::strcmp(argv[I], "--telemetry-report=json") == 0)
       Report = ReportJson = true;
+    else if (std::strncmp(argv[I], "--threads=", 10) == 0)
+      Threads = std::atoi(argv[I] + 10);
   }
   if (Report)
     telemetry::Telemetry::instance().setEnabled(true);
@@ -49,7 +53,9 @@ int main(int argc, char **argv) {
   // (buildMlp already has random weights; accuracy here is over the
   // cluster structure that survives them.)
 
-  driver::AceCompiler Compiler(air::CompileOptions{});
+  air::CompileOptions Opt;
+  Opt.NumThreads = Threads; // 0 keeps the ACE_THREADS default
+  driver::AceCompiler Compiler(Opt);
   auto Result = Compiler.compile(Model, Data.Images);
   if (!Result.ok()) {
     std::fprintf(stderr, "compile failed: %s\n",

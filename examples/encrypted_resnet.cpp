@@ -13,7 +13,7 @@
 // encrypted image, printing the per-operator time breakdown that
 // Figure 6 reports.
 //
-// Run: ./encrypted_resnet
+// Run: ./encrypted_resnet [--threads=N]
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,10 +23,16 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace ace;
 
-int main() {
+int main(int argc, char **argv) {
+  int Threads = 0;
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--threads=", 10) == 0)
+      Threads = std::atoi(argv[I] + 10);
   nn::NanoResNetSpec Spec = nn::paperModelSpecs()[0]; // nano-resnet-20
   nn::Dataset Data = nn::makeSyntheticDataset(
       {1, Spec.InputChannels, Spec.InputHW, Spec.InputHW},
@@ -43,7 +49,9 @@ int main() {
               static_cast<long long>(Model.parameterCount()),
               100.0 * nn::cleartextAccuracy(Model.MainGraph, Data, 16));
 
-  driver::AceCompiler Compiler(air::CompileOptions{});
+  air::CompileOptions Opt;
+  Opt.NumThreads = Threads; // 0 keeps the ACE_THREADS default
+  driver::AceCompiler Compiler(Opt);
   auto Result = Compiler.compile(Model, Data.Images);
   if (!Result.ok()) {
     std::fprintf(stderr, "compile failed: %s\n",

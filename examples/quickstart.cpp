@@ -14,7 +14,7 @@
 //   3. Generate keys, encrypt an input vector, run the encrypted gemv on
 //      the server side, decrypt, and compare with cleartext execution.
 //
-// Run: ./quickstart [--telemetry-report[=json]]
+// Run: ./quickstart [--telemetry-report[=json]] [--threads=N]
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +25,7 @@
 #include "support/Telemetry.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
@@ -32,11 +33,14 @@ using namespace ace;
 
 int main(int argc, char **argv) {
   bool Report = false, ReportJson = false;
+  int Threads = 0;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--telemetry-report") == 0)
       Report = true;
     else if (std::strcmp(argv[I], "--telemetry-report=json") == 0)
       Report = ReportJson = true;
+    else if (std::strncmp(argv[I], "--threads=", 10) == 0)
+      Threads = std::atoi(argv[I] + 10);
   }
   if (Report)
     telemetry::Telemetry::instance().setEnabled(true);
@@ -69,6 +73,7 @@ int main(int argc, char **argv) {
   }
 
   air::CompileOptions Opt;
+  Opt.NumThreads = Threads; // 0 keeps the ACE_THREADS default
   driver::AceCompiler Compiler(Opt);
   auto Result = Compiler.compile(*Loaded, Calibration, /*KeepDumps=*/true);
   if (!Result.ok()) {

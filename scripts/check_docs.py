@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Documentation checks run by CI (docs-check job).
+
+Two invariants:
+  1. Every page under docs/ is referenced (linked) from README.md, so
+     the README docs index stays the complete entry point.
+  2. Every relative markdown link in README.md, DESIGN.md,
+     EXPERIMENTS.md, ROADMAP.md, and docs/*.md points at a file that
+     exists (anchors are stripped; absolute URLs are ignored).
+
+Exits nonzero listing every violation.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images and in-page/external targets.
+LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def markdown_files():
+    top = [ROOT / n for n in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                              "ROADMAP.md")]
+    return [p for p in top if p.exists()] + sorted(
+        (ROOT / "docs").glob("*.md"))
+
+
+def check_links(path):
+    errors = []
+    for num, line in enumerate(path.read_text().splitlines(), 1):
+        for target in LINK.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#")[0]).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(ROOT)}:{num}: "
+                              f"broken link -> {target}")
+    return errors
+
+
+def main():
+    errors = []
+    readme = (ROOT / "README.md").read_text()
+    for page in sorted((ROOT / "docs").glob("*.md")):
+        if f"docs/{page.name}" not in readme:
+            errors.append(f"README.md: docs/{page.name} is not referenced "
+                          "(add it to the docs index)")
+    for path in markdown_files():
+        errors.extend(check_links(path))
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        return 1
+    count = len(markdown_files())
+    print(f"docs check OK: {count} markdown files, all docs/ pages "
+          "indexed, all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

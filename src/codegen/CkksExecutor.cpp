@@ -9,6 +9,7 @@
 #include "codegen/CkksExecutor.h"
 
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <cmath>
@@ -30,6 +31,11 @@ Status CkksExecutor::setup() {
   const fhe::CkksParams &P = State.SelectedParams;
   if (!P.valid())
     return Status::error("invalid selected parameters");
+  // Apply the compile-level thread request before any runtime work so
+  // key generation and execution share one pool configuration.
+  if (State.Options.NumThreads > 0)
+    ThreadPool::instance().setNumThreads(
+        static_cast<size_t>(State.Options.NumThreads));
   Ctx = std::make_unique<fhe::Context>(P);
   Enc = std::make_unique<fhe::Encoder>(*Ctx);
   Gen = std::make_unique<fhe::KeyGenerator>(*Ctx);
@@ -116,11 +122,14 @@ CkksExecutor::encryptInput(const nn::Tensor &Input) {
           std::to_string(Input.Values.size()) + " values but its shape " +
           std::to_string(C) + "x" + std::to_string(H) + "x" +
           std::to_string(W) + " needs " + std::to_string(C * H * W));
-    for (size_t Cc = 0; Cc < C; ++Cc)
+    // Channels map to disjoint slot sets (the layout is injective), so
+    // the packing loop is parallel per channel.
+    parallelFor(0, C, [&](size_t Cc) {
       for (size_t Hh = 0; Hh < H; ++Hh)
         for (size_t Ww = 0; Ww < W; ++Ww)
           Slots[L.slotOf(Cc, Hh, Ww)] =
               Input.Values[(Cc * H + Hh) * W + Ww] * Inv;
+    });
   } else {
     for (size_t I = 0; I < Input.Values.size(); ++I)
       Slots[L.slotOf(0, 0, I)] = Input.Values[I] * Inv;

@@ -10,6 +10,7 @@
 
 #include "fhe/ModArith.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <cmath>
@@ -165,10 +166,13 @@ const std::vector<Plaintext> &Bootstrapper::diagonals(int MatrixId,
   // ciphertext scale is preserved exactly.
   double Scale = static_cast<double>(Ctx.qModulus(NumQ - 1));
 
-  std::vector<Plaintext> Diags;
-  Diags.reserve(N);
-  std::vector<std::complex<double>> DiagValues(N);
-  for (size_t D = 0; D < N; ++D) {
+  // Each diagonal's entries and encoding depend only on its own index
+  // (slotRoot/matrixEntry read precomputed tables, Encoder::encode is
+  // pure on the encode path), so the N diagonals build in parallel into
+  // a pre-sized vector - a large one-time cost per (matrix, level) pair.
+  std::vector<Plaintext> Diags(N);
+  parallelFor(0, N, [&](size_t D) {
+    std::vector<std::complex<double>> DiagValues(N);
     size_t GiantBase = (D / BS) * BS;
     for (size_t T = 0; T < N; ++T) {
       // diag_d[t] = M[t][(t+d) mod n], pre-rotated right by the giant
@@ -177,8 +181,8 @@ const std::vector<Plaintext> &Bootstrapper::diagonals(int MatrixId,
       size_t Src = (T + N - GiantBase % N) % N;
       DiagValues[T] = matrixEntry(MatrixId, Src, (Src + D) % N);
     }
-    Diags.push_back(Enc.encode(DiagValues, Scale, NumQ));
-  }
+    Diags[D] = Enc.encode(DiagValues, Scale, NumQ);
+  });
   auto [Inserted, Ok] = DiagCache.emplace(Key, std::move(Diags));
   (void)Ok;
   return Inserted->second;
@@ -269,7 +273,7 @@ Ciphertext Bootstrapper::modRaise(const Ciphertext &Ct, size_t NumQ) const {
     Coeff.toCoeff();
     const uint64_t *Src = Coeff.component(0);
     RnsPoly Raised(Ctx, NumQ, /*HasSpecial=*/false, /*NttForm=*/false);
-    for (size_t C = 0; C < NumQ; ++C) {
+    parallelFor(0, NumQ, [&](size_t C) {
       uint64_t Q = Ctx.qModulus(C);
       uint64_t *Dst = Raised.component(C);
       for (size_t K = 0; K < N; ++K) {
@@ -280,7 +284,7 @@ Ciphertext Bootstrapper::modRaise(const Ciphertext &Ct, size_t NumQ) const {
         else
           Dst[K] = negMod((Q0 - V) % Q, Q);
       }
-    }
+    });
     Raised.toNtt();
     Out.Polys.push_back(std::move(Raised));
   }

@@ -12,6 +12,7 @@
 #include "fhe/Encryptor.h"
 #include "fhe/Evaluator.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -486,4 +487,23 @@ int ace_telemetry_write_trace(const char *Path) {
     return toCCode(S.code());
   }
   return ACE_OK;
+}
+
+//===----------------------------------------------------------------------===//
+// Threading
+//===----------------------------------------------------------------------===//
+
+int ace_set_num_threads(int N) {
+  if (N < 0) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT,
+                 "set_num_threads: negative thread count " +
+                     std::to_string(N));
+    return ACE_ERR_INVALID_ARGUMENT;
+  }
+  ThreadPool::instance().setNumThreads(static_cast<size_t>(N));
+  return ACE_OK;
+}
+
+int ace_num_threads(void) {
+  return static_cast<int>(ThreadPool::instance().numThreads());
 }

@@ -144,6 +144,23 @@ int ace_telemetry_write_trace(const char *path);
 
 /// @}
 
+/// \name Threading (see docs/performance.md)
+/// The runtime parallelizes its FHE hot loops (per-limb NTT batches,
+/// pointwise limb ops, key-switch digits, bootstrap stages) over a
+/// process-wide worker pool. Results are bit-identical at every thread
+/// count. The default comes from the ACE_THREADS environment variable
+/// (unset = 1 = serial).
+/// @{
+
+/// Sets the worker-thread count. n = 0 re-reads the ACE_THREADS default;
+/// values above 256 clamp. Returns ACE_OK, or ACE_ERR_INVALID_ARGUMENT
+/// for negative n. Safe to call between (not during) runtime calls.
+int ace_set_num_threads(int n);
+/// The configured worker-thread count (>= 1; 1 = serial).
+int ace_num_threads(void);
+
+/// @}
+
 #ifdef __cplusplus
 } // extern "C"
 #endif

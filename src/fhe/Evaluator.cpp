@@ -11,6 +11,7 @@
 #include "fhe/ModArith.h"
 #include "support/FaultInjector.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cassert>
@@ -208,7 +209,7 @@ void Evaluator::addConstInPlace(Ciphertext &A, double Value) const {
   int64_t V = static_cast<int64_t>(llroundl(Raw));
   RnsPoly &C0 = A.Polys[0];
   size_t N = Ctx.degree();
-  for (size_t I = 0; I < C0.numQ(); ++I) {
+  parallelFor(0, C0.numQ(), [&](size_t I) {
     uint64_t Q = C0.modulus(I);
     uint64_t R = V >= 0 ? static_cast<uint64_t>(V) % Q
                         : Q - (static_cast<uint64_t>(-V) % Q);
@@ -217,7 +218,7 @@ void Evaluator::addConstInPlace(Ciphertext &A, double Value) const {
     uint64_t *Comp = C0.component(I);
     for (size_t J = 0; J < N; ++J)
       Comp[J] = addMod(Comp[J], R, Q);
-  }
+  });
 }
 
 //===----------------------------------------------------------------------===//
@@ -331,13 +332,17 @@ Ciphertext Evaluator::mulByI(const Ciphertext &A) const {
   size_t N = Ctx.degree();
   for (auto &Poly : R.Polys) {
     assert(Poly.isNtt() && "mulByI expects NTT form");
-    for (size_t I = 0, E = Poly.numComponents(); I < E; ++I) {
+    // Warm the lazy monomial cache serially: the parallel loop below must
+    // only read it (the cache is per-mod-index mutable state).
+    for (size_t I = 0, E = Poly.numComponents(); I < E; ++I)
+      monomialNtt(Poly.modIndex(I));
+    parallelFor(0, Poly.numComponents(), [&](size_t I) {
       uint64_t Q = Poly.modulus(I);
       const auto &Mono = monomialNtt(Poly.modIndex(I));
       uint64_t *Comp = Poly.component(I);
       for (size_t J = 0; J < N; ++J)
         Comp[J] = mulMod(Comp[J], Mono[J], Q);
-    }
+    });
   }
   return R;
 }
@@ -371,53 +376,71 @@ std::pair<RnsPoly, RnsPoly> Evaluator::switchKey(const RnsPoly &D,
   RnsPoly Acc0(Ctx, L, /*HasSpecial=*/true, /*NttForm=*/true);
   RnsPoly Acc1(Ctx, L, /*HasSpecial=*/true, /*NttForm=*/true);
 
-  RnsPoly Ext(Ctx, L, /*HasSpecial=*/true, /*NttForm=*/false);
-  for (size_t Digit = 0; Digit < L; ++Digit) {
-    // Lift the digit residues (integers in [0, q_digit)) into the extended
-    // basis, transform, and accumulate against the key parts.
-    const uint64_t *Src = D.component(Digit);
-    for (size_t C = 0, E = Ext.numComponents(); C < E; ++C) {
-      uint64_t M = Ext.modulus(C);
-      uint64_t *Dst = Ext.component(C);
+  // Digit-parallel decomposition, blocked to bound memory: each block
+  // materializes up to DigitBlock lifted-and-transformed digit
+  // polynomials (DigitBlock x (L+1) x N words) built fully in parallel
+  // over (digit, component) pairs, then accumulates them in parallel
+  // over components with the digits of a component always added in
+  // ascending order. All arithmetic is exact modular integer math, so
+  // each residue sees exactly the serial code's value.
+  constexpr size_t DigitBlock = 4;
+  size_t NumComp = Acc0.numComponents(); // L chain primes + special
+  std::vector<RnsPoly> ExtNtt;
+  for (size_t D0 = 0; D0 < L; D0 += DigitBlock) {
+    size_t BlockLen = std::min(DigitBlock, L - D0);
+    ExtNtt.assign(BlockLen,
+                  RnsPoly(Ctx, L, /*HasSpecial=*/true, /*NttForm=*/true));
+    parallelFor(0, BlockLen * NumComp, [&](size_t Idx) {
+      size_t B = Idx / NumComp;
+      size_t C = Idx % NumComp;
+      size_t Digit = D0 + B;
+      RnsPoly &E = ExtNtt[B];
+      // Lift the digit residues (integers in [0, q_digit)) into this
+      // component's modulus, then transform the component in place.
+      const uint64_t *Src = D.component(Digit);
+      uint64_t M = E.modulus(C);
+      uint64_t *Dst = E.component(C);
       if (M == Ctx.qModulus(Digit)) {
         std::copy(Src, Src + N, Dst);
       } else {
         for (size_t J = 0; J < N; ++J)
           Dst[J] = Src[J] % M;
       }
-    }
-    RnsPoly ExtNtt = Ext;
-    ExtNtt.toNtt();
+      Ctx.nttTable(E.modIndex(C)).forward(Dst);
+    });
 
-    const auto &Part = Key.Parts[Digit];
-    for (size_t C = 0, E = Acc0.numComponents(); C < E; ++C) {
+    parallelFor(0, NumComp, [&](size_t C) {
       // Chain prime c maps to key component c, the special prime to the
       // key's own special slot.
       size_t KeyComp = (C == L) ? KeySpecial : C;
       uint64_t Q = Acc0.modulus(C);
       uint64_t *A0 = Acc0.component(C);
       uint64_t *A1 = Acc1.component(C);
-      const uint64_t *X = ExtNtt.component(C);
-      const uint64_t *K0 = Part.first.component(KeyComp);
-      const uint64_t *K1 = Part.second.component(KeyComp);
-      for (size_t J = 0; J < N; ++J) {
-        A0[J] = addMod(A0[J], mulMod(X[J], K0[J], Q), Q);
-        A1[J] = addMod(A1[J], mulMod(X[J], K1[J], Q), Q);
+      for (size_t B = 0; B < BlockLen; ++B) {
+        const auto &Part = Key.Parts[D0 + B];
+        const uint64_t *X = ExtNtt[B].component(C);
+        const uint64_t *K0 = Part.first.component(KeyComp);
+        const uint64_t *K1 = Part.second.component(KeyComp);
+        for (size_t J = 0; J < N; ++J) {
+          A0[J] = addMod(A0[J], mulMod(X[J], K0[J], Q), Q);
+          A1[J] = addMod(A1[J], mulMod(X[J], K1[J], Q), Q);
+        }
       }
-    }
+    });
   }
 
   // Divide by the special prime P: out = round(acc / P), computed as
-  // (acc - [acc]_P) * P^{-1} per chain prime.
+  // (acc - [acc]_P) * P^{-1} per chain prime, in parallel over chain
+  // primes (each writes only its own output limb).
   auto ModDown = [&](RnsPoly &Acc) {
     std::vector<uint64_t> SpecialCoeffs(
         Acc.component(L), Acc.component(L) + N);
     Ctx.nttTable(Ctx.specialIndex()).inverse(SpecialCoeffs.data());
 
     RnsPoly Out(Ctx, L, /*HasSpecial=*/false, /*NttForm=*/true);
-    std::vector<uint64_t> Tmp(N);
-    for (size_t C = 0; C < L; ++C) {
+    parallelFor(0, L, [&](size_t C) {
       uint64_t Q = Ctx.qModulus(C);
+      std::vector<uint64_t> Tmp(N);
       for (size_t J = 0; J < N; ++J)
         Tmp[J] = SpecialCoeffs[J] % Q;
       Ctx.nttTable(C).forward(Tmp.data());
@@ -427,7 +450,7 @@ std::pair<RnsPoly, RnsPoly> Evaluator::switchKey(const RnsPoly &D,
       uint64_t *O = Out.component(C);
       for (size_t J = 0; J < N; ++J)
         O[J] = mulModShoup(subMod(A[J], Tmp[J], Q), InvP, InvPShoup, Q);
-    }
+    });
     return Out;
   };
 
@@ -545,9 +568,11 @@ void Evaluator::rescaleInPlace(Ciphertext &A) const {
                                      Poly.component(Last) + N);
     Ctx.nttTable(Last).inverse(LastCoeffs.data());
 
-    std::vector<uint64_t> Tmp(N);
-    for (size_t C = 0; C < Last; ++C) {
+    // Parallel over the surviving limbs; each index owns its limb and a
+    // local reduction buffer.
+    parallelFor(0, Last, [&](size_t C) {
       uint64_t Q = Ctx.qModulus(C);
+      std::vector<uint64_t> Tmp(N);
       for (size_t J = 0; J < N; ++J)
         Tmp[J] = LastCoeffs[J] % Q;
       Ctx.nttTable(C).forward(Tmp.data());
@@ -556,7 +581,7 @@ void Evaluator::rescaleInPlace(Ciphertext &A) const {
       uint64_t *Comp = Poly.component(C);
       for (size_t J = 0; J < N; ++J)
         Comp[J] = mulModShoup(subMod(Comp[J], Tmp[J], Q), Inv, InvShoup, Q);
-    }
+    });
     Poly.dropLastQ();
   }
   A.Scale /= static_cast<double>(QLast);

@@ -9,6 +9,7 @@
 #include "fhe/RnsPoly.h"
 
 #include "fhe/ModArith.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 
@@ -23,67 +24,74 @@ RnsPoly::RnsPoly(const Context &Ctx, size_t NumQ, bool HasSpecial,
   Data.assign(numComponents() * Ctx.degree(), 0);
 }
 
+// Every loop below is parallel over RNS components (limbs): each index
+// touches only its own limb's residues, the arithmetic is exact modular
+// integer math, and the chunk partition is fixed - results are
+// bit-identical at any thread count (see support/ThreadPool.h).
+
 void RnsPoly::toNtt() {
   if (NttForm)
     return;
-  for (size_t I = 0, E = numComponents(); I < E; ++I)
+  parallelFor(0, numComponents(), [&](size_t I) {
     Ctx->nttTable(modIndex(I)).forward(component(I));
+  });
   NttForm = true;
 }
 
 void RnsPoly::toCoeff() {
   if (!NttForm)
     return;
-  for (size_t I = 0, E = numComponents(); I < E; ++I)
+  parallelFor(0, numComponents(), [&](size_t I) {
     Ctx->nttTable(modIndex(I)).inverse(component(I));
+  });
   NttForm = false;
 }
 
 void RnsPoly::addInPlace(const RnsPoly &Other) {
   checkCompatible(Other);
   size_t N = Ctx->degree();
-  for (size_t I = 0, E = numComponents(); I < E; ++I) {
+  parallelFor(0, numComponents(), [&](size_t I) {
     uint64_t P = modulus(I);
     uint64_t *A = component(I);
     const uint64_t *B = Other.component(I);
     for (size_t J = 0; J < N; ++J)
       A[J] = addMod(A[J], B[J], P);
-  }
+  });
 }
 
 void RnsPoly::subInPlace(const RnsPoly &Other) {
   checkCompatible(Other);
   size_t N = Ctx->degree();
-  for (size_t I = 0, E = numComponents(); I < E; ++I) {
+  parallelFor(0, numComponents(), [&](size_t I) {
     uint64_t P = modulus(I);
     uint64_t *A = component(I);
     const uint64_t *B = Other.component(I);
     for (size_t J = 0; J < N; ++J)
       A[J] = subMod(A[J], B[J], P);
-  }
+  });
 }
 
 void RnsPoly::negateInPlace() {
   size_t N = Ctx->degree();
-  for (size_t I = 0, E = numComponents(); I < E; ++I) {
+  parallelFor(0, numComponents(), [&](size_t I) {
     uint64_t P = modulus(I);
     uint64_t *A = component(I);
     for (size_t J = 0; J < N; ++J)
       A[J] = negMod(A[J], P);
-  }
+  });
 }
 
 void RnsPoly::mulInPlace(const RnsPoly &Other) {
   checkCompatible(Other);
   assert(NttForm && "pointwise product requires NTT domain");
   size_t N = Ctx->degree();
-  for (size_t I = 0, E = numComponents(); I < E; ++I) {
+  parallelFor(0, numComponents(), [&](size_t I) {
     uint64_t P = modulus(I);
     uint64_t *A = component(I);
     const uint64_t *B = Other.component(I);
     for (size_t J = 0; J < N; ++J)
       A[J] = mulMod(A[J], B[J], P);
-  }
+  });
 }
 
 RnsPoly RnsPoly::mul(const RnsPoly &Other) const {
@@ -97,14 +105,14 @@ void RnsPoly::mulAddInPlace(const RnsPoly &A, const RnsPoly &B) {
   checkCompatible(A);
   assert(NttForm && "fused multiply-add requires NTT domain");
   size_t N = Ctx->degree();
-  for (size_t I = 0, E = numComponents(); I < E; ++I) {
+  parallelFor(0, numComponents(), [&](size_t I) {
     uint64_t P = modulus(I);
     uint64_t *Acc = component(I);
     const uint64_t *X = A.component(I);
     const uint64_t *Y = B.component(I);
     for (size_t J = 0; J < N; ++J)
       Acc[J] = addMod(Acc[J], mulMod(X[J], Y[J], P), P);
-  }
+  });
 }
 
 void RnsPoly::mulScalarPerComponent(
@@ -112,14 +120,14 @@ void RnsPoly::mulScalarPerComponent(
   assert(ScalarPerComp.size() == numComponents() &&
          "scalar table size mismatch");
   size_t N = Ctx->degree();
-  for (size_t I = 0, E = numComponents(); I < E; ++I) {
+  parallelFor(0, numComponents(), [&](size_t I) {
     uint64_t P = modulus(I);
     uint64_t S = ScalarPerComp[I] % P;
     uint64_t SShoup = shoupPrecompute(S, P);
     uint64_t *A = component(I);
     for (size_t J = 0; J < N; ++J)
       A[J] = mulModShoup(A[J], S, SShoup, P);
-  }
+  });
 }
 
 void RnsPoly::mulScalarInt(uint64_t Scalar) {
@@ -135,7 +143,7 @@ RnsPoly RnsPoly::automorphism(uint64_t Galois) const {
   uint64_t TwoN = 2 * N;
   assert(Galois % 2 == 1 && Galois < TwoN && "invalid Galois element");
   RnsPoly Result(*Ctx, NumQ, HasSpecial, /*NttForm=*/false);
-  for (size_t I = 0, E = numComponents(); I < E; ++I) {
+  parallelFor(0, numComponents(), [&](size_t I) {
     uint64_t P = modulus(I);
     const uint64_t *Src = component(I);
     uint64_t *Dst = Result.component(I);
@@ -146,7 +154,7 @@ RnsPoly RnsPoly::automorphism(uint64_t Galois) const {
       else
         Dst[T - N] = negMod(Src[J], P);
     }
-  }
+  });
   return Result;
 }
 

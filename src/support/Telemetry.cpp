@@ -66,6 +66,8 @@ const char *ace::telemetry::counterName(Counter C) {
     return "ntt-forward";
   case Counter::NttInverse:
     return "ntt-inverse";
+  case Counter::ParallelFor:
+    return "parallel-for";
   case Counter::CounterCount:
     break;
   }

@@ -69,6 +69,7 @@ enum class Counter : unsigned {
   Bootstrap,       ///< full bootstrap invocations
   NttForward,      ///< forward negacyclic NTTs
   NttInverse,      ///< inverse negacyclic NTTs
+  ParallelFor,     ///< forked parallelFor regions (see support/ThreadPool.h)
   CounterCount,
 };
 
