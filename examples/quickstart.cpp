@@ -15,11 +15,18 @@
 //      the server side, decrypt, and compare with cleartext execution.
 //
 // Run: ./quickstart [--telemetry-report[=json]] [--threads=N]
+//                   [--save-ct=FILE] [--load-ct=FILE]
+//
+// --save-ct writes the encrypted input to FILE over the hardened wire
+// format (docs/serialization.md); --load-ct runs inference on a
+// ciphertext previously saved that way, demonstrating the paper's
+// client/server split where encrypted inputs travel as files.
 //
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CkksExecutor.h"
 #include "driver/AceCompiler.h"
+#include "fhe/Serializer.h"
 #include "nn/ModelZoo.h"
 #include "support/Rng.h"
 #include "support/Telemetry.h"
@@ -27,13 +34,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 using namespace ace;
 
 int main(int argc, char **argv) {
   bool Report = false, ReportJson = false;
   int Threads = 0;
+  std::string SaveCt, LoadCt;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--telemetry-report") == 0)
       Report = true;
@@ -41,6 +51,10 @@ int main(int argc, char **argv) {
       Report = ReportJson = true;
     else if (std::strncmp(argv[I], "--threads=", 10) == 0)
       Threads = std::atoi(argv[I] + 10);
+    else if (std::strncmp(argv[I], "--save-ct=", 10) == 0)
+      SaveCt = argv[I] + 10;
+    else if (std::strncmp(argv[I], "--load-ct=", 10) == 0)
+      LoadCt = argv[I] + 10;
   }
   if (Report)
     telemetry::Telemetry::instance().setEnabled(true);
@@ -115,7 +129,44 @@ int main(int argc, char **argv) {
 
   const nn::Tensor &Image = Calibration[0];
   auto Clear = nn::executeSingle(Loaded->MainGraph, Image);
-  auto Encrypted = Exec.infer(Image);
+  auto InputCt = Exec.encryptInput(Image);
+  if (!InputCt.ok()) {
+    std::fprintf(stderr, "encrypt failed: %s\n",
+                 InputCt.status().message().c_str());
+    return 1;
+  }
+  if (!SaveCt.empty()) {
+    std::ofstream OS(SaveCt, std::ios::binary | std::ios::trunc);
+    Status S = OS ? fhe::wire::save(*InputCt, OS)
+                  : Status::ioError("cannot open '" + SaveCt +
+                                    "' for writing");
+    if (!S.ok()) {
+      std::fprintf(stderr, "save-ct failed: %s\n", S.message().c_str());
+      return 1;
+    }
+    std::printf("saved encrypted input to %s (%s)\n", SaveCt.c_str(),
+                formatBytes(static_cast<size_t>(OS.tellp())).c_str());
+  }
+  if (!LoadCt.empty()) {
+    std::ifstream IS(LoadCt, std::ios::binary);
+    if (!IS) {
+      std::fprintf(stderr, "load-ct failed: cannot open '%s'\n",
+                   LoadCt.c_str());
+      return 1;
+    }
+    auto Restored = fhe::wire::loadCiphertext(Exec.context(), IS);
+    if (!Restored.ok()) {
+      std::fprintf(stderr, "load-ct failed: %s\n",
+                   Restored.status().message().c_str());
+      return 1;
+    }
+    std::printf("running on ciphertext restored from %s\n", LoadCt.c_str());
+    *InputCt = Restored.take();
+  }
+  auto OutputCt = Exec.run(*InputCt);
+  auto Encrypted =
+      OutputCt.ok() ? Exec.decryptLogits(*OutputCt)
+                    : StatusOr<std::vector<double>>(OutputCt.status());
   if (!Clear.ok() || !Encrypted.ok()) {
     std::fprintf(stderr, "inference failed\n");
     return 1;

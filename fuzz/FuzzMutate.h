@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic byte-mutation driver shared by the fuzz harnesses. When
+/// the toolchain has libFuzzer the harnesses link -fsanitize=fuzzer and
+/// this file is unused beyond the RNG; otherwise each harness's main()
+/// runs a fixed-seed mutation loop over its valid seed corpus, so the
+/// "fuzz" targets stay meaningful (and runnable as plain ctest tests) on
+/// every toolchain. Fixed seed means a failure reproduces exactly from
+/// the reported iteration number.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_FUZZ_FUZZMUTATE_H
+#define ACE_FUZZ_FUZZMUTATE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ace {
+namespace fuzz {
+
+/// xorshift64* - tiny deterministic RNG, independent of libc rand state.
+class Rand {
+public:
+  explicit Rand(uint64_t Seed) : State(Seed ? Seed : 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform value in [0, Bound); Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+private:
+  uint64_t State;
+};
+
+/// Applies 1..8 random mutations to \p Data in place: bit flips, byte
+/// sets, truncations, extensions, and splices from \p Other (another
+/// valid blob, to synthesize tag/length confusions).
+inline void mutate(std::vector<uint8_t> &Data, Rand &R,
+                   const std::vector<uint8_t> &Other) {
+  size_t Rounds = 1 + R.below(8);
+  for (size_t I = 0; I < Rounds; ++I) {
+    switch (R.below(6)) {
+    case 0: // flip one bit
+      if (!Data.empty())
+        Data[R.below(Data.size())] ^= uint8_t(1) << R.below(8);
+      break;
+    case 1: // overwrite one byte
+      if (!Data.empty())
+        Data[R.below(Data.size())] = static_cast<uint8_t>(R.next());
+      break;
+    case 2: // truncate
+      if (!Data.empty())
+        Data.resize(R.below(Data.size() + 1));
+      break;
+    case 3: // extend with random bytes
+      for (size_t J = 0, E = 1 + R.below(32); J < E; ++J)
+        Data.push_back(static_cast<uint8_t>(R.next()));
+      break;
+    case 4: { // overwrite a 4-byte window (hits length/CRC fields)
+      if (Data.size() >= 4) {
+        size_t At = R.below(Data.size() - 3);
+        for (size_t J = 0; J < 4; ++J)
+          Data[At + J] = static_cast<uint8_t>(R.next());
+      }
+      break;
+    }
+    case 5: { // splice a window from the other blob
+      if (!Other.empty() && !Data.empty()) {
+        size_t SrcAt = R.below(Other.size());
+        size_t Len = 1 + R.below(Other.size() - SrcAt);
+        size_t DstAt = R.below(Data.size());
+        if (Len > Data.size() - DstAt)
+          Len = Data.size() - DstAt;
+        for (size_t J = 0; J < Len; ++J)
+          Data[DstAt + J] = Other[SrcAt + J];
+      }
+      break;
+    }
+    }
+  }
+}
+
+} // namespace fuzz
+} // namespace ace
+
+#endif // ACE_FUZZ_FUZZMUTATE_H

@@ -11,12 +11,14 @@
 #include "fhe/Bootstrapper.h"
 #include "fhe/Encryptor.h"
 #include "fhe/Evaluator.h"
+#include "fhe/Serializer.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +52,10 @@ AceErrorCode toCCode(ErrorCode Code) {
     return ACE_ERR_RESOURCE_EXHAUSTED;
   case ErrorCode::Internal:
     return ACE_ERR_INTERNAL;
+  case ErrorCode::DataCorrupt:
+    return ACE_ERR_DATA_CORRUPT;
+  case ErrorCode::IoError:
+    return ACE_ERR_IO;
   }
   return ACE_ERR_INTERNAL;
 }
@@ -394,6 +400,156 @@ AceFheCiphertext *ace_bootstrap(AceFheContext *C, const AceFheCiphertext *A,
     return nullptr;
   }
   return wrapResult(C->Boot->checkedBootstrap(A->Ct, Target));
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Opens \p Path for binary writing, reporting IoError through the error
+/// channel on failure.
+bool openForWrite(const char *Path, const char *What, std::ofstream &OS) {
+  if (!Path) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT, std::string(What) + ": NULL path");
+    return false;
+  }
+  OS.open(Path, std::ios::binary | std::ios::trunc);
+  if (!OS) {
+    setLastError(ACE_ERR_IO, std::string(What) + ": cannot open '" + Path +
+                                 "' for writing");
+    return false;
+  }
+  return true;
+}
+
+bool openForRead(const char *Path, const char *What, std::ifstream &IS) {
+  if (!Path) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT, std::string(What) + ": NULL path");
+    return false;
+  }
+  IS.open(Path, std::ios::binary);
+  if (!IS) {
+    setLastError(ACE_ERR_IO, std::string(What) + ": cannot open '" + Path +
+                                 "' for reading");
+    return false;
+  }
+  return true;
+}
+
+/// A ciphertext handle passed to save must actually belong to the context
+/// it is saved under, otherwise the validation baked into the wire format
+/// would certify it against the wrong parameters.
+bool cipherBelongsTo(const AceFheContext *C, const AceFheCiphertext *Ct,
+                     const char *What) {
+  if (Ct->Ct.Polys.empty() || !Ct->Ct.Polys[0].bound() ||
+      &Ct->Ct.Polys[0].context() != C->Ctx.get()) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT,
+                 std::string(What) +
+                     ": ciphertext does not belong to this context");
+    return false;
+  }
+  return true;
+}
+} // namespace
+
+int ace_params_save(AceFheContext *C, const char *Path) {
+  if (!validContext(C, "params_save"))
+    return ACE_ERR_INVALID_ARGUMENT;
+  std::ofstream OS;
+  if (!openForWrite(Path, "params_save", OS))
+    return ace_last_error();
+  Status S = wire::save(C->Ctx->params(), OS);
+  if (!S.ok()) {
+    setLastError(S);
+    return toCCode(S.code());
+  }
+  return ACE_OK;
+}
+
+AceFheContext *ace_params_load(const char *Path) {
+  std::ifstream IS;
+  if (!openForRead(Path, "params_load", IS))
+    return nullptr;
+  StatusOr<CkksParams> P = wire::loadParams(IS);
+  if (!P.ok()) {
+    setLastError(P.status());
+    return nullptr;
+  }
+  return ace_create(P->RingDegree, P->Slots, P->LogScale,
+                    P->LogFirstModulus, P->NumRescaleModuli,
+                    P->LogSpecialModulus, P->SparseSecret ? 1 : 0, P->Seed);
+}
+
+int ace_ct_save(AceFheContext *C, const AceFheCiphertext *Ct,
+                const char *Path) {
+  if (!validContext(C, "ct_save") || !validCipher(Ct, "ct_save"))
+    return ACE_ERR_INVALID_ARGUMENT;
+  if (!cipherBelongsTo(C, Ct, "ct_save"))
+    return ACE_ERR_INVALID_ARGUMENT;
+  std::ofstream OS;
+  if (!openForWrite(Path, "ct_save", OS))
+    return ace_last_error();
+  Status S = wire::save(Ct->Ct, OS);
+  if (!S.ok()) {
+    setLastError(S);
+    return toCCode(S.code());
+  }
+  return ACE_OK;
+}
+
+AceFheCiphertext *ace_ct_load(AceFheContext *C, const char *Path) {
+  if (!validContext(C, "ct_load"))
+    return nullptr;
+  std::ifstream IS;
+  if (!openForRead(Path, "ct_load", IS))
+    return nullptr;
+  StatusOr<Ciphertext> Ct = wire::loadCiphertext(*C->Ctx, IS);
+  if (!Ct.ok()) {
+    setLastError(Ct.status());
+    return nullptr;
+  }
+  return new AceFheCiphertext{kCipherMagic, Ct.take()};
+}
+
+int ace_key_save(AceFheContext *C, const char *Path) {
+  if (!validContext(C, "key_save"))
+    return ACE_ERR_INVALID_ARGUMENT;
+  std::ofstream OS;
+  if (!openForWrite(Path, "key_save", OS))
+    return ace_last_error();
+  Status S = wire::save(C->Pub, OS);
+  if (S.ok())
+    S = wire::save(C->Keys, OS);
+  if (!S.ok()) {
+    setLastError(S);
+    return toCCode(S.code());
+  }
+  return ACE_OK;
+}
+
+int ace_key_load(AceFheContext *C, const char *Path) {
+  if (!validContext(C, "key_load"))
+    return ACE_ERR_INVALID_ARGUMENT;
+  std::ifstream IS;
+  if (!openForRead(Path, "key_load", IS))
+    return ace_last_error();
+  StatusOr<PublicKey> Pub = wire::loadPublicKey(*C->Ctx, IS);
+  if (!Pub.ok()) {
+    setLastError(Pub.status());
+    return toCCode(Pub.status().code());
+  }
+  StatusOr<EvalKeys> Keys = wire::loadEvalKeys(*C->Ctx, IS);
+  if (!Keys.ok()) {
+    setLastError(Keys.status());
+    return toCCode(Keys.status().code());
+  }
+  // Both objects parsed: only now mutate the context. Encryptor holds a
+  // reference to Pub and Evaluator to Keys, so in-place assignment
+  // retargets them.
+  C->Pub = Pub.take();
+  C->Keys = Keys.take();
+  return ACE_OK;
 }
 
 //===----------------------------------------------------------------------===//

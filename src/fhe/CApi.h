@@ -44,6 +44,8 @@ typedef enum AceErrorCode {
   ACE_ERR_DEPTH_EXHAUSTED = 5,
   ACE_ERR_RESOURCE_EXHAUSTED = 6,
   ACE_ERR_INTERNAL = 7,
+  ACE_ERR_DATA_CORRUPT = 8,
+  ACE_ERR_IO = 9,
 } AceErrorCode;
 
 /// The code of the last failed call on this thread (ACE_OK when no call
@@ -109,6 +111,39 @@ AceFheCiphertext *ace_modswitch_to(AceFheContext *ctx,
                                    const AceFheCiphertext *a, size_t numq);
 AceFheCiphertext *ace_bootstrap(AceFheContext *ctx,
                                 const AceFheCiphertext *a, size_t target);
+
+/// \name Serialization (see docs/serialization.md)
+/// File-based save/load over the hardened wire format. Loads never crash
+/// on malformed or tampered files: they fail with ACE_ERR_DATA_CORRUPT
+/// (bad bytes, bad checksum, out-of-range fields) or ACE_ERR_IO (file
+/// cannot be opened/read/written) and a descriptive message on the error
+/// channel.
+/// @{
+
+/// Writes the context's parameters to path. Returns ACE_OK or an error
+/// code.
+int ace_params_save(AceFheContext *ctx, const char *path);
+/// Rebuilds a context from parameters written by ace_params_save. The
+/// fresh context has its own newly generated keys (key material is
+/// deliberately NOT part of the params object); call ace_keygen or
+/// ace_key_load afterwards. Returns NULL with the error channel set on
+/// failure.
+AceFheContext *ace_params_load(const char *path);
+/// Writes one ciphertext to path. The ciphertext must belong to ctx.
+int ace_ct_save(AceFheContext *ctx, const AceFheCiphertext *ct,
+                const char *path);
+/// Reads one ciphertext written by ace_ct_save. The file must have been
+/// produced under the same parameters as ctx; every structural field is
+/// validated against ctx before the handle is returned.
+AceFheCiphertext *ace_ct_load(AceFheContext *ctx, const char *path);
+/// Writes the context's public key followed by its evaluation-key set
+/// (two concatenated framed objects) to path.
+int ace_key_save(AceFheContext *ctx, const char *path);
+/// Replaces the context's public key and evaluation-key set with the
+/// contents of a file written by ace_key_save.
+int ace_key_load(AceFheContext *ctx, const char *path);
+
+/// @}
 
 /// Loads the external weight blob written next to the generated program
 /// (paper Sec. 3.4 stores weights externally). Returns a malloc'd array

@@ -44,6 +44,11 @@ public:
     return *Ctx;
   }
 
+  /// True when bound to a context (a default-constructed polynomial is
+  /// not). Release-mode guard for boundary code (serialization) that must
+  /// not trust its input's invariants.
+  bool bound() const { return Ctx != nullptr; }
+
   /// Number of active chain primes.
   size_t numQ() const { return NumQ; }
 

@@ -1,0 +1,135 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hardened wire format for everything that crosses the client/server
+/// trust boundary of the paper's deployment model (Fig. 2): parameters,
+/// plaintexts, ciphertexts, and every key class. Each serialized object is
+/// framed as
+///
+///   magic "ACEW" | format version | object tag | flags |
+///   payload length | CRC-32C(payload) | payload
+///
+/// (field tables in docs/serialization.md). The serializer writes through
+/// ByteWriter to byte buffers or std::ostream; the deserializer is a
+/// strict, bounds-checked state machine over ByteReader that returns
+/// StatusOr and never crashes, over-allocates, or invokes UB on malformed
+/// input: every length field is range-validated against the declared
+/// CkksParams before any allocation, every residue is checked against its
+/// modulus, and both truncation and trailing bytes are errors. Wire-format
+/// failures use ErrorCode::DataCorrupt (malformed bytes),
+/// ErrorCode::ResourceExhausted (length fields exceeding the
+/// context-derived allocation cap), and ErrorCode::IoError (stream
+/// failures).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_FHE_SERIALIZER_H
+#define ACE_FHE_SERIALIZER_H
+
+#include "fhe/Cipher.h"
+#include "fhe/Keys.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace ace {
+namespace fhe {
+namespace wire {
+
+/// First four bytes of every serialized object: "ACEW" on disk.
+constexpr uint32_t kMagic = 0x57454341u;
+
+/// Format version this build writes and the newest it reads. Version
+/// policy (docs/serialization.md): readers reject newer versions; older
+/// versions stay readable until explicitly retired.
+constexpr uint16_t kFormatVersion = 1;
+
+/// Framed header size in bytes: magic(4) + version(2) + tag(1) +
+/// flags(1) + payload length(8) + CRC-32C(4).
+constexpr size_t kHeaderBytes = 20;
+
+/// Object discriminator in the frame header.
+enum class ObjectTag : uint8_t {
+  Params = 1,
+  Plaintext = 2,
+  Ciphertext = 3,
+  PublicKey = 4,
+  SecretKey = 5,
+  SwitchKey = 6,
+  EvalKeys = 7,
+};
+
+/// Stable diagnostic name of \p Tag ("params", "ciphertext", ...).
+const char *objectTagName(ObjectTag Tag);
+
+/// Largest payload a well-formed object of kind \p Tag can declare under
+/// \p Ctx (null only for Params, which needs no context). Deserializers
+/// reject larger length fields before allocating, so a forged header
+/// cannot drive an over-allocation.
+uint64_t maxPayloadBytes(ObjectTag Tag, const Context *Ctx);
+
+/// \name Save
+/// Buffer overloads append one framed object to \p Out and cannot fail on
+/// I/O (they return non-OK only for invalid in-memory objects or injected
+/// faults). Stream overloads additionally flush and report short writes
+/// as ErrorCode::IoError.
+/// @{
+Status save(const CkksParams &P, std::vector<uint8_t> &Out);
+Status save(const CkksParams &P, std::ostream &OS);
+Status save(const Plaintext &P, std::vector<uint8_t> &Out);
+Status save(const Plaintext &P, std::ostream &OS);
+Status save(const Ciphertext &Ct, std::vector<uint8_t> &Out);
+Status save(const Ciphertext &Ct, std::ostream &OS);
+Status save(const PublicKey &K, std::vector<uint8_t> &Out);
+Status save(const PublicKey &K, std::ostream &OS);
+Status save(const SecretKey &K, std::vector<uint8_t> &Out);
+Status save(const SecretKey &K, std::ostream &OS);
+Status save(const SwitchKey &K, std::vector<uint8_t> &Out);
+Status save(const SwitchKey &K, std::ostream &OS);
+Status save(const EvalKeys &K, std::vector<uint8_t> &Out);
+Status save(const EvalKeys &K, std::ostream &OS);
+/// @}
+
+/// \name Load
+/// Buffer overloads parse exactly one object from [Data, Data+Size);
+/// bytes beyond the framed object are an error (trailing-byte
+/// detection). Stream overloads consume exactly one framed object and
+/// leave the stream positioned after it, so objects can be concatenated
+/// in one file. Every loader validates the payload against \p Ctx
+/// (shapes, prime counts, residue ranges, slot counts) before returning.
+/// @{
+StatusOr<CkksParams> loadParams(const uint8_t *Data, size_t Size);
+StatusOr<CkksParams> loadParams(std::istream &IS);
+StatusOr<Plaintext> loadPlaintext(const Context &Ctx, const uint8_t *Data,
+                                  size_t Size);
+StatusOr<Plaintext> loadPlaintext(const Context &Ctx, std::istream &IS);
+StatusOr<Ciphertext> loadCiphertext(const Context &Ctx, const uint8_t *Data,
+                                    size_t Size);
+StatusOr<Ciphertext> loadCiphertext(const Context &Ctx, std::istream &IS);
+StatusOr<PublicKey> loadPublicKey(const Context &Ctx, const uint8_t *Data,
+                                  size_t Size);
+StatusOr<PublicKey> loadPublicKey(const Context &Ctx, std::istream &IS);
+StatusOr<SecretKey> loadSecretKey(const Context &Ctx, const uint8_t *Data,
+                                  size_t Size);
+StatusOr<SecretKey> loadSecretKey(const Context &Ctx, std::istream &IS);
+StatusOr<SwitchKey> loadSwitchKey(const Context &Ctx, const uint8_t *Data,
+                                  size_t Size);
+StatusOr<SwitchKey> loadSwitchKey(const Context &Ctx, std::istream &IS);
+StatusOr<EvalKeys> loadEvalKeys(const Context &Ctx, const uint8_t *Data,
+                                size_t Size);
+StatusOr<EvalKeys> loadEvalKeys(const Context &Ctx, std::istream &IS);
+/// @}
+
+} // namespace wire
+} // namespace fhe
+} // namespace ace
+
+#endif // ACE_FHE_SERIALIZER_H

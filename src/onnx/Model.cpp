@@ -11,6 +11,7 @@
 #include <cassert>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 using namespace ace;
@@ -138,102 +139,207 @@ std::string ace::onnx::serializeModel(const Model &M) {
   return Out.str();
 }
 
+namespace {
+
+// Hard caps on every count field the parser allocates from. A model file
+// is attacker-controllable input (it arrives with the workload), so no
+// declared size may drive an allocation before it is checked against
+// these; see docs/serialization.md for the trust-boundary discipline.
+constexpr size_t kMaxRank = 16;
+constexpr size_t kMaxNames = 1024;        // node inputs/outputs
+constexpr size_t kMaxAttrs = 256;         // attributes per node
+constexpr size_t kMaxAttrValues = 1 << 16; // ints/floats per attribute
+constexpr size_t kMaxTensorElements = 1 << 28;
+
+/// Reads a count field and validates it against \p Cap before the caller
+/// resizes anything with it.
+Status readCount(std::istringstream &In, const char *What, size_t Cap,
+                 size_t &Out) {
+  // Read as signed so "-1" is rejected instead of wrapping to SIZE_MAX.
+  int64_t V = 0;
+  if (!(In >> V))
+    return Status::dataCorrupt(std::string("truncated record: missing ") +
+                               What);
+  if (V < 0 || static_cast<uint64_t>(V) > Cap)
+    return Status::dataCorrupt(std::string(What) + " " + std::to_string(V) +
+                               " out of range [0, " + std::to_string(Cap) +
+                               "]");
+  Out = static_cast<size_t>(V);
+  return Status::success();
+}
+
+/// Overflow-checked product of \p Shape; rejects negative dims.
+Status checkedShapeElements(const std::vector<int64_t> &Shape,
+                            const std::string &Name, size_t &Out) {
+  uint64_t Product = 1;
+  for (int64_t D : Shape) {
+    if (D < 0)
+      return Status::dataCorrupt("initializer '" + Name +
+                                 "' has negative dimension " +
+                                 std::to_string(D));
+    if (D != 0 && Product > kMaxTensorElements / static_cast<uint64_t>(D))
+      return Status::dataCorrupt("initializer '" + Name +
+                                 "' shape product overflows the " +
+                                 std::to_string(kMaxTensorElements) +
+                                 "-element cap");
+    Product *= static_cast<uint64_t>(D);
+  }
+  Out = static_cast<size_t>(Product);
+  return Status::success();
+}
+
+} // namespace
+
 StatusOr<Model> ace::onnx::parseModel(const std::string &Text) {
   std::istringstream In(Text);
   std::string Tag;
   int Version = 0;
   if (!(In >> Tag >> Version) || Tag != "acemodel" || Version != 1)
-    return Status::error("not an acemodel file (missing header)");
+    return Status::dataCorrupt("not an acemodel file (missing header)");
 
   Model M;
   Graph &G = M.MainGraph;
   while (In >> Tag) {
-    if (Tag == "end")
+    if (Tag == "end") {
+      // Cross-reference pass: node inputs must resolve to something the
+      // graph defines, and no value may be produced twice. A dangling
+      // reference or duplicate definition is caught here instead of as a
+      // downstream map miss deep inside the compiler.
+      std::set<std::string> Defined;
+      for (const auto &V : G.Inputs)
+        Defined.insert(V.Name);
+      for (const auto &[Name, T] : G.Initializers)
+        Defined.insert(Name);
+      for (const Node &N : G.Nodes)
+        for (const std::string &Out : N.Outputs)
+          if (!Defined.insert(Out).second)
+            return Status::dataCorrupt("value '" + Out +
+                                       "' is produced more than once");
+      for (const Node &N : G.Nodes)
+        for (const std::string &InName : N.Inputs)
+          if (!Defined.count(InName))
+            return Status::dataCorrupt(
+                "node input '" + InName +
+                "' does not resolve to a graph input, initializer, or "
+                "node output");
       return M;
+    }
     if (Tag == "ir_version") {
-      In >> M.IrVersion;
+      if (!(In >> M.IrVersion))
+        return Status::dataCorrupt("truncated ir_version record");
     } else if (Tag == "producer") {
-      In >> M.ProducerName;
+      if (!(In >> M.ProducerName))
+        return Status::dataCorrupt("truncated producer record");
     } else if (Tag == "graph") {
-      In >> G.Name;
+      if (!(In >> G.Name))
+        return Status::dataCorrupt("truncated graph record");
     } else if (Tag == "input" || Tag == "output") {
       ValueInfo V;
       size_t Rank = 0;
-      In >> V.Name >> Rank;
+      if (!(In >> V.Name))
+        return Status::dataCorrupt("truncated " + Tag + " record");
+      ACE_RETURN_IF_ERROR(readCount(In, "shape rank", kMaxRank, Rank));
       V.Shape.resize(Rank);
       for (auto &D : V.Shape)
         In >> D;
+      if (!In)
+        return Status::dataCorrupt("truncated " + Tag + " '" + V.Name +
+                                   "'");
       (Tag == "input" ? G.Inputs : G.Outputs).push_back(std::move(V));
     } else if (Tag == "initializer") {
       std::string Name;
       size_t Rank = 0, Count = 0;
-      In >> Name >> Rank;
+      if (!(In >> Name))
+        return Status::dataCorrupt("truncated initializer record");
+      ACE_RETURN_IF_ERROR(readCount(In, "shape rank", kMaxRank, Rank));
       TensorData T;
       T.Shape.resize(Rank);
       for (auto &D : T.Shape)
         In >> D;
-      In >> Count;
+      if (!In)
+        return Status::dataCorrupt("truncated initializer '" + Name + "'");
+      size_t Expected = 0;
+      ACE_RETURN_IF_ERROR(checkedShapeElements(T.Shape, Name, Expected));
+      ACE_RETURN_IF_ERROR(
+          readCount(In, "value count", kMaxTensorElements, Count));
+      if (Count != Expected)
+        return Status::dataCorrupt(
+            "initializer '" + Name + "' declares " + std::to_string(Count) +
+            " values but its shape holds " + std::to_string(Expected));
       T.Values.resize(Count);
       for (auto &V : T.Values)
         In >> V;
       if (!In)
-        return Status::error("truncated initializer '" + Name + "'");
-      G.Initializers.emplace(Name, std::move(T));
+        return Status::dataCorrupt("truncated initializer '" + Name + "'");
+      if (!G.Initializers.emplace(Name, std::move(T)).second)
+        return Status::dataCorrupt("duplicate initializer '" + Name + "'");
     } else if (Tag == "node") {
       std::string OpName;
       Node N;
-      In >> OpName >> N.Name;
+      if (!(In >> OpName >> N.Name))
+        return Status::dataCorrupt("truncated node record");
       if (N.Name == "_")
         N.Name.clear();
       if (!parseOpKind(OpName, N.Kind))
-        return Status::error("unknown operator '" + OpName + "'");
+        return Status::dataCorrupt("unknown operator '" + OpName + "'");
       size_t NumIn = 0, NumOut = 0, NumAttr = 0;
-      In >> NumIn;
+      ACE_RETURN_IF_ERROR(readCount(In, "input count", kMaxNames, NumIn));
       N.Inputs.resize(NumIn);
       for (auto &S : N.Inputs)
         In >> S;
-      In >> NumOut;
+      ACE_RETURN_IF_ERROR(readCount(In, "output count", kMaxNames, NumOut));
       N.Outputs.resize(NumOut);
       for (auto &S : N.Outputs)
         In >> S;
-      In >> NumAttr;
+      ACE_RETURN_IF_ERROR(
+          readCount(In, "attribute count", kMaxAttrs, NumAttr));
       for (size_t I = 0; I < NumAttr; ++I) {
         std::string Key;
         size_t NI = 0, NF = 0;
-        In >> Key >> NI;
+        if (!(In >> Key))
+          return Status::dataCorrupt("truncated attribute in node '" +
+                                     N.Name + "'");
+        ACE_RETURN_IF_ERROR(
+            readCount(In, "attribute int count", kMaxAttrValues, NI));
         Attribute A;
         A.Ints.resize(NI);
         for (auto &V : A.Ints)
           In >> V;
-        In >> NF;
+        ACE_RETURN_IF_ERROR(
+            readCount(In, "attribute float count", kMaxAttrValues, NF));
         A.Floats.resize(NF);
         for (auto &V : A.Floats)
           In >> V;
         N.Attributes.emplace(std::move(Key), std::move(A));
       }
       if (!In)
-        return Status::error("truncated node record");
+        return Status::dataCorrupt("truncated node record");
       G.Nodes.push_back(std::move(N));
     } else {
-      return Status::error("unknown record '" + Tag + "'");
+      return Status::dataCorrupt("unknown record '" + Tag + "'");
     }
   }
-  return Status::error("model file ended without 'end' marker");
+  return Status::dataCorrupt("model file ended without 'end' marker");
 }
 
 Status ace::onnx::saveModel(const Model &M, const std::string &Path) {
   std::ofstream Out(Path);
   if (!Out)
-    return Status::error("cannot open '" + Path + "' for writing");
+    return Status::ioError("cannot open '" + Path + "' for writing");
   Out << serializeModel(M);
+  Out.flush();
+  if (!Out)
+    return Status::ioError("write to '" + Path + "' failed");
   return Status::success();
 }
 
 StatusOr<Model> ace::onnx::loadModel(const std::string &Path) {
   std::ifstream In(Path);
   if (!In)
-    return Status::error("cannot open '" + Path + "'");
+    return Status::ioError("cannot open '" + Path + "'");
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
+  if (In.bad())
+    return Status::ioError("read from '" + Path + "' failed");
   return parseModel(Buffer.str());
 }

@@ -1,0 +1,134 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounds-checked little-endian decoder over an in-memory byte span, the
+/// read half of the hardened wire format (docs/serialization.md). This is
+/// the innermost layer of the attacker-facing deserializer, so its
+/// contract is strict: every accessor checks the remaining byte count
+/// before touching memory, a failed read consumes nothing, and no input -
+/// truncated, oversized, or bit-flipped - can make it read out of bounds.
+/// Accessors return false on underflow; the serializer state machine above
+/// turns that into a descriptive Status naming the offset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_SUPPORT_BYTEREADER_H
+#define ACE_SUPPORT_BYTEREADER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace ace {
+
+/// Non-owning little-endian cursor. The span must outlive the reader.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return Size - Pos; }
+
+  /// True when every byte has been consumed (trailing-byte detection).
+  bool atEnd() const { return Pos == Size; }
+
+  /// Current cursor position (for diagnostics).
+  size_t offset() const { return Pos; }
+
+  bool u8(uint8_t &V) {
+    if (remaining() < 1)
+      return false;
+    V = Data[Pos++];
+    return true;
+  }
+
+  bool u16(uint16_t &V) {
+    if (remaining() < 2)
+      return false;
+    V = static_cast<uint16_t>(Data[Pos]) |
+        static_cast<uint16_t>(Data[Pos + 1]) << 8;
+    Pos += 2;
+    return true;
+  }
+
+  bool u32(uint32_t &V) {
+    if (remaining() < 4)
+      return false;
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Data[Pos + I]) << (8 * I);
+    Pos += 4;
+    return true;
+  }
+
+  bool u64(uint64_t &V) {
+    if (remaining() < 8)
+      return false;
+    V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Data[Pos + I]) << (8 * I);
+    Pos += 8;
+    return true;
+  }
+
+  bool i32(int32_t &V) {
+    uint32_t U;
+    if (!u32(U))
+      return false;
+    V = static_cast<int32_t>(U);
+    return true;
+  }
+
+  bool i64(int64_t &V) {
+    uint64_t U;
+    if (!u64(U))
+      return false;
+    V = static_cast<int64_t>(U);
+    return true;
+  }
+
+  bool f64(double &V) {
+    uint64_t Bits;
+    if (!u64(Bits))
+      return false;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return true;
+  }
+
+  /// Copies \p Count bytes into \p Dst; fails (consuming nothing) when
+  /// fewer remain.
+  bool bytes(void *Dst, size_t Count) {
+    if (remaining() < Count)
+      return false;
+    std::memcpy(Dst, Data + Pos, Count);
+    Pos += Count;
+    return true;
+  }
+
+  /// Advances past \p Count bytes without copying.
+  bool skip(size_t Count) {
+    if (remaining() < Count)
+      return false;
+    Pos += Count;
+    return true;
+  }
+
+  /// Pointer to the unconsumed region (valid for remaining() bytes). Used
+  /// to checksum a payload in place before parsing it.
+  const uint8_t *cursor() const { return Data + Pos; }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+};
+
+} // namespace ace
+
+#endif // ACE_SUPPORT_BYTEREADER_H

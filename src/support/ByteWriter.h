@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Append-only little-endian encoder over a caller-owned byte buffer, the
+/// write half of the hardened wire format (docs/serialization.md). All
+/// multi-byte integers are emitted least-significant byte first regardless
+/// of host endianness; doubles travel as their IEEE-754 bit pattern so
+/// round-trips are bit-exact. Writing cannot fail: the buffer grows as
+/// needed, and I/O only happens when the finished buffer is flushed to a
+/// stream by the serializer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_SUPPORT_BYTEWRITER_H
+#define ACE_SUPPORT_BYTEWRITER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace ace {
+
+/// Little-endian append encoder. Holds a reference; the buffer outlives
+/// the writer.
+class ByteWriter {
+public:
+  explicit ByteWriter(std::vector<uint8_t> &Out) : Out(Out) {}
+
+  void u8(uint8_t V) { Out.push_back(V); }
+
+  void u16(uint16_t V) {
+    Out.push_back(static_cast<uint8_t>(V));
+    Out.push_back(static_cast<uint8_t>(V >> 8));
+  }
+
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+
+  void i32(int32_t V) { u32(static_cast<uint32_t>(V)); }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+
+  /// IEEE-754 bit pattern; NaNs and infinities round-trip unchanged (the
+  /// deserializer, not the encoding, rejects non-finite scales).
+  void f64(double V) {
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(V), "double is not 64-bit");
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+
+  void bytes(const void *Data, size_t Size) {
+    const uint8_t *P = static_cast<const uint8_t *>(Data);
+    Out.insert(Out.end(), P, P + Size);
+  }
+
+  /// Overwrites 4 bytes at \p Offset with \p V (backpatching length or
+  /// checksum fields after the payload is known). \p Offset must have
+  /// been returned by size() before at least 4 subsequent bytes were
+  /// written.
+  void patchU32(size_t Offset, uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out[Offset + I] = static_cast<uint8_t>(V >> (8 * I));
+  }
+
+  void patchU64(size_t Offset, uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Out[Offset + I] = static_cast<uint8_t>(V >> (8 * I));
+  }
+
+  /// Bytes written so far (== current buffer size).
+  size_t size() const { return Out.size(); }
+
+private:
+  std::vector<uint8_t> &Out;
+};
+
+} // namespace ace
+
+#endif // ACE_SUPPORT_BYTEWRITER_H

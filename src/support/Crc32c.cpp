@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Crc32c.h"
+
+#include <array>
+
+using namespace ace;
+
+namespace {
+
+/// Byte-at-a-time table for the reflected Castagnoli polynomial. Built
+/// once at first use; 1 KiB. Throughput is irrelevant next to the FHE
+/// arithmetic the checksummed payloads carry.
+struct Crc32cTable {
+  std::array<uint32_t, 256> Entry;
+
+  Crc32cTable() {
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? (0x82F63B78u ^ (C >> 1)) : (C >> 1);
+      Entry[I] = C;
+    }
+  }
+};
+
+const Crc32cTable &table() {
+  static const Crc32cTable T;
+  return T;
+}
+
+} // namespace
+
+uint32_t ace::crc32cExtend(uint32_t Crc, const void *Data, size_t Size) {
+  const auto &T = table();
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  uint32_t C = Crc ^ 0xFFFFFFFFu;
+  for (size_t I = 0; I < Size; ++I)
+    C = T.Entry[(C ^ P[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+uint32_t ace::crc32c(const void *Data, size_t Size) {
+  return crc32cExtend(0, Data, Size);
+}

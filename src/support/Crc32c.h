@@ -1,0 +1,38 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) over byte ranges,
+/// the checksum the hardened wire format (docs/serialization.md) puts in
+/// every object header. CRC-32C detects accidental corruption - bit flips,
+/// truncation survived by the length field, transport damage - before any
+/// payload field is interpreted; it is NOT a cryptographic MAC and does
+/// not defend against deliberate forgery (see the trust-boundary notes in
+/// docs/error-handling.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_SUPPORT_CRC32C_H
+#define ACE_SUPPORT_CRC32C_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ace {
+
+/// CRC-32C of \p Size bytes at \p Data, with the conventional init/final
+/// XOR of 0xFFFFFFFF. crc32c(nullptr, 0) == 0.
+uint32_t crc32c(const void *Data, size_t Size);
+
+/// Streaming form: extends \p Crc (a previous crc32c result, or 0 for an
+/// empty prefix) by \p Size bytes at \p Data.
+uint32_t crc32cExtend(uint32_t Crc, const void *Data, size_t Size);
+
+} // namespace ace
+
+#endif // ACE_SUPPORT_CRC32C_H

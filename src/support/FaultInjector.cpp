@@ -28,6 +28,12 @@ const char *ace::faultKindName(FaultKind Kind) {
     return "drop-relin-key";
   case FaultKind::AllocFail:
     return "alloc-fail";
+  case FaultKind::ShortRead:
+    return "short-read";
+  case FaultKind::ShortWrite:
+    return "short-write";
+  case FaultKind::ChecksumCorrupt:
+    return "checksum-corrupt";
   case FaultKind::KindCount:
     break;
   }

@@ -54,6 +54,14 @@ enum class FaultKind : unsigned {
   DropRelinKey,
   /// Simulate an allocation failure at a checked-operation entry.
   AllocFail,
+  /// Truncate a wire-format payload while it is read from a stream
+  /// (serializer load paths; see docs/serialization.md).
+  ShortRead,
+  /// Fail a wire-format write mid-stream (serializer save paths).
+  ShortWrite,
+  /// Flip bits in a wire-format checksum as it is written, so the next
+  /// load of those bytes must fail CRC verification.
+  ChecksumCorrupt,
   KindCount,
 };
 

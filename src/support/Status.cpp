@@ -31,6 +31,10 @@ const char *ace::errorCodeName(ErrorCode Code) {
     return "resource-exhausted";
   case ErrorCode::Internal:
     return "internal";
+  case ErrorCode::DataCorrupt:
+    return "data-corrupt";
+  case ErrorCode::IoError:
+    return "io-error";
   }
   return "unknown";
 }

@@ -28,8 +28,9 @@ namespace ace {
 /// Machine-inspectable failure category. The codes mirror the runtime's
 /// precondition classes: what the caller passed (InvalidArgument), CKKS
 /// level/scale management (LevelMismatch, ScaleMismatch, DepthExhausted),
-/// key material (KeyMissing), resources (ResourceExhausted), and broken
-/// internal invariants (Internal).
+/// key material (KeyMissing), resources (ResourceExhausted), broken
+/// internal invariants (Internal), malformed or tampered serialized bytes
+/// (DataCorrupt), and failed file/stream operations (IoError).
 enum class ErrorCode : unsigned char {
   Ok = 0,
   InvalidArgument,
@@ -39,6 +40,8 @@ enum class ErrorCode : unsigned char {
   DepthExhausted,
   ResourceExhausted,
   Internal,
+  DataCorrupt,
+  IoError,
 };
 
 /// Stable lowercase name of \p Code ("ok", "invalid-argument", ...).
@@ -94,6 +97,12 @@ public:
   }
   static Status internal(std::string M) {
     return error(ErrorCode::Internal, std::move(M));
+  }
+  static Status dataCorrupt(std::string M) {
+    return error(ErrorCode::DataCorrupt, std::move(M));
+  }
+  static Status ioError(std::string M) {
+    return error(ErrorCode::IoError, std::move(M));
   }
   /// @}
 

@@ -68,6 +68,10 @@ const char *ace::telemetry::counterName(Counter C) {
     return "ntt-inverse";
   case Counter::ParallelFor:
     return "parallel-for";
+  case Counter::BytesSerialized:
+    return "bytes-serialized";
+  case Counter::BytesDeserialized:
+    return "bytes-deserialized";
   case Counter::CounterCount:
     break;
   }

@@ -70,6 +70,8 @@ enum class Counter : unsigned {
   NttForward,      ///< forward negacyclic NTTs
   NttInverse,      ///< inverse negacyclic NTTs
   ParallelFor,     ///< forked parallelFor regions (see support/ThreadPool.h)
+  BytesSerialized,   ///< wire-format bytes written (docs/serialization.md)
+  BytesDeserialized, ///< wire-format bytes accepted by a successful load
   CounterCount,
 };
 

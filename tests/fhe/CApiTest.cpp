@@ -281,4 +281,94 @@ TEST(CApiTest, ErrorChannelIsSticky) {
   ace_destroy(Ctx);
 }
 
+TEST_F(CApiFixture, CiphertextSaveLoadRoundTrip) {
+  std::vector<double> X(64);
+  for (size_t I = 0; I < X.size(); ++I)
+    X[I] = 0.02 * static_cast<double>(I) - 0.5;
+  AceFheCiphertext *Ct = ace_encrypt(Ctx, X.data(), 64, 9);
+  ASSERT_NE(Ct, nullptr);
+  const char *Path = "/tmp/ace_capi_ct.bin";
+  ASSERT_EQ(ace_ct_save(Ctx, Ct, Path), ACE_OK);
+  AceFheCiphertext *Back = ace_ct_load(Ctx, Path);
+  ASSERT_NE(Back, nullptr) << ace_last_error_message();
+  std::vector<double> Out(64);
+  ASSERT_EQ(ace_decrypt(Ctx, Back, Out.data(), 64), ACE_OK);
+  for (size_t I = 0; I < X.size(); ++I)
+    EXPECT_NEAR(Out[I], X[I], 1e-6);
+  ace_ct_free(Back);
+  ace_ct_free(Ct);
+  std::remove(Path);
+}
+
+TEST_F(CApiFixture, KeyAndParamsSaveLoadRebuildWorkingContext) {
+  const char *ParamsPath = "/tmp/ace_capi_params.bin";
+  const char *KeysPath = "/tmp/ace_capi_keys.bin";
+  ASSERT_EQ(ace_params_save(Ctx, ParamsPath), ACE_OK);
+  ASSERT_EQ(ace_key_save(Ctx, KeysPath), ACE_OK);
+
+  // A context rebuilt from the params file plus the key file must be
+  // fully functional: encrypt, rotate with the *loaded* rotation keys,
+  // decrypt.
+  AceFheContext *C2 = ace_params_load(ParamsPath);
+  ASSERT_NE(C2, nullptr) << ace_last_error_message();
+  ASSERT_EQ(ace_key_load(C2, KeysPath), ACE_OK)
+      << ace_last_error_message();
+  std::vector<double> X(64);
+  for (size_t I = 0; I < X.size(); ++I)
+    X[I] = 0.01 * static_cast<double>(I);
+  AceFheCiphertext *Ct = ace_encrypt(C2, X.data(), 64, 9);
+  ASSERT_NE(Ct, nullptr) << ace_last_error_message();
+  AceFheCiphertext *Rot = ace_rotate(C2, Ct, 1);
+  ASSERT_NE(Rot, nullptr) << ace_last_error_message();
+  std::vector<double> Out(64);
+  ASSERT_EQ(ace_decrypt(C2, Rot, Out.data(), 64), ACE_OK);
+  for (size_t I = 0; I < 63; ++I)
+    EXPECT_NEAR(Out[I], X[I + 1], 1e-6);
+  ace_ct_free(Rot);
+  ace_ct_free(Ct);
+  ace_destroy(C2);
+  std::remove(ParamsPath);
+  std::remove(KeysPath);
+}
+
+TEST_F(CApiFixture, SerializationErrorPaths) {
+  ace_clear_error();
+  std::vector<double> X(64, 0.25);
+  AceFheCiphertext *Ct = ace_encrypt(Ctx, X.data(), 64, 9);
+  ASSERT_NE(Ct, nullptr);
+
+  // Unwritable path surfaces as an I/O error, not a crash.
+  EXPECT_EQ(ace_ct_save(Ctx, Ct, "/nonexistent-dir/ct.bin"), ACE_ERR_IO);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_IO);
+  ace_clear_error();
+
+  // A corrupted file surfaces as data corruption with a message.
+  const char *Path = "/tmp/ace_capi_ct_corrupt.bin";
+  ASSERT_EQ(ace_ct_save(Ctx, Ct, Path), ACE_OK);
+  {
+    std::FILE *F = std::fopen(Path, "r+b");
+    ASSERT_NE(F, nullptr);
+    std::fseek(F, 24, SEEK_SET);
+    char Junk = 0x5A;
+    std::fwrite(&Junk, 1, 1, F);
+    std::fclose(F);
+  }
+  EXPECT_EQ(ace_ct_load(Ctx, Path), nullptr);
+  EXPECT_EQ(ace_last_error(), ACE_ERR_DATA_CORRUPT);
+  EXPECT_NE(std::string(ace_last_error_message()).find("checksum"),
+            std::string::npos)
+      << ace_last_error_message();
+  ace_clear_error();
+
+  // NULL arguments are rejected, never dereferenced.
+  EXPECT_EQ(ace_ct_save(nullptr, Ct, Path), ACE_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(ace_ct_save(Ctx, nullptr, Path), ACE_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(ace_ct_save(Ctx, Ct, nullptr), ACE_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(ace_ct_load(Ctx, nullptr), nullptr);
+  EXPECT_EQ(ace_key_load(nullptr, Path), ACE_ERR_INVALID_ARGUMENT);
+  ace_clear_error();
+  ace_ct_free(Ct);
+  std::remove(Path);
+}
+
 } // namespace

@@ -1,0 +1,126 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+//
+// I/O fault-injection property tests for the serializer: a short write, a
+// short read, or a corrupted checksum anywhere in a save/load pair must
+// surface as a clean, descriptive Status - in release builds too, where
+// asserts are gone and only the explicit validation stands. This suite
+// runs in the CI sanitizer job (its name matches the FaultInjection test
+// regex).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Encoder.h"
+#include "fhe/Encryptor.h"
+#include "fhe/Serializer.h"
+#include "support/FaultInjector.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace ace;
+using namespace ace::fhe;
+
+namespace {
+
+class SerializerFaultInjectionTest : public ::testing::Test {
+protected:
+  SerializerFaultInjectionTest() {
+    CkksParams P;
+    P.RingDegree = 64;
+    P.Slots = 16;
+    P.LogScale = 30;
+    P.LogFirstModulus = 40;
+    P.NumRescaleModuli = 2;
+    P.LogSpecialModulus = 45;
+    P.Seed = 13;
+    Ctx = std::make_unique<Context>(P);
+    Enc = std::make_unique<Encoder>(*Ctx);
+    Gen = std::make_unique<KeyGenerator>(*Ctx);
+    Pub = Gen->makePublicKey();
+    Encrypt = std::make_unique<Encryptor>(*Ctx, Pub);
+    Ct = Encrypt->encryptValues(*Enc, {1.0, -0.5}, Ctx->chainLength());
+    FaultInjector::instance().reset();
+  }
+
+  ~SerializerFaultInjectionTest() override {
+    FaultInjector::instance().reset();
+  }
+
+  std::unique_ptr<Context> Ctx;
+  std::unique_ptr<Encoder> Enc;
+  std::unique_ptr<KeyGenerator> Gen;
+  PublicKey Pub;
+  std::unique_ptr<Encryptor> Encrypt;
+  Ciphertext Ct;
+};
+
+TEST_F(SerializerFaultInjectionTest, ShortWriteSurfacesAsIoError) {
+  FaultInjector::instance().arm(FaultKind::ShortWrite);
+  std::stringstream SS;
+  Status S = wire::save(Ct, SS);
+  ASSERT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::IoError);
+  EXPECT_NE(S.message().find("short write"), std::string::npos);
+  EXPECT_EQ(FaultInjector::instance().firedCount(FaultKind::ShortWrite),
+            1u);
+  // The truncated stream the failed save left behind must itself load
+  // cleanly as an error.
+  auto R = wire::loadCiphertext(*Ctx, SS);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::DataCorrupt);
+}
+
+TEST_F(SerializerFaultInjectionTest, ShortReadSurfacesAsDataCorrupt) {
+  std::stringstream SS;
+  ASSERT_TRUE(wire::save(Ct, SS).ok());
+  FaultInjector::instance().arm(FaultKind::ShortRead);
+  auto R = wire::loadCiphertext(*Ctx, SS);
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::DataCorrupt);
+  EXPECT_NE(R.status().message().find("truncated"), std::string::npos);
+  EXPECT_EQ(FaultInjector::instance().firedCount(FaultKind::ShortRead), 1u);
+}
+
+TEST_F(SerializerFaultInjectionTest, ChecksumCorruptionIsDetectedOnLoad) {
+  FaultInjector::instance().arm(FaultKind::ChecksumCorrupt);
+  std::vector<uint8_t> Bytes;
+  // The save itself succeeds - the corruption models bit rot between
+  // writer and reader.
+  ASSERT_TRUE(wire::save(Ct, Bytes).ok());
+  EXPECT_EQ(
+      FaultInjector::instance().firedCount(FaultKind::ChecksumCorrupt), 1u);
+  auto R = wire::loadCiphertext(*Ctx, Bytes.data(), Bytes.size());
+  ASSERT_FALSE(R.ok());
+  EXPECT_EQ(R.status().code(), ErrorCode::DataCorrupt);
+  EXPECT_NE(R.status().message().find("checksum mismatch"),
+            std::string::npos);
+}
+
+TEST_F(SerializerFaultInjectionTest, RecoveryAfterFaultClears) {
+  // After the armed fault fires once, the very next save/load pair works.
+  FaultInjector::instance().arm(FaultKind::ShortWrite, /*Count=*/1);
+  std::stringstream Bad;
+  ASSERT_FALSE(wire::save(Ct, Bad).ok());
+  std::stringstream Good;
+  ASSERT_TRUE(wire::save(Ct, Good).ok());
+  auto R = wire::loadCiphertext(*Ctx, Good);
+  ASSERT_TRUE(R.ok()) << R.status().message();
+}
+
+TEST_F(SerializerFaultInjectionTest, EnvSpecParsesIoFaultKinds) {
+  EXPECT_TRUE(
+      FaultInjector::instance().configure("short-read:2,short-write:1"));
+  EXPECT_TRUE(FaultInjector::instance().enabled());
+  FaultInjector::instance().reset();
+  EXPECT_TRUE(FaultInjector::instance().configure("checksum-corrupt"));
+  FaultInjector::instance().reset();
+}
+
+} // namespace

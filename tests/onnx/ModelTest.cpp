@@ -86,6 +86,96 @@ TEST(ModelTest, ParserRejectsGarbage) {
   EXPECT_FALSE(parseModel("acemodel 1\ngraph g\n").ok());
 }
 
+// A minimal well-formed model the hostile-input tests below corrupt one
+// record at a time.
+const char *kValidModel = "acemodel 1\n"
+                          "graph g\n"
+                          "input x 2 1 4\n"
+                          "output y 2 1 2\n"
+                          "initializer w 2 2 4 8 1 1 1 1 1 1 1 1\n"
+                          "node Gemm _ 2 x w 1 y 0\n"
+                          "end\n";
+
+TEST(ModelTest, ParserCrossReferencesValues) {
+  ASSERT_TRUE(parseModel(kValidModel).ok());
+
+  // A node input that nothing defines is caught at parse time, not as a
+  // map miss deep inside the compiler.
+  auto Dangling = parseModel("acemodel 1\n"
+                             "graph g\n"
+                             "input x 2 1 4\n"
+                             "node Relu _ 1 bogus 1 y 0\n"
+                             "end\n");
+  ASSERT_FALSE(Dangling.ok());
+  EXPECT_EQ(Dangling.status().code(), ErrorCode::DataCorrupt);
+  EXPECT_NE(Dangling.status().message().find("does not resolve"),
+            std::string::npos)
+      << Dangling.status().message();
+
+  // Two producers for one value.
+  auto Dup = parseModel("acemodel 1\n"
+                        "graph g\n"
+                        "input x 2 1 4\n"
+                        "node Relu _ 1 x 1 y 0\n"
+                        "node Relu _ 1 x 1 y 0\n"
+                        "end\n");
+  ASSERT_FALSE(Dup.ok());
+  EXPECT_NE(Dup.status().message().find("produced more than once"),
+            std::string::npos);
+
+  // Duplicate initializer name.
+  auto DupInit = parseModel("acemodel 1\n"
+                            "graph g\n"
+                            "initializer w 1 2 2 1 1\n"
+                            "initializer w 1 2 2 1 1\n"
+                            "end\n");
+  ASSERT_FALSE(DupInit.ok());
+  EXPECT_NE(DupInit.status().message().find("duplicate initializer"),
+            std::string::npos);
+}
+
+TEST(ModelTest, ParserRejectsHostileCounts) {
+  // Negative rank must not wrap to SIZE_MAX and drive an allocation.
+  auto NegRank = parseModel("acemodel 1\ngraph g\ninput x -1\nend\n");
+  ASSERT_FALSE(NegRank.ok());
+  EXPECT_EQ(NegRank.status().code(), ErrorCode::DataCorrupt);
+  EXPECT_NE(NegRank.status().message().find("out of range"),
+            std::string::npos);
+
+  // Declared value count disagreeing with the shape product.
+  auto Mismatch = parseModel("acemodel 1\ngraph g\n"
+                             "initializer w 2 2 4 5 1 1 1 1 1\nend\n");
+  ASSERT_FALSE(Mismatch.ok());
+  EXPECT_NE(Mismatch.status().message().find("its shape holds"),
+            std::string::npos);
+
+  // Shape whose element product overflows the tensor cap.
+  auto Overflow = parseModel("acemodel 1\ngraph g\n"
+                             "initializer w 2 100000000 100000000 1 0\n"
+                             "end\n");
+  ASSERT_FALSE(Overflow.ok());
+  EXPECT_NE(Overflow.status().message().find("overflows"),
+            std::string::npos);
+
+  // Attribute count past the per-node cap.
+  auto Attrs =
+      parseModel("acemodel 1\ngraph g\ninput x 1 4\n"
+                 "node Relu _ 1 x 1 y 99999\nend\n");
+  ASSERT_FALSE(Attrs.ok());
+  EXPECT_NE(Attrs.status().message().find("attribute count"),
+            std::string::npos);
+}
+
+TEST(ModelTest, ParseErrorsCarryDataCorruptCode) {
+  for (const char *Text :
+       {"not a model", "acemodel 2\nend\n", "acemodel 1\ngraph g\n",
+        "acemodel 1\nbogusrecord 3\nend\n"}) {
+    auto R = parseModel(Text);
+    ASSERT_FALSE(R.ok()) << Text;
+    EXPECT_EQ(R.status().code(), ErrorCode::DataCorrupt) << Text;
+  }
+}
+
 TEST(ModelTest, SaveLoadFile) {
   Model M = nn::buildMlp({8, 4}, 3);
   ASSERT_TRUE(saveModel(M, "/tmp/ace_model_test.acemodel").ok());
