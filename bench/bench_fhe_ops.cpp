@@ -9,8 +9,12 @@
 #include "fhe/Encryptor.h"
 #include "support/Rng.h"
 #include "support/Telemetry.h"
+#include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
 
 using namespace ace;
 using namespace ace::fhe;
@@ -91,6 +95,59 @@ void BM_Rotate(benchmark::State &State) {
 }
 BENCHMARK(BM_Rotate)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
 
+// Rotation batches, naive vs hoisted (the tentpole of the hoisting PR):
+// the naive loop pays one digit decomposition (ModUp) per rotation, the
+// hoisted batch pays ONE for the whole batch and spreads the remaining
+// per-rotation inner products over the thread pool. Results are
+// bit-identical (tests/fhe/HoistedRotationTest.cpp); this measures the
+// speedup. Batch of 8 matches a BSGS baby-step sweep at BS = 8.
+const std::vector<int64_t> &batchSteps() {
+  static const std::vector<int64_t> Steps = {1, 2, 3, 4, 5, 6, 7, 8};
+  return Steps;
+}
+
+Fixture &batchFixture(size_t N) {
+  // The key set covers every batch step; shared across iterations so the
+  // benchmark loop measures rotations, not keygen.
+  static std::map<size_t, std::unique_ptr<Fixture>> Cache;
+  auto It = Cache.find(N);
+  if (It == Cache.end()) {
+    auto F = std::make_unique<Fixture>(N);
+    F->Gen->fillEvalKeys(F->Keys, batchSteps(), /*NeedRelin=*/false,
+                         /*NeedConjugate=*/false);
+    It = Cache.emplace(N, std::move(F)).first;
+  }
+  return *It->second;
+}
+
+void BM_RotateBatchNaive(benchmark::State &State) {
+  Fixture &F = batchFixture(State.range(0));
+  for (auto _ : State)
+    for (int64_t S : batchSteps())
+      benchmark::DoNotOptimize(F.Eval->rotate(F.CtA, S));
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(batchSteps().size()));
+  State.counters["modups_per_batch"] =
+      static_cast<double>(batchSteps().size());
+}
+BENCHMARK(BM_RotateBatchNaive)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RotateBatchHoisted(benchmark::State &State) {
+  Fixture &F = batchFixture(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(F.Eval->rotateHoisted(F.CtA, batchSteps()));
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(batchSteps().size()));
+  State.counters["modups_per_batch"] = 1.0;
+}
+BENCHMARK(BM_RotateBatchHoisted)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_Rescale(benchmark::State &State) {
   Fixture F(State.range(0));
   for (auto _ : State) {
@@ -140,4 +197,18 @@ BENCHMARK(BM_TelemetryDisabledCheck)->Unit(benchmark::kNanosecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): stamp the JSON/console output
+// with the metadata that makes BENCH_*.json files comparable across
+// machines and revisions (git revision, build type, pool thread count).
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::AddCustomContext("git_rev", ACE_GIT_REV);
+  benchmark::AddCustomContext("build_type", ACE_BUILD_TYPE);
+  benchmark::AddCustomContext(
+      "threads", std::to_string(ThreadPool::instance().numThreads()));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -42,6 +42,7 @@ DialectKind ace::air::dialectOf(NodeKind Kind) {
   case NodeKind::NK_VecTile:
   case NodeKind::NK_VecReshape:
   case NodeKind::NK_VecRelu:
+  case NodeKind::NK_VecMatDiag:
     return DialectKind::DK_Vector;
   case NodeKind::NK_SiheRotate:
   case NodeKind::NK_SiheAdd:
@@ -131,6 +132,8 @@ const char *ace::air::nodeKindName(NodeKind Kind) {
     return "VECTOR.reshape";
   case NodeKind::NK_VecRelu:
     return "VECTOR.relu";
+  case NodeKind::NK_VecMatDiag:
+    return "VECTOR.mat_diag";
   case NodeKind::NK_SiheRotate:
     return "SIHE.rotate";
   case NodeKind::NK_SiheAdd:
@@ -410,6 +413,24 @@ ace::air::verifyFunction(const IrFunction &F,
                       N->Operands[0]->Type == TypeKind::TK_Cipher3) &&
                      N->Type == N->Operands[0]->Type,
                  "scale management preserves the operand type");
+      break;
+    case NodeKind::NK_VecMatDiag:
+      // Ints = {Stride, Capacity, NumDiags, d_0..d_{NumDiags-1}}; the
+      // mask operand stacks one Slots-length row per listed diagonal.
+      S = Expect(N->Operands.size() == 2 &&
+                     N->Operands[0]->Type == TypeKind::TK_Cipher &&
+                     N->Operands[1]->Type == TypeKind::TK_Vector &&
+                     N->Type == TypeKind::TK_Cipher &&
+                     N->Ints.size() >= 3 &&
+                     N->Ints.size() ==
+                         3 + static_cast<size_t>(N->Ints[2]) &&
+                     N->Ints[2] > 0 &&
+                     !N->Operands[1]->Data.empty() &&
+                     N->Operands[1]->Data.size() %
+                             static_cast<size_t>(N->Ints[2]) ==
+                         0,
+                 "mat_diag requires Cipher x Vector -> Cipher with "
+                 "{stride, capacity, count, diagonals...} attributes");
       break;
     case NodeKind::NK_Return:
       SawReturn = true;

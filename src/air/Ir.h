@@ -71,6 +71,15 @@ enum class NodeKind {
   NK_VecTile,
   NK_VecReshape,
   NK_VecRelu, ///< nonlinearity kept abstract until the SIHE level
+  /// Diagonal-form matrix-vector product: operand 0 is the input vector
+  /// (Cipher), operand 1 a ConstVec holding the stacked diagonal masks
+  /// (NumDiags x Slots doubles). Ints = {Stride, Capacity, NumDiags,
+  /// d_0..d_{NumDiags-1}} where each d_k indexes a nonzero diagonal and
+  /// diagonal d contributes mask[t] * x[(t + d*Stride) mod Slots]. Kept
+  /// whole through the VECTOR level so the SIHE lowering can expand it
+  /// into a baby-step/giant-step rotation plan (O(sqrt n) rotation keys,
+  /// hoisted baby rotations) instead of one rotation per diagonal.
+  NK_VecMatDiag,
 
   // SIHE dialect (paper Table 5) - scheme-independent homomorphic ops.
   NK_SiheRotate,

@@ -178,6 +178,17 @@ StatusOr<fhe::Ciphertext> CkksExecutor::run(const Ciphertext &Input) {
     return N->Operands[0];
   };
 
+  // Rotations that share an operand ciphertext (the baby steps of a BSGS
+  // matvec) are served as one hoisted batch: one digit decomposition for
+  // the whole group instead of one per rotation. SSA guarantees the
+  // operand's value never changes, so the batch can run at the first
+  // member and later members just read their precomputed result.
+  std::map<int, std::vector<const IrNode *>> RotateGroups;
+  if (State.Options.EnableRotationKeyAnalysis)
+    for (const auto &NPtr : F.nodes())
+      if (NPtr->Kind == NodeKind::NK_CkksRotate)
+        RotateGroups[NPtr->Operands[0]->Id].push_back(NPtr.get());
+
   Ciphertext Result;
   bool HaveResult = false;
   for (const auto &NPtr : F.nodes()) {
@@ -200,6 +211,20 @@ StatusOr<fhe::Ciphertext> CkksExecutor::run(const Ciphertext &Input) {
             " slots");
       int64_t Step = ((N->rotationSteps() % Slots) + Slots) % Slots;
       if (State.Options.EnableRotationKeyAnalysis) {
+        if (Values.count(N->Id))
+          break; // already served by an earlier hoisted batch
+        auto GroupIt = RotateGroups.find(N->Operands[0]->Id);
+        if (GroupIt != RotateGroups.end() && GroupIt->second.size() >= 2) {
+          std::vector<int64_t> Steps;
+          Steps.reserve(GroupIt->second.size());
+          for (const IrNode *Member : GroupIt->second)
+            Steps.push_back(Member->rotationSteps());
+          ACE_ASSIGN_OR_RETURN(std::vector<Ciphertext> Outs,
+                               Eval->checkedRotateHoisted(A, Steps));
+          for (size_t I = 0; I < Outs.size(); ++I)
+            Values[GroupIt->second[I]->Id] = std::move(Outs[I]);
+          break;
+        }
         ACE_ASSIGN_OR_RETURN(Values[N->Id], Eval->checkedRotate(A, Step));
       } else {
         // Power-of-two key set only: decompose the step bit by bit (the

@@ -194,12 +194,18 @@ Ciphertext Bootstrapper::matvec(const Ciphertext &Ct, int MatrixId) const {
   size_t GS = (N + BS - 1) / BS;
   const std::vector<Plaintext> &Diags = diagonals(MatrixId, Ct.numQ());
 
-  // Baby rotations of the input.
+  // Baby rotations of the input, hoisted: all BS-1 rotations share one
+  // digit decomposition of Ct's c1 (the giant rotations below each act
+  // on a distinct Inner ciphertext, so they cannot share one).
+  std::vector<int64_t> BabySteps;
+  BabySteps.reserve(BS - 1);
+  for (size_t J = 1; J < BS; ++J)
+    BabySteps.push_back(static_cast<int64_t>(J));
   std::vector<Ciphertext> Rotated;
   Rotated.reserve(BS);
   Rotated.push_back(Ct);
-  for (size_t J = 1; J < BS; ++J)
-    Rotated.push_back(Eval.rotate(Ct, static_cast<int64_t>(J)));
+  for (Ciphertext &R : Eval.rotateHoisted(Ct, BabySteps))
+    Rotated.push_back(std::move(R));
 
   bool HaveAcc = false;
   Ciphertext Acc;

@@ -77,3 +77,41 @@ Context::Context(const CkksParams &P) : Params(P) {
 
   Scale = std::ldexp(1.0, P.LogScale);
 }
+
+/// Reverses the low \p Bits bits of \p X.
+static uint64_t reverseBits(uint64_t X, int Bits) {
+  uint64_t Result = 0;
+  for (int I = 0; I < Bits; ++I) {
+    Result = (Result << 1) | (X & 1);
+    X >>= 1;
+  }
+  return Result;
+}
+
+const std::vector<uint32_t> &
+Context::galoisNttPermutation(uint64_t Galois) const {
+  std::lock_guard<std::mutex> Lock(GaloisPermMutex);
+  auto It = GaloisNttPerms.find(Galois);
+  if (It != GaloisNttPerms.end())
+    return It->second;
+
+  size_t N = Params.RingDegree;
+  uint64_t TwoN = 2 * N;
+  assert(Galois % 2 == 1 && Galois < TwoN &&
+         "Galois element must be an odd residue mod 2N");
+  int LogN = 0;
+  while ((size_t(1) << LogN) < N)
+    ++LogN;
+
+  // NTT slot i holds the evaluation at psi^(2*bitrev(i)+1); the
+  // automorphism X -> X^Galois sends that evaluation point to
+  // psi^(Galois*(2*bitrev(i)+1) mod 2N), whose slot index inverts the
+  // same odd-exponent encoding. Galois is odd, so the product exponent
+  // stays odd and the division below is exact.
+  std::vector<uint32_t> Perm(N);
+  for (size_t I = 0; I < N; ++I) {
+    uint64_t Exp = (Galois * (2 * reverseBits(I, LogN) + 1)) % TwoN;
+    Perm[I] = static_cast<uint32_t>(reverseBits((Exp - 1) / 2, LogN));
+  }
+  return GaloisNttPerms.emplace(Galois, std::move(Perm)).first->second;
+}

@@ -22,7 +22,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace ace {
@@ -107,6 +109,17 @@ public:
   /// Bytes occupied by one polynomial component (one modulus): N * 8.
   size_t bytesPerComponent() const { return Params.RingDegree * 8; }
 
+  /// NTT-domain index permutation of the Galois automorphism
+  /// X -> X^Galois. In the Harvey layout slot i of an NTT-form component
+  /// holds the evaluation at psi^(2*bitrev(i)+1), so the automorphism is
+  /// the modulus-independent gather result[i] = src[perm[i]] with
+  /// perm[i] = bitrev(((Galois * (2*bitrev(i)+1)) mod 2N - 1) / 2) -- no
+  /// coefficient negation, unlike the coefficient-domain automorphism
+  /// (see docs/architecture.md). Built lazily per Galois element and
+  /// cached; thread-safe, but callers inside parallelFor regions should
+  /// warm the cache first so workers only hit the fast path.
+  const std::vector<uint32_t> &galoisNttPermutation(uint64_t Galois) const;
+
 private:
   CkksParams Params;
   std::vector<uint64_t> QModuli;
@@ -115,6 +128,9 @@ private:
   std::vector<std::vector<uint64_t>> InvQLastModQ;
   std::vector<uint64_t> InvSpecialModQ;
   double Scale = 0.0;
+  /// Lazily built Galois NTT permutations, keyed by Galois element.
+  mutable std::mutex GaloisPermMutex;
+  mutable std::map<uint64_t, std::vector<uint32_t>> GaloisNttPerms;
 };
 
 } // namespace fhe

@@ -351,6 +351,119 @@ Ciphertext Evaluator::mulByI(const Ciphertext &A) const {
 // Key switching
 //===----------------------------------------------------------------------===//
 
+HoistedDecomposition Evaluator::decomposeNtt(const RnsPoly &D) const {
+  assert(!D.isNtt() && !D.hasSpecial() &&
+         "decomposeNtt input must be coeff-domain without special component");
+  size_t L = D.numQ();
+  size_t N = Ctx.degree();
+  // One ModUp = the full digit decomposition; this is the unit of work
+  // hoisted rotation batches share (one per batch instead of one per
+  // rotation), so the counter pair below is what the differential tests
+  // and EXPERIMENTS.md use to prove the amortization.
+  countOp(telemetry::Counter::ModUp);
+  countOp(telemetry::Counter::KeySwitchDigit, L);
+
+  HoistedDecomposition Dec;
+  Dec.NumQ = L;
+  Dec.Digits.assign(L, RnsPoly(Ctx, L, /*HasSpecial=*/true,
+                               /*NttForm=*/true));
+  size_t NumComp = L + 1; // L chain primes + special
+  // Fully parallel over (digit, component) pairs: each pair lifts the
+  // digit residues (integers in [0, q_digit)) into the component's
+  // modulus and transforms that component in place. Every pair writes a
+  // disjoint slice, so the result is bit-identical at any thread count.
+  parallelFor(0, L * NumComp, [&](size_t Idx) {
+    size_t Digit = Idx / NumComp;
+    size_t C = Idx % NumComp;
+    RnsPoly &E = Dec.Digits[Digit];
+    const uint64_t *Src = D.component(Digit);
+    uint64_t M = E.modulus(C);
+    uint64_t *Dst = E.component(C);
+    if (M == Ctx.qModulus(Digit)) {
+      std::copy(Src, Src + N, Dst);
+    } else {
+      for (size_t J = 0; J < N; ++J)
+        Dst[J] = Src[J] % M;
+    }
+    Ctx.nttTable(E.modIndex(C)).forward(Dst);
+  });
+  return Dec;
+}
+
+void Evaluator::hoistedInnerProduct(const HoistedDecomposition &Dec,
+                                    const SwitchKey &Key, uint64_t Galois,
+                                    RnsPoly &Acc0, RnsPoly &Acc1) const {
+  size_t L = Dec.NumQ;
+  size_t N = Ctx.degree();
+  assert(Key.Parts.size() >= L &&
+         "switch key truncated below this ciphertext's level");
+  // Keys may be truncated to fewer digits than the full chain; their
+  // special component sits right after their chain components.
+  size_t KeySpecial = Key.Parts[0].first.numQ();
+  // The automorphism acts on every lifted digit as the same NTT-domain
+  // index permutation, so instead of materializing rotated digits the
+  // accumulation gathers through the permutation table (identity when
+  // Galois == 1, which is the plain key-switch path).
+  const uint32_t *Perm =
+      Galois == 1 ? nullptr : Ctx.galoisNttPermutation(Galois).data();
+
+  Acc0 = RnsPoly(Ctx, L, /*HasSpecial=*/true, /*NttForm=*/true);
+  Acc1 = RnsPoly(Ctx, L, /*HasSpecial=*/true, /*NttForm=*/true);
+  parallelFor(0, L + 1, [&](size_t C) {
+    // Chain prime c maps to key component c, the special prime to the
+    // key's own special slot. Digits accumulate in ascending order so
+    // each residue sees exactly the serial code's value.
+    size_t KeyComp = (C == L) ? KeySpecial : C;
+    uint64_t Q = Acc0.modulus(C);
+    uint64_t *A0 = Acc0.component(C);
+    uint64_t *A1 = Acc1.component(C);
+    for (size_t Digit = 0; Digit < L; ++Digit) {
+      const uint64_t *X = Dec.Digits[Digit].component(C);
+      const uint64_t *K0 = Key.Parts[Digit].first.component(KeyComp);
+      const uint64_t *K1 = Key.Parts[Digit].second.component(KeyComp);
+      if (Perm) {
+        for (size_t J = 0; J < N; ++J) {
+          uint64_t V = X[Perm[J]];
+          A0[J] = addMod(A0[J], mulMod(V, K0[J], Q), Q);
+          A1[J] = addMod(A1[J], mulMod(V, K1[J], Q), Q);
+        }
+      } else {
+        for (size_t J = 0; J < N; ++J) {
+          A0[J] = addMod(A0[J], mulMod(X[J], K0[J], Q), Q);
+          A1[J] = addMod(A1[J], mulMod(X[J], K1[J], Q), Q);
+        }
+      }
+    }
+  });
+}
+
+RnsPoly Evaluator::modDown(const RnsPoly &Acc) const {
+  // Divide by the special prime P: out = round(acc / P), computed as
+  // (acc - [acc]_P) * P^{-1} per chain prime, in parallel over chain
+  // primes (each writes only its own output limb).
+  size_t L = Acc.numQ();
+  size_t N = Ctx.degree();
+  std::vector<uint64_t> SpecialCoeffs(Acc.component(L),
+                                      Acc.component(L) + N);
+  Ctx.nttTable(Ctx.specialIndex()).inverse(SpecialCoeffs.data());
+
+  RnsPoly Out(Ctx, L, /*HasSpecial=*/false, /*NttForm=*/true);
+  parallelFor(0, L, [&](size_t C) {
+    uint64_t Q = Ctx.qModulus(C);
+    std::vector<uint64_t> Tmp(N);
+    for (size_t J = 0; J < N; ++J)
+      Tmp[J] = SpecialCoeffs[J] % Q;
+    Ctx.nttTable(C).forward(Tmp.data());
+    uint64_t InvP = Ctx.invSpecialModQ(C);
+    uint64_t InvPShoup = shoupPrecompute(InvP, Q);
+    const uint64_t *A = Acc.component(C);
+    uint64_t *O = Out.component(C);
+    for (size_t J = 0; J < N; ++J)
+      O[J] = mulModShoup(subMod(A[J], Tmp[J], Q), InvP, InvPShoup, Q);
+  });
+  return Out;
+}
+
 std::pair<RnsPoly, RnsPoly> Evaluator::switchKey(const RnsPoly &D,
                                                  const SwitchKey &Key) const {
   assert(!D.isNtt() && !D.hasSpecial() &&
@@ -359,102 +472,14 @@ std::pair<RnsPoly, RnsPoly> Evaluator::switchKey(const RnsPoly &D,
          "switch key truncated below this ciphertext's level");
   ++Counters.KeySwitch;
   telemetry::FheOpSpan Span;
-  if (telemetry::enabled()) {
-    // One digit per active chain prime (RNS decomposition).
-    telemetry::Telemetry::instance().count(
-        telemetry::Counter::KeySwitchDigit, D.numQ());
+  if (telemetry::enabled())
     Span.begin(telemetry::Counter::KeySwitch, D.numQ(), /*Scale=*/0.0,
                std::numeric_limits<double>::quiet_NaN());
-  }
 
-  size_t L = D.numQ();
-  size_t N = Ctx.degree();
-  // Keys may be truncated to fewer digits than the full chain; their
-  // special component sits right after their chain components.
-  size_t KeySpecial = Key.Parts[0].first.numQ();
-
-  RnsPoly Acc0(Ctx, L, /*HasSpecial=*/true, /*NttForm=*/true);
-  RnsPoly Acc1(Ctx, L, /*HasSpecial=*/true, /*NttForm=*/true);
-
-  // Digit-parallel decomposition, blocked to bound memory: each block
-  // materializes up to DigitBlock lifted-and-transformed digit
-  // polynomials (DigitBlock x (L+1) x N words) built fully in parallel
-  // over (digit, component) pairs, then accumulates them in parallel
-  // over components with the digits of a component always added in
-  // ascending order. All arithmetic is exact modular integer math, so
-  // each residue sees exactly the serial code's value.
-  constexpr size_t DigitBlock = 4;
-  size_t NumComp = Acc0.numComponents(); // L chain primes + special
-  std::vector<RnsPoly> ExtNtt;
-  for (size_t D0 = 0; D0 < L; D0 += DigitBlock) {
-    size_t BlockLen = std::min(DigitBlock, L - D0);
-    ExtNtt.assign(BlockLen,
-                  RnsPoly(Ctx, L, /*HasSpecial=*/true, /*NttForm=*/true));
-    parallelFor(0, BlockLen * NumComp, [&](size_t Idx) {
-      size_t B = Idx / NumComp;
-      size_t C = Idx % NumComp;
-      size_t Digit = D0 + B;
-      RnsPoly &E = ExtNtt[B];
-      // Lift the digit residues (integers in [0, q_digit)) into this
-      // component's modulus, then transform the component in place.
-      const uint64_t *Src = D.component(Digit);
-      uint64_t M = E.modulus(C);
-      uint64_t *Dst = E.component(C);
-      if (M == Ctx.qModulus(Digit)) {
-        std::copy(Src, Src + N, Dst);
-      } else {
-        for (size_t J = 0; J < N; ++J)
-          Dst[J] = Src[J] % M;
-      }
-      Ctx.nttTable(E.modIndex(C)).forward(Dst);
-    });
-
-    parallelFor(0, NumComp, [&](size_t C) {
-      // Chain prime c maps to key component c, the special prime to the
-      // key's own special slot.
-      size_t KeyComp = (C == L) ? KeySpecial : C;
-      uint64_t Q = Acc0.modulus(C);
-      uint64_t *A0 = Acc0.component(C);
-      uint64_t *A1 = Acc1.component(C);
-      for (size_t B = 0; B < BlockLen; ++B) {
-        const auto &Part = Key.Parts[D0 + B];
-        const uint64_t *X = ExtNtt[B].component(C);
-        const uint64_t *K0 = Part.first.component(KeyComp);
-        const uint64_t *K1 = Part.second.component(KeyComp);
-        for (size_t J = 0; J < N; ++J) {
-          A0[J] = addMod(A0[J], mulMod(X[J], K0[J], Q), Q);
-          A1[J] = addMod(A1[J], mulMod(X[J], K1[J], Q), Q);
-        }
-      }
-    });
-  }
-
-  // Divide by the special prime P: out = round(acc / P), computed as
-  // (acc - [acc]_P) * P^{-1} per chain prime, in parallel over chain
-  // primes (each writes only its own output limb).
-  auto ModDown = [&](RnsPoly &Acc) {
-    std::vector<uint64_t> SpecialCoeffs(
-        Acc.component(L), Acc.component(L) + N);
-    Ctx.nttTable(Ctx.specialIndex()).inverse(SpecialCoeffs.data());
-
-    RnsPoly Out(Ctx, L, /*HasSpecial=*/false, /*NttForm=*/true);
-    parallelFor(0, L, [&](size_t C) {
-      uint64_t Q = Ctx.qModulus(C);
-      std::vector<uint64_t> Tmp(N);
-      for (size_t J = 0; J < N; ++J)
-        Tmp[J] = SpecialCoeffs[J] % Q;
-      Ctx.nttTable(C).forward(Tmp.data());
-      uint64_t InvP = Ctx.invSpecialModQ(C);
-      uint64_t InvPShoup = shoupPrecompute(InvP, Q);
-      const uint64_t *A = Acc.component(C);
-      uint64_t *O = Out.component(C);
-      for (size_t J = 0; J < N; ++J)
-        O[J] = mulModShoup(subMod(A[J], Tmp[J], Q), InvP, InvPShoup, Q);
-    });
-    return Out;
-  };
-
-  return {ModDown(Acc0), ModDown(Acc1)};
+  HoistedDecomposition Dec = decomposeNtt(D);
+  RnsPoly Acc0, Acc1;
+  hoistedInnerProduct(Dec, Key, /*Galois=*/1, Acc0, Acc1);
+  return {modDown(Acc0), modDown(Acc1)};
 }
 
 Ciphertext Evaluator::relinearize(const Ciphertext &A) const {
@@ -480,20 +505,16 @@ Ciphertext Evaluator::relinearize(const Ciphertext &A) const {
   return R;
 }
 
-Ciphertext Evaluator::applyGalois(const Ciphertext &A, uint64_t Galois,
-                                  const SwitchKey &Key) const {
-  assert(A.size() == 2 && "relinearize before applying automorphisms");
-
-  RnsPoly C0 = A.Polys[0];
-  RnsPoly C1 = A.Polys[1];
-  C0.toCoeff();
-  C1.toCoeff();
-  RnsPoly C0G = C0.automorphism(Galois);
-  RnsPoly C1G = C1.automorphism(Galois);
-
-  auto [D0, D1] = switchKey(C1G, Key);
-  C0G.toNtt();
-  D0.addInPlace(C0G);
+Ciphertext Evaluator::applyGaloisHoisted(
+    const Ciphertext &A, uint64_t Galois, const SwitchKey &Key,
+    const HoistedDecomposition &Dec) const {
+  RnsPoly Acc0, Acc1;
+  hoistedInnerProduct(Dec, Key, Galois, Acc0, Acc1);
+  RnsPoly D0 = modDown(Acc0);
+  RnsPoly D1 = modDown(Acc1);
+  // c0 needs no key switch: apply the automorphism directly in the NTT
+  // domain (exactly equal to coeff-domain automorphism + forward NTT).
+  D0.addInPlace(A.Polys[0].automorphismNtt(Galois));
 
   Ciphertext R;
   R.Scale = A.Scale;
@@ -501,6 +522,27 @@ Ciphertext Evaluator::applyGalois(const Ciphertext &A, uint64_t Galois,
   R.Polys.push_back(std::move(D0));
   R.Polys.push_back(std::move(D1));
   return R;
+}
+
+Ciphertext Evaluator::applyGalois(const Ciphertext &A, uint64_t Galois,
+                                  const SwitchKey &Key) const {
+  assert(A.size() == 2 && "relinearize before applying automorphisms");
+  assert(Key.Parts.size() >= A.numQ() &&
+         "switch key truncated below this ciphertext's level");
+  ++Counters.KeySwitch;
+  telemetry::FheOpSpan Span;
+  if (telemetry::enabled())
+    Span.begin(telemetry::Counter::KeySwitch, A.numQ(), /*Scale=*/0.0,
+               std::numeric_limits<double>::quiet_NaN());
+
+  // Decompose-first order: ModUp the un-rotated c1, then apply the
+  // automorphism inside the decomposed digit domain. A hoisted batch of
+  // one -- which is what makes rotate() bit-identical to rotateHoisted()
+  // (both run exactly this arithmetic on the same decomposition).
+  RnsPoly C1 = A.Polys[1];
+  C1.toCoeff();
+  HoistedDecomposition Dec = decomposeNtt(C1);
+  return applyGaloisHoisted(A, Galois, Key, Dec);
 }
 
 Ciphertext Evaluator::rotate(const Ciphertext &A, int64_t Steps) const {
@@ -520,6 +562,75 @@ Ciphertext Evaluator::rotate(const Ciphertext &A, int64_t Steps) const {
   assert(It != Keys.Rotations.end() &&
          "rotation key missing; key analysis did not request this step");
   return applyGalois(A, Galois, It->second);
+}
+
+std::vector<Ciphertext>
+Evaluator::rotateHoisted(const Ciphertext &A,
+                         const std::vector<int64_t> &Steps) const {
+  assert(A.size() == 2 && "relinearize before rotating");
+  int64_t Slots = static_cast<int64_t>(A.Slots);
+  std::vector<Ciphertext> Out(Steps.size());
+
+  // Resolve keys up front; zero steps are plain copies and join neither
+  // the counters nor the batch.
+  struct Job {
+    size_t Index;
+    uint64_t Galois;
+    const SwitchKey *Key;
+  };
+  std::vector<Job> Jobs;
+  Jobs.reserve(Steps.size());
+  for (size_t I = 0; I < Steps.size(); ++I) {
+    int64_t K = ((Steps[I] % Slots) + Slots) % Slots;
+    if (K == 0) {
+      Out[I] = A;
+      continue;
+    }
+    uint64_t Galois = galoisForRotation(Ctx.degree(), A.Slots, K);
+    auto It = Keys.Rotations.find(Galois);
+    assert(It != Keys.Rotations.end() &&
+           "rotation key missing; key analysis did not request this step");
+    assert(It->second.Parts.size() >= A.numQ() &&
+           "rotation key truncated below this ciphertext's level");
+    Jobs.push_back({I, Galois, &It->second});
+  }
+  if (Jobs.empty())
+    return Out;
+
+  Counters.Rotate += Jobs.size();
+  Counters.KeySwitch += Jobs.size();
+  telemetry::FheOpSpan Span;
+  if (telemetry::enabled()) {
+    auto &T = telemetry::Telemetry::instance();
+    // The batch gets one trace span; the counters still tally every
+    // rotation so hoisted and sequential runs report identical op counts
+    // (the span's begin() contributes the final Rotate increment).
+    T.count(telemetry::Counter::Rotate, Jobs.size() - 1);
+    T.count(telemetry::Counter::KeySwitch, Jobs.size());
+    T.count(telemetry::Counter::HoistedKeySwitch, Jobs.size());
+    Span.begin(telemetry::Counter::Rotate, A.numQ(), A.Scale,
+               noiseBudgetBits(A));
+  }
+
+  // ModUp once for the whole batch (N decompositions -> 1).
+  RnsPoly C1 = A.Polys[1];
+  C1.toCoeff();
+  HoistedDecomposition Dec = decomposeNtt(C1);
+
+  // Warm the lazy Galois permutation cache serially: the parallel loop
+  // below should only read it.
+  for (const Job &J : Jobs)
+    Ctx.galoisNttPermutation(J.Galois);
+
+  // One inner product + ModDown per rotation, spread across the pool.
+  // Each iteration writes only its own output slot, and the per-rotation
+  // arithmetic is identical to the sequential path's, so the batch is
+  // bit-identical to N rotate() calls at every thread count.
+  parallelFor(0, Jobs.size(), [&](size_t J) {
+    Out[Jobs[J].Index] =
+        applyGaloisHoisted(A, Jobs[J].Galois, *Jobs[J].Key, Dec);
+  });
+  return Out;
 }
 
 Ciphertext Evaluator::rotateGalois(const Ciphertext &A,
@@ -844,6 +955,36 @@ StatusOr<Ciphertext> Evaluator::checkedRotate(const Ciphertext &A,
     Span.begin(telemetry::Counter::Rotate, A.numQ(), A.Scale,
                noiseBudgetBits(A));
   return applyGalois(A, Galois, It->second);
+}
+
+StatusOr<std::vector<Ciphertext>>
+Evaluator::checkedRotateHoisted(const Ciphertext &A,
+                                const std::vector<int64_t> &Steps) const {
+  ACE_RETURN_IF_ERROR(checkedEntry(Ctx, "rotate", &A, nullptr));
+  if (A.size() != 2)
+    return Status::invalidArgument(
+        "rotate: relinearize before rotating (ciphertext has " +
+        std::to_string(A.size()) + " components)");
+  int64_t Slots = static_cast<int64_t>(A.Slots);
+  for (int64_t Step : Steps) {
+    int64_t K = ((Step % Slots) + Slots) % Slots;
+    if (K == 0)
+      continue;
+    uint64_t Galois = galoisForRotation(Ctx.degree(), A.Slots, K);
+    auto It = Keys.Rotations.find(Galois);
+    if (It == Keys.Rotations.end() || keyDropped(FaultKind::DropGaloisKey))
+      return Status::keyMissing(
+          "rotate: no rotation key for step " + std::to_string(Step) +
+          " (galois element " + std::to_string(Galois) +
+          "); the key analysis did not request this step");
+    if (It->second.Parts.size() < A.numQ())
+      return Status::keyMissing(
+          "rotate: rotation key for step " + std::to_string(Step) +
+          " truncated to " + std::to_string(It->second.Parts.size()) +
+          " digits but the ciphertext has " + std::to_string(A.numQ()) +
+          " active primes");
+  }
+  return rotateHoisted(A, Steps);
 }
 
 StatusOr<Ciphertext> Evaluator::checkedConjugate(const Ciphertext &A) const {

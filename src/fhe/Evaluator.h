@@ -25,9 +25,26 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace ace {
 namespace fhe {
+
+/// The shared ModUp product of a (possibly hoisted) key switch: the RNS
+/// digit decomposition of one polynomial, each digit lifted to the
+/// extended basis (all active chain primes plus the special prime) and
+/// transformed to NTT form. Hoisted rotations compute this once per batch
+/// and reuse it for every Galois automorphism, because the automorphism
+/// acts on each lifted digit as a pure NTT-domain permutation
+/// (RnsPoly::automorphismNtt).
+struct HoistedDecomposition {
+  /// One lifted digit per active chain prime; each has NumQ chain
+  /// components plus the special component, in NTT form.
+  std::vector<RnsPoly> Digits;
+  /// Number of active chain primes of the decomposed polynomial.
+  size_t NumQ = 0;
+};
 
 /// Counts of executed homomorphic operations, for benches and ablations.
 struct OpCounters {
@@ -90,6 +107,11 @@ public:
                                        double Value) const;
   StatusOr<Ciphertext> checkedRotate(const Ciphertext &A,
                                      int64_t Steps) const;
+  /// Validated hoisted rotation batch: checks the ciphertext and every
+  /// step's rotation key (presence and truncation) before rotating.
+  StatusOr<std::vector<Ciphertext>>
+  checkedRotateHoisted(const Ciphertext &A,
+                       const std::vector<int64_t> &Steps) const;
   StatusOr<Ciphertext> checkedConjugate(const Ciphertext &A) const;
   StatusOr<Ciphertext> checkedRelinearize(const Ciphertext &A) const;
   StatusOr<Ciphertext> checkedRescale(const Ciphertext &A) const;
@@ -163,6 +185,16 @@ public:
   /// Left-rotates slots by \p Steps (negative = right). Requires the
   /// matching rotation key.
   Ciphertext rotate(const Ciphertext &A, int64_t Steps) const;
+  /// Hoisted rotation batch: rotates \p A by every step in \p Steps with
+  /// a single digit decomposition (ModUp) shared across the batch -- one
+  /// inner product + ModDown per rotation instead of one full key switch
+  /// each. Bit-identical to calling rotate() per step (both paths run the
+  /// same decompose-first arithmetic) at every thread count; the
+  /// per-rotation work is spread across the thread pool. Requires the
+  /// rotation key for every nonzero step.
+  std::vector<Ciphertext> rotateHoisted(const Ciphertext &A,
+                                        const std::vector<int64_t> &Steps)
+      const;
   /// Complex-conjugates every slot. Requires the conjugation key.
   Ciphertext conjugate(const Ciphertext &A) const;
   /// @}
@@ -190,6 +222,13 @@ public:
   /// hoisted-rotation style optimizations and white-box tests.
   std::pair<RnsPoly, RnsPoly> switchKey(const RnsPoly &D,
                                         const SwitchKey &Key) const;
+
+  /// ModUp: decomposes \p D (coefficient domain, no special component)
+  /// into one digit per active chain prime, lifts each digit to the
+  /// extended basis and transforms it to NTT form. This is the work a
+  /// hoisted rotation batch shares; exposed for white-box tests of the
+  /// digit-domain automorphism invariant.
+  HoistedDecomposition decomposeNtt(const RnsPoly &D) const;
 
   /// Applies a raw Galois automorphism with key switching.
   Ciphertext applyGalois(const Ciphertext &A, uint64_t Galois,
@@ -219,6 +258,23 @@ private:
   mutable std::vector<double> LogQPrefix;
 
   const std::vector<uint64_t> &monomialNtt(size_t ModIndex) const;
+  /// Inner product of the lifted digits against the switch-key parts,
+  /// with the Galois automorphism applied to each digit on the fly as an
+  /// NTT-domain gather (\p Galois == 1 reads the digits directly). Free
+  /// of counters and spans so it can run inside parallelFor workers.
+  void hoistedInnerProduct(const HoistedDecomposition &Dec,
+                           const SwitchKey &Key, uint64_t Galois,
+                           RnsPoly &Acc0, RnsPoly &Acc1) const;
+  /// Divides the extended-basis accumulator by the special prime P:
+  /// out = (acc - [acc]_P) * P^{-1} per chain prime. Counter-free.
+  RnsPoly modDown(const RnsPoly &Acc) const;
+  /// One rotation of a hoisted batch: inner product + ModDown for
+  /// \p Galois against the shared decomposition of A's c1, then the
+  /// NTT-domain automorphism of c0. Counter-free (the batch entry points
+  /// account for their rotations up front).
+  Ciphertext applyGaloisHoisted(const Ciphertext &A, uint64_t Galois,
+                                const SwitchKey &Key,
+                                const HoistedDecomposition &Dec) const;
   void checkAddCompatible(const Ciphertext &A, const Ciphertext &B) const;
   /// Verifies the relinearization key exists and covers \p NumQ digits.
   Status checkedRelinSupport(const char *What, size_t NumQ) const;

@@ -158,6 +158,20 @@ RnsPoly RnsPoly::automorphism(uint64_t Galois) const {
   return Result;
 }
 
+RnsPoly RnsPoly::automorphismNtt(uint64_t Galois) const {
+  assert(NttForm && "automorphismNtt requires the NTT domain");
+  const std::vector<uint32_t> &Perm = Ctx->galoisNttPermutation(Galois);
+  size_t N = Ctx->degree();
+  RnsPoly Result(*Ctx, NumQ, HasSpecial, /*NttForm=*/true);
+  parallelFor(0, numComponents(), [&](size_t I) {
+    const uint64_t *Src = component(I);
+    uint64_t *Dst = Result.component(I);
+    for (size_t J = 0; J < N; ++J)
+      Dst[J] = Src[Perm[J]];
+  });
+  return Result;
+}
+
 RnsPoly RnsPoly::restrictedCopy(size_t NewNumQ, bool KeepSpecial) const {
   assert(NewNumQ >= 1 && NewNumQ <= NumQ && "restriction out of range");
   assert((!KeepSpecial || HasSpecial) && "no special component to keep");

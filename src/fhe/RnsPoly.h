@@ -119,6 +119,15 @@ public:
   /// only; \p Galois must be odd and in [1, 2N).
   RnsPoly automorphism(uint64_t Galois) const;
 
+  /// Applies the Galois automorphism X -> X^Galois in the NTT domain,
+  /// where it is a pure index permutation of every component (no
+  /// coefficient negation: the automorphism permutes the odd-power
+  /// evaluation points). Exactly equal to
+  /// toCoeff -> automorphism -> toNtt, component for component, which is
+  /// what makes hoisted key switching bit-identical to the sequential
+  /// path (see docs/architecture.md). NTT domain only.
+  RnsPoly automorphismNtt(uint64_t Galois) const;
+
   /// Returns a copy restricted to the first \p NumQ chain components,
   /// optionally keeping the special component. Valid in either domain
   /// (components are independent).

@@ -190,7 +190,12 @@ IrNode *lowerGemm(Lowering &L, const IrNode *N) {
   double Ratio = SIn / SOut;
   size_t Slots = In.slotCount();
 
-  IrNode *Acc = nullptr;
+  // Collect the nonzero diagonals into one mat_diag node instead of a
+  // roll/mul/add chain per diagonal: the SIHE lowering expands it into a
+  // baby-step/giant-step rotation plan whose baby rotations are hoisted
+  // at runtime and whose key budget is O(sqrt n) instead of O(n).
+  std::vector<int64_t> DiagIndices;
+  std::vector<double> StackedMasks;
   for (int64_t D = 0; D < Capacity; ++D) {
     std::vector<double> Diag(Slots, 0.0);
     bool Any = false;
@@ -206,12 +211,16 @@ IrNode *lowerGemm(Lowering &L, const IrNode *N) {
     }
     if (!Any)
       continue;
-    int64_t Steps = (D * Stride) % static_cast<int64_t>(Slots);
-    IrNode *Term = L.mulMask(L.roll(X, Steps, OriginKind::OR_Gemm),
-                             std::move(Diag), OriginKind::OR_Gemm);
-    Acc = Acc ? L.add(Acc, Term, OriginKind::OR_Gemm) : Term;
+    DiagIndices.push_back(D);
+    StackedMasks.insert(StackedMasks.end(), Diag.begin(), Diag.end());
   }
-  assert(Acc && "gemm lowered to nothing");
+  assert(!DiagIndices.empty() && "gemm lowered to nothing");
+
+  IrNode *Masks = L.constVec(std::move(StackedMasks), OriginKind::OR_Gemm);
+  IrNode *Acc = L.Out.create(NodeKind::NK_VecMatDiag, TypeKind::TK_Cipher,
+                             {X, Masks}, OriginKind::OR_Gemm);
+  Acc->Ints = {Stride, Capacity, static_cast<int64_t>(DiagIndices.size())};
+  Acc->Ints.insert(Acc->Ints.end(), DiagIndices.begin(), DiagIndices.end());
 
   if (B) {
     std::vector<double> Bias(Slots, 0.0);

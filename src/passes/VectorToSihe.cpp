@@ -134,6 +134,84 @@ Status VectorToSihePass::run(IrFunction &F, CompileState &State) {
       Lowered = B.add(A, C, N->Origin);
       break;
     }
+    case NodeKind::NK_VecMatDiag: {
+      // Baby-step/giant-step expansion of the diagonal matvec
+      // (Halevi-Shoup with the BSGS split): diagonal d = I*BS + J becomes
+      //   rot(x, d*S) = rot(rot(x, J*S), I*BS*S)
+      // so each giant group I accumulates mask-weighted baby rotations and
+      // pays one giant rotation. The masks are pre-rotated by the giant
+      // amount at compile time: mask o rot(z, g) == rot(prerot(mask) o z, g)
+      // with prerot(m)[t] = m[(t - g) mod Slots]. All baby rotations share
+      // the operand ciphertext, so the executor serves them from a single
+      // hoisted digit decomposition, and the rotation-key working set is
+      // (BS - 1) babies + one key per giant group: O(sqrt(Capacity))
+      // instead of one key per diagonal.
+      IrNode *X = Map.at(N->Operands[0]);
+      const IrNode *MasksNode = N->Operands[1];
+      const OriginKind O = N->Origin;
+      int64_t Stride = N->Ints[0];
+      int64_t Capacity = N->Ints[1];
+      size_t NumDiags = static_cast<size_t>(N->Ints[2]);
+      assert(NumDiags > 0 && MasksNode->Data.size() % NumDiags == 0 &&
+             "malformed mat_diag masks");
+      size_t Slots = MasksNode->Data.size() / NumDiags;
+      int64_t SlotsI = static_cast<int64_t>(Slots);
+
+      int64_t BS = 1;
+      while (BS * BS < Capacity)
+        BS <<= 1;
+
+      // Giant index -> (diagonal, mask row) members.
+      std::map<int64_t, std::vector<std::pair<int64_t, size_t>>> Giants;
+      for (size_t Row = 0; Row < NumDiags; ++Row) {
+        int64_t D = N->Ints[3 + Row];
+        Giants[D / BS].emplace_back(D, Row);
+      }
+
+      // Emit each distinct baby rotation of X once, up front.
+      std::map<int64_t, IrNode *> Babies;
+      Babies[0] = X;
+      for (const auto &G : Giants)
+        for (const auto &Member : G.second) {
+          int64_t Steps = ((Member.first % BS) * Stride) % SlotsI;
+          if (Babies.count(Steps))
+            continue;
+          IrNode *R = NewF.create(NodeKind::NK_SiheRotate,
+                                  TypeKind::TK_Cipher, {X}, O);
+          R->Ints = {Steps};
+          Babies[Steps] = R;
+        }
+
+      IrNode *Acc = nullptr;
+      for (const auto &G : Giants) {
+        size_t GSteps =
+            static_cast<size_t>(((G.first * BS) * Stride) % SlotsI);
+        IrNode *Inner = nullptr;
+        for (const auto &Member : G.second) {
+          std::vector<double> PreRot(Slots);
+          const double *Row = MasksNode->Data.data() + Member.second * Slots;
+          for (size_t T = 0; T < Slots; ++T)
+            PreRot[T] = Row[(T + Slots - GSteps) % Slots];
+          IrNode *C = NewF.create(NodeKind::NK_ConstVec, TypeKind::TK_Vector,
+                                  {}, O);
+          C->Data = std::move(PreRot);
+          IrNode *P = NewF.create(NodeKind::NK_SiheEncode,
+                                  TypeKind::TK_Plain, {C}, O);
+          int64_t BabySteps = ((Member.first % BS) * Stride) % SlotsI;
+          IrNode *Term = B.mul(Babies.at(BabySteps), P, O);
+          Inner = Inner ? B.add(Inner, Term, O) : Term;
+        }
+        if (GSteps != 0) {
+          IrNode *R = NewF.create(NodeKind::NK_SiheRotate,
+                                  TypeKind::TK_Cipher, {Inner}, O);
+          R->Ints = {static_cast<int64_t>(GSteps)};
+          Inner = R;
+        }
+        Acc = Acc ? B.add(Acc, Inner, O) : Inner;
+      }
+      Lowered = Acc;
+      break;
+    }
     case NodeKind::NK_VecRelu:
       Lowered = expandRelu(B, Map.at(N->Operands[0]),
                            State.Options.ReluSignIterations);

@@ -60,6 +60,10 @@ const char *ace::telemetry::counterName(Counter C) {
     return "key-switch";
   case Counter::KeySwitchDigit:
     return "key-switch-digit";
+  case Counter::ModUp:
+    return "modup";
+  case Counter::HoistedKeySwitch:
+    return "hoisted-keyswitch";
   case Counter::Bootstrap:
     return "bootstrap";
   case Counter::NttForward:

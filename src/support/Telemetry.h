@@ -66,6 +66,8 @@ enum class Counter : unsigned {
   ModSwitch,       ///< mod-switches (scale-preserving prime drops)
   KeySwitch,       ///< key-switch invocations
   KeySwitchDigit,  ///< per-chain-prime digits processed by key switches
+  ModUp,           ///< digit decompositions lifted to the extended basis
+  HoistedKeySwitch, ///< rotations served from a shared (hoisted) ModUp
   Bootstrap,       ///< full bootstrap invocations
   NttForward,      ///< forward negacyclic NTTs
   NttInverse,      ///< inverse negacyclic NTTs

@@ -49,6 +49,29 @@ TEST(EmitterTest, GeneratesWellFormedC) {
   EXPECT_LT(P.CSource.size(), 200000u);
 }
 
+TEST(EmitterTest, KeygenUsesSqrtScaleRotationKeySet) {
+  // The BSGS matvec lowering keeps the emitted program's rotation-key
+  // set at babies + giants (~2*sqrt(capacity)) instead of one key per
+  // nonzero diagonal. For the 84-wide gemv (capacity 128, BS 16) that is
+  // at most 15 babies + 8 giants; the naive diagonal form needed ~90.
+  auto R = compileLinear();
+  ASSERT_FALSE(R->State.RotationSteps.empty());
+  EXPECT_LE(R->State.RotationSteps.size(), 24u);
+
+  auto P = codegen::emitC(R->Program, R->State, "w.bin");
+  size_t Begin = P.CSource.find("steps[] = {0");
+  ASSERT_NE(Begin, std::string::npos);
+  size_t End = P.CSource.find('}', Begin);
+  ASSERT_NE(End, std::string::npos);
+  // The steps array holds a leading sentinel plus one entry per key.
+  size_t Keys = 0;
+  for (size_t I = Begin; I < End; ++I)
+    if (P.CSource[I] == ',')
+      ++Keys;
+  EXPECT_EQ(Keys, R->State.RotationSteps.size());
+  EXPECT_LE(Keys, 24u);
+}
+
 TEST(EmitterTest, WritesSourceAndWeights) {
   auto R = compileLinear();
   auto P = codegen::emitC(R->Program, R->State, "/tmp/ace_emit.weights");
