@@ -43,6 +43,7 @@ Sample runOne(const BenchModel &M, const air::CompileOptions &Opt) {
 } // namespace
 
 int main(int argc, char **argv) {
+  BenchArgs Args(argc, argv, /*DefaultModels=*/1, /*DefaultImages=*/0);
   auto Models = buildPaperModels(1);
   BenchModel &M = Models[0];
 
@@ -75,10 +76,20 @@ int main(int argc, char **argv) {
               M.Spec.Name.c_str());
   std::printf("%-26s | %8s %8s %9s %12s\n", "configuration", "seconds",
               "rotkeys", "rotations", "key-memory");
+  std::string Rows;
   for (auto &C : Configs) {
     Sample S = runOne(M, C.Opt);
     std::printf("%-26s | %8.2f %8zu %9zu %12s\n", C.Name, S.Seconds,
                 S.KeyCount, S.Rotations, formatBytes(S.KeyBytes).c_str());
+    char Row[256];
+    std::snprintf(Row, sizeof(Row),
+                  "{\"config\": \"%s\", \"seconds\": %.4f, "
+                  "\"rotkeys\": %zu, \"rotations\": %zu, "
+                  "\"key_bytes\": %zu}",
+                  C.Name, S.Seconds, S.KeyCount, S.Rotations, S.KeyBytes);
+    Rows += std::string(Rows.empty() ? "" : ",\n  ") + Row;
   }
+  if (!Args.JsonPath.empty())
+    writeBenchJson(Args.JsonPath, "ablation", "[" + Rows + "]");
   return 0;
 }

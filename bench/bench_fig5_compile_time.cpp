@@ -28,6 +28,7 @@ int main(int argc, char **argv) {
   std::printf("=== Figure 5: compile time per model (seconds) ===\n");
   std::printf("%-18s %8s | %6s %7s %6s %6s %7s\n", "model", "total",
               "NN%", "VECTOR%", "SIHE%", "CKKS%", "Others%");
+  std::string Rows;
   for (auto &M : Models) {
     Tel.clear();
     auto R = compileOrDie(M.Model, M.Data, benchOptions());
@@ -49,7 +50,18 @@ int main(int argc, char **argv) {
                 "", R->PhaseNodeCounts["NN"], R->PhaseNodeCounts["VECTOR"],
                 R->PhaseNodeCounts["SIHE"], R->PhaseNodeCounts["CKKS"],
                 R->State.BootstrapCount);
+    char Row[384];
+    std::snprintf(Row, sizeof(Row),
+                  "{\"model\": \"%s\", \"total_seconds\": %.4f, "
+                  "\"nn_pct\": %.2f, \"vector_pct\": %.2f, "
+                  "\"sihe_pct\": %.2f, \"ckks_pct\": %.2f, "
+                  "\"bootstraps\": %zu}",
+                  M.Spec.Name.c_str(), Total, Pct("NN"), Pct("VECTOR"),
+                  Pct("SIHE"), Pct("CKKS"), R->State.BootstrapCount);
+    Rows += std::string(Rows.empty() ? "" : ",\n  ") + Row;
   }
   std::printf("\n(paper: seconds per model, VECTOR phase dominant)\n");
+  if (!Args.JsonPath.empty())
+    writeBenchJson(Args.JsonPath, "fig5_compile_time", "[" + Rows + "]");
   return 0;
 }

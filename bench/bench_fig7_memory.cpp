@@ -68,6 +68,7 @@ int main(int argc, char **argv) {
   std::printf("%-18s %-7s | %8s %12s %12s %10s | %14s\n", "model", "impl",
               "rotkeys", "eval-keys", "total-mem", "peak-rss",
               "prod-scale-keys");
+  std::string Rows;
   for (auto &M : Models) {
     MemResult Ace = runOne(M, benchOptions());
     MemResult Exp = runOne(M, expert::expertOptions(benchOptions()));
@@ -88,8 +89,20 @@ int main(int argc, char **argv) {
     std::printf("%-18s %-7s | key-memory reduction: %.1f%%\n", "", "delta",
                 100.0 * (1.0 - static_cast<double>(Ace.KeyBytes) /
                                    static_cast<double>(Exp.KeyBytes)));
+    char Row[384];
+    std::snprintf(Row, sizeof(Row),
+                  "{\"model\": \"%s\", \"ace_rotkeys\": %zu, "
+                  "\"ace_key_bytes\": %zu, \"expert_rotkeys\": %zu, "
+                  "\"expert_key_bytes\": %zu, \"reduction_pct\": %.2f}",
+                  M.Spec.Name.c_str(), Ace.RotationKeys, Ace.KeyBytes,
+                  Exp.RotationKeys, Exp.KeyBytes,
+                  100.0 * (1.0 - static_cast<double>(Ace.KeyBytes) /
+                                     static_cast<double>(Exp.KeyBytes)));
+    Rows += std::string(Rows.empty() ? "" : ",\n  ") + Row;
   }
   std::printf("\n(paper: ACE reduces key memory by 84.8%% on average; "
               "ResNet-20 still needs 34.3 GB of evaluation keys)\n");
+  if (!Args.JsonPath.empty())
+    writeBenchJson(Args.JsonPath, "fig7_memory", "[" + Rows + "]");
   return 0;
 }

@@ -25,6 +25,7 @@ int main(int argc, char **argv) {
   std::printf("%-18s | %6s %8s %9s | %6s %8s %9s %5s\n", "model", "log2N",
               "log2Q0", "log2Delta", "log2N", "log2Q0", "log2Delta",
               "chain");
+  std::string Rows;
   for (auto &M : Models) {
     auto R = compileOrDie(M.Model, M.Data, benchOptions());
     const auto &P = R->State.SelectedParams;
@@ -33,8 +34,18 @@ int main(int argc, char **argv) {
     std::printf("%-18s | %6d %8d %9d | %6d %8d %9d %5d\n",
                 M.Spec.Name.c_str(), LogNSec, 60, 56, LogNToy,
                 P.LogFirstModulus, P.LogScale, P.NumRescaleModuli + 1);
+    char Row[256];
+    std::snprintf(Row, sizeof(Row),
+                  "{\"model\": \"%s\", \"secure_log2n\": %d, "
+                  "\"toy_log2n\": %d, \"toy_log2q0\": %d, "
+                  "\"toy_log2delta\": %d, \"chain\": %d}",
+                  M.Spec.Name.c_str(), LogNSec, LogNToy, P.LogFirstModulus,
+                  P.LogScale, P.NumRescaleModuli + 1);
+    Rows += std::string(Rows.empty() ? "" : ",\n  ") + Row;
   }
   std::printf("\n(paper Table 10: log2N=16, log2Q0=60, log2Delta=56 for "
               "every model)\n");
+  if (!Args.JsonPath.empty())
+    writeBenchJson(Args.JsonPath, "table10_params", "[" + Rows + "]");
   return 0;
 }

@@ -24,6 +24,7 @@ int main(int argc, char **argv) {
   std::printf("=== Table 11: accuracy, unencrypted vs encrypted ===\n");
   std::printf("%-18s %7s | %12s %10s %8s\n", "model", "images",
               "unencrypted", "encrypted", "loss");
+  std::string Rows;
   for (auto &M : Models) {
     size_t Count = std::min<size_t>(Args.Images, M.Data.Images.size());
     double Clear = nn::cleartextAccuracy(M.Model.MainGraph, M.Data,
@@ -53,7 +54,16 @@ int main(int argc, char **argv) {
     std::printf("%-18s %7zu | %11.1f%% %9.1f%% %+7.1f%%\n",
                 M.Spec.Name.c_str(), Count, 100 * Clear, 100 * Enc,
                 100 * (Clear - Enc));
+    char Row[256];
+    std::snprintf(Row, sizeof(Row),
+                  "{\"model\": \"%s\", \"images\": %zu, "
+                  "\"clear_accuracy\": %.4f, \"encrypted_accuracy\": %.4f, "
+                  "\"loss\": %.4f}",
+                  M.Spec.Name.c_str(), Count, Clear, Enc, Clear - Enc);
+    Rows += std::string(Rows.empty() ? "" : ",\n  ") + Row;
   }
   std::printf("\n(paper: average accuracy loss 0.43%% over 1000 images)\n");
+  if (!Args.JsonPath.empty())
+    writeBenchJson(Args.JsonPath, "table11_accuracy", "[" + Rows + "]");
   return 0;
 }

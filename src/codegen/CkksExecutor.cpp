@@ -25,17 +25,19 @@ CkksExecutor::CkksExecutor(const IrFunction &F, const CompileState &State)
 
 CkksExecutor::~CkksExecutor() = default;
 
-Status CkksExecutor::setup() {
+Status CkksExecutor::setup(uint64_t SeedOverride) {
   telemetry::TraceSpan Span("executor", "setup");
   WallTimer Clock;
-  const fhe::CkksParams &P = State.SelectedParams;
+  fhe::CkksParams P = State.SelectedParams;
+  if (SeedOverride != 0)
+    P.Seed = SeedOverride;
   if (!P.valid())
     return Status::error("invalid selected parameters");
   // Apply the compile-level thread request before any runtime work so
   // key generation and execution share one pool configuration.
   if (State.Options.NumThreads > 0)
-    ThreadPool::instance().setNumThreads(
-        static_cast<size_t>(State.Options.NumThreads));
+    ACE_RETURN_IF_ERROR(ThreadPool::instance().setNumThreads(
+        static_cast<size_t>(State.Options.NumThreads)));
   Ctx = std::make_unique<fhe::Context>(P);
   Enc = std::make_unique<fhe::Encoder>(*Ctx);
   Gen = std::make_unique<fhe::KeyGenerator>(*Ctx);
@@ -152,6 +154,12 @@ const Plaintext &CkksExecutor::encodedConst(const IrNode *ConstNode,
   return PlainCache.emplace(Key, std::move(P)).first->second;
 }
 
+StatusOr<fhe::Ciphertext>
+CkksExecutor::run(const Ciphertext &Input, const CancellationToken &Token) {
+  CancellationScope Scope(Token);
+  return run(Input);
+}
+
 StatusOr<fhe::Ciphertext> CkksExecutor::run(const Ciphertext &Input) {
   if (!Eval)
     return Status::invalidArgument("executor: setup() not run");
@@ -196,6 +204,10 @@ StatusOr<fhe::Ciphertext> CkksExecutor::run(const Ciphertext &Input) {
     if (N->Kind == NodeKind::NK_ConstVec ||
         N->Kind == NodeKind::NK_CkksEncode)
       continue; // materialized at use
+    // Cooperative cancellation boundary: one poll per IR node, so a
+    // cancelled or deadline-expired request costs at most one more CKKS
+    // op before unwinding.
+    ACE_RETURN_IF_ERROR(checkCancellation("executor"));
     telemetry::TraceSpan RegionSpan("region", originKindName(N->Origin),
                                     &RegionTimes);
     switch (N->Kind) {

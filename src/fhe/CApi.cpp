@@ -9,6 +9,7 @@
 #include "fhe/CApi.h"
 
 #include "fhe/Bootstrapper.h"
+#include "fhe/CApiInternal.h"
 #include "fhe/Encryptor.h"
 #include "fhe/Evaluator.h"
 #include "fhe/Serializer.h"
@@ -56,6 +57,10 @@ AceErrorCode toCCode(ErrorCode Code) {
     return ACE_ERR_DATA_CORRUPT;
   case ErrorCode::IoError:
     return ACE_ERR_IO;
+  case ErrorCode::Cancelled:
+    return ACE_ERR_CANCELLED;
+  case ErrorCode::DeadlineExceeded:
+    return ACE_ERR_DEADLINE_EXCEEDED;
   }
   return ACE_ERR_INTERNAL;
 }
@@ -70,6 +75,16 @@ void setLastError(AceErrorCode Code, std::string Message) {
   LastErrorMessage = std::move(Message);
 }
 } // namespace
+
+AceErrorCode ace::capi::toCErrorCode(ErrorCode Code) {
+  return toCCode(Code);
+}
+
+void ace::capi::setLastStatus(const Status &S) { setLastError(S); }
+
+void ace::capi::setLastErrorCode(AceErrorCode Code, std::string Message) {
+  setLastError(Code, std::move(Message));
+}
 
 AceErrorCode ace_last_error(void) { return LastErrorCode; }
 
@@ -656,7 +671,11 @@ int ace_set_num_threads(int N) {
                      std::to_string(N));
     return ACE_ERR_INVALID_ARGUMENT;
   }
-  ThreadPool::instance().setNumThreads(static_cast<size_t>(N));
+  if (Status S = ThreadPool::instance().setNumThreads(
+          static_cast<size_t>(N))) {
+    setLastError(S);
+    return ace_last_error();
+  }
   return ACE_OK;
 }
 

@@ -46,6 +46,8 @@ typedef enum AceErrorCode {
   ACE_ERR_INTERNAL = 7,
   ACE_ERR_DATA_CORRUPT = 8,
   ACE_ERR_IO = 9,
+  ACE_ERR_CANCELLED = 10,
+  ACE_ERR_DEADLINE_EXCEEDED = 11,
 } AceErrorCode;
 
 /// The code of the last failed call on this thread (ACE_OK when no call

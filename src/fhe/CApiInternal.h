@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// C++-side plumbing shared by the C API translation units. Every flat C
+/// surface of the project (fhe/CApi.cpp, service/ServiceCApi.cpp) reports
+/// failures through ONE thread-local error channel - ace_last_error() /
+/// ace_last_error_message() - so a generated program or service client
+/// checks errors the same way regardless of which library the failing
+/// call lived in. These helpers are not part of the public C API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_FHE_CAPIINTERNAL_H
+#define ACE_FHE_CAPIINTERNAL_H
+
+#include "fhe/CApi.h"
+#include "support/Status.h"
+
+#include <string>
+
+namespace ace {
+namespace capi {
+
+/// Maps the C++ error code onto the C enum.
+AceErrorCode toCErrorCode(ErrorCode Code);
+
+/// Records \p S as the calling thread's last error (ace_last_error).
+void setLastStatus(const Status &S);
+
+/// Records an explicit code/message pair as the thread's last error.
+void setLastErrorCode(AceErrorCode Code, std::string Message);
+
+} // namespace capi
+} // namespace ace
+
+#endif // ACE_FHE_CAPIINTERNAL_H

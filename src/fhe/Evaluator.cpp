@@ -9,6 +9,7 @@
 #include "fhe/Evaluator.h"
 
 #include "fhe/ModArith.h"
+#include "support/Cancellation.h"
 #include "support/FaultInjector.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
@@ -88,10 +89,14 @@ Status ace::fhe::validateCiphertext(const Context &Ctx, const Ciphertext &A,
   return Status::success();
 }
 
-/// Shared preamble of every checked entry point: honors the simulated
-/// allocation-failure fault, then validates operand integrity.
+/// Shared preamble of every checked entry point: polls the cooperative
+/// cancellation token installed on this thread (a cancelled or
+/// deadline-expired request unwinds here, between ops, never mid-op),
+/// honors the simulated allocation-failure fault, then validates operand
+/// integrity.
 static Status checkedEntry(const Context &Ctx, const char *What,
                            const Ciphertext *A, const Ciphertext *B) {
+  ACE_RETURN_IF_ERROR(checkCancellation(What));
   FaultInjector &Faults = FaultInjector::instance();
   if (Faults.enabled() && Faults.shouldFire(FaultKind::AllocFail))
     return Status::resourceExhausted(
@@ -843,6 +848,27 @@ Status Evaluator::checkedRelinSupport(const char *What,
   return Status::success();
 }
 
+Status Evaluator::checkedNoiseBudget(const char *What, const Ciphertext &A,
+                                     double ExtraLogScale) const {
+  // The product's scale is A.Scale * 2^ExtraLogScale; once log2 of that
+  // exceeds log2 of the active modulus product the plaintext wraps around
+  // the modulus and decrypts to unrelated values with no error indication.
+  // Require one bit of headroom so near-misses (scale within rounding of
+  // the modulus) are also rejected.
+  double Budget = noiseBudgetBits(A) - ExtraLogScale;
+  if (Budget < 1.0) {
+    char Msg[256];
+    std::snprintf(Msg, sizeof(Msg),
+                  "%s: noise budget exhausted: product scale 2^%.1f would "
+                  "overrun the active modulus (2^%.1f at %zu active "
+                  "primes); rescale or bootstrap before multiplying",
+                  What, std::log2(A.Scale) + ExtraLogScale,
+                  noiseBudgetBits(A) + std::log2(A.Scale), A.numQ());
+    return Status::depthExhausted(Msg);
+  }
+  return Status::success();
+}
+
 StatusOr<Ciphertext> Evaluator::checkedMul(const Ciphertext &A,
                                            const Ciphertext &B) const {
   Ciphertext X = A, Y = B;
@@ -853,6 +879,7 @@ StatusOr<Ciphertext> Evaluator::checkedMul(const Ciphertext &A,
         "(got " + std::to_string(X.size()) + " and " +
         std::to_string(Y.size()) + " components)");
   ACE_RETURN_IF_ERROR(checkedRelinSupport("mul", X.numQ()));
+  ACE_RETURN_IF_ERROR(checkedNoiseBudget("mul", X, std::log2(Y.Scale)));
   return mul(X, Y);
 }
 
@@ -869,6 +896,8 @@ Evaluator::checkedMulPlain(const Ciphertext &A,
     return Status::depthExhausted(
         "mulPlain: ciphertext at the base modulus (1 active prime); no "
         "rescale prime is available to multiply against");
+  ACE_RETURN_IF_ERROR(
+      checkedNoiseBudget("mulPlain", A, std::log2(mulPlainScale(A))));
   std::vector<double> Padded = Values;
   Padded.resize(Ctx.slots(), 0.0);
   return mulPlain(A, encodeForMul(A, Padded));
@@ -896,6 +925,8 @@ StatusOr<Ciphertext> Evaluator::checkedMulScalar(const Ciphertext &A,
     return Status::depthExhausted(
         "mulScalar: ciphertext at the base modulus (1 active prime); no "
         "rescale prime is available to scale against");
+  ACE_RETURN_IF_ERROR(
+      checkedNoiseBudget("mulScalar", A, std::log2(mulPlainScale(A))));
   if (!std::isfinite(Value))
     return Status::invalidArgument("mulScalar: non-finite scalar operand");
   double Target = TargetScale <= 0.0 ? A.Scale : TargetScale;

@@ -278,6 +278,12 @@ private:
   void checkAddCompatible(const Ciphertext &A, const Ciphertext &B) const;
   /// Verifies the relinearization key exists and covers \p NumQ digits.
   Status checkedRelinSupport(const char *What, size_t NumQ) const;
+  /// Verifies \p A retains enough noise budget to absorb a multiply that
+  /// adds \p ExtraLogScale bits of scale; Status(DepthExhausted) when the
+  /// product's scale would overrun the active modulus (the decryption
+  /// would be garbage, not merely noisy).
+  Status checkedNoiseBudget(const char *What, const Ciphertext &A,
+                            double ExtraLogScale) const;
 };
 
 /// True when two scales differ by less than a relative 1e-3 (rescale

@@ -1,0 +1,69 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flat C surface over the inference service (docs/serving.md) - the
+/// shape an embedding application links against: create a service around
+/// a compiled model, open per-client sessions, run synchronous inferences
+/// with a deadline, and read the service stats. Shares the thread-local
+/// error channel of fhe/CApi.h: failing calls return 0/NULL or a nonzero
+/// AceErrorCode, with ace_last_error() / ace_last_error_message()
+/// describing the failure (including ACE_ERR_CANCELLED and
+/// ACE_ERR_DEADLINE_EXCEEDED for request-lifecycle failures).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_SERVICE_SERVICECAPI_H
+#define ACE_SERVICE_SERVICECAPI_H
+
+#include "fhe/CApi.h"
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct AceService AceService;
+
+/// Compiles an MLP with the given layer widths (dims[0] = input width,
+/// dims[ndims-1] = logit count; weights drawn from `seed`) under fast toy
+/// parameters, and starts a service over it with a request queue of
+/// queue_capacity (0 = default) and the given default per-request
+/// deadline (0 = none). Returns NULL with the error channel set on
+/// failure. Destroy with ace_service_destroy.
+AceService *ace_service_create_mlp(const int64_t *dims, size_t ndims,
+                                   uint64_t seed, size_t queue_capacity,
+                                   double default_deadline_seconds);
+void ace_service_destroy(AceService *svc);
+
+/// Opens a session with fresh keys; returns its nonzero id, or 0 with
+/// the error channel set.
+uint64_t ace_service_open_session(AceService *svc);
+/// Closes a session. Returns ACE_OK or an error code.
+int ace_service_close_session(AceService *svc, uint64_t session);
+
+/// Synchronous encrypted inference: encrypts `input` (length n = the
+/// model's input width) under the session's keys, submits it with
+/// `deadline_seconds` (0 = service default), waits, and decrypts the
+/// logits into `out` (length out_n >= the class count; the logit count
+/// is written to *out_count when non-NULL). Returns ACE_OK or the
+/// request's failure code (e.g. ACE_ERR_DEADLINE_EXCEEDED,
+/// ACE_ERR_RESOURCE_EXHAUSTED on queue overflow).
+int ace_service_infer(AceService *svc, uint64_t session,
+                      const double *input, size_t n, double deadline_seconds,
+                      double *out, size_t out_n, size_t *out_count);
+
+/// Service stats (accepted/rejected/completed/failed counters, queue
+/// depth, latency percentiles) as a malloc'd JSON string the caller
+/// frees. NULL with the error channel set on invalid handles.
+char *ace_service_stats_json(AceService *svc);
+
+#ifdef __cplusplus
+} // extern "C"
+#endif
+
+#endif // ACE_SERVICE_SERVICECAPI_H

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Cancellation.h"
+
+#include <cstdio>
+
+using namespace ace;
+
+namespace {
+
+/// The calling thread's installed token. A default-constructed token
+/// (never cancels, never expires) when no CancellationScope is active, so
+/// checkpoints outside any request context cost one thread-local read
+/// plus two always-false branches.
+thread_local CancellationToken CurrentToken;
+
+} // namespace
+
+Status CancellationToken::check(const char *What) const {
+  if (cancelled())
+    return Status::cancelled(std::string(What) +
+                             ": request cancelled by caller");
+  if (Limit.expired()) {
+    double Over = -Limit.remainingSeconds();
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.3f", Over);
+    return Status::deadlineExceeded(std::string(What) +
+                                    ": request deadline exceeded by " +
+                                    Buf + "s");
+  }
+  return Status::success();
+}
+
+CancellationScope::CancellationScope(CancellationToken Token)
+    : Previous(CurrentToken) {
+  CurrentToken = std::move(Token);
+}
+
+CancellationScope::~CancellationScope() { CurrentToken = Previous; }
+
+const CancellationToken &CancellationScope::current() {
+  return CurrentToken;
+}
+
+Status ace::checkCancellation(const char *What) {
+  return CurrentToken.check(What);
+}

@@ -1,0 +1,185 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deadlines and cooperative cancellation for long-running FHE work (see
+/// docs/serving.md). A single encrypted inference is seconds to minutes of
+/// compute; a serving layer must be able to abandon a request whose client
+/// gave up or whose deadline passed without burning the rest of that
+/// compute. The runtime has no preemption: instead, every checked
+/// evaluator entry point and every executor IR step polls the current
+/// thread's CancellationToken and unwinds with Status(Cancelled) or
+/// Status(DeadlineExceeded) between homomorphic operations. Granularity is
+/// therefore one CKKS op (typically milliseconds at toy parameters, up to
+/// one bootstrap at worst) - coarse enough to cost nothing on the hot
+/// path, fine enough to bound wasted work.
+///
+/// Three pieces:
+///  - Deadline: a steady-clock expiry point (or "never").
+///  - CancellationSource / CancellationToken: the source side flips a
+///    shared atomic flag; tokens are cheap value-type views that combine
+///    the flag with a deadline.
+///  - CancellationScope: RAII installation of a token as the calling
+///    thread's current token, which is where the evaluator's checked tier
+///    looks. Scopes nest (the previous token is restored), and a thread
+///    with no scope installed polls a never-cancelled token - one
+///    thread-local read and two predictable branches.
+///
+/// The flag is only ever checked between operations on the thread that
+/// entered the scope; parallelFor workers inside one CKKS op never see a
+/// mid-op cancellation, which is what keeps cancelled runs free of
+/// half-written ciphertexts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_SUPPORT_CANCELLATION_H
+#define ACE_SUPPORT_CANCELLATION_H
+
+#include "support/Status.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+namespace ace {
+
+/// A point in steady-clock time after which work should stop. Value type;
+/// default construction means "never expires".
+class Deadline {
+public:
+  Deadline() = default;
+
+  /// A deadline that never expires.
+  static Deadline never() { return Deadline(); }
+
+  /// Expires \p Seconds from now. Non-positive values produce an
+  /// already-expired deadline (the natural meaning for a request whose
+  /// budget was spent before it was dequeued).
+  static Deadline afterSeconds(double Seconds) {
+    Deadline D;
+    D.Bounded = true;
+    D.At = std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(Seconds));
+    return D;
+  }
+
+  /// Expires \p Micros microseconds from now (the wire-framing unit).
+  static Deadline afterMicros(uint64_t Micros) {
+    return afterSeconds(static_cast<double>(Micros) * 1e-6);
+  }
+
+  /// True when the deadline can expire at all.
+  bool bounded() const { return Bounded; }
+
+  /// True when the deadline has passed. Never true for never().
+  bool expired() const {
+    return Bounded && std::chrono::steady_clock::now() >= At;
+  }
+
+  /// Seconds until expiry: negative when already expired, +infinity for
+  /// never().
+  double remainingSeconds() const {
+    if (!Bounded)
+      return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(
+               At - std::chrono::steady_clock::now())
+        .count();
+  }
+
+private:
+  bool Bounded = false;
+  std::chrono::steady_clock::time_point At{};
+};
+
+/// A cheap, copyable view a long computation polls: "was I cancelled, or
+/// did my deadline pass?". Default-constructed tokens never cancel and
+/// never expire. Obtain cancellable tokens from a CancellationSource.
+class CancellationToken {
+public:
+  CancellationToken() = default;
+
+  /// True when the owning source was cancelled.
+  bool cancelled() const {
+    return Flag && Flag->load(std::memory_order_relaxed);
+  }
+
+  /// The deadline this token carries (never() by default).
+  const Deadline &deadline() const { return Limit; }
+
+  /// The poll every checkpoint performs: Status(Cancelled) when the
+  /// source was cancelled, Status(DeadlineExceeded) when the deadline
+  /// passed, success otherwise. \p What names the operation for the
+  /// diagnostic ("mul", "executor run", ...). Cancellation is checked
+  /// first so an explicitly abandoned request reports Cancelled even
+  /// after its deadline also expired.
+  Status check(const char *What) const;
+
+private:
+  friend class CancellationSource;
+  CancellationToken(std::shared_ptr<const std::atomic<bool>> Flag,
+                    Deadline Limit)
+      : Flag(std::move(Flag)), Limit(Limit) {}
+
+  std::shared_ptr<const std::atomic<bool>> Flag;
+  Deadline Limit;
+};
+
+/// The owner side of a cancellation: cancel() flips a shared flag every
+/// token minted from this source observes. Copyable (copies share the
+/// flag); thread-safe.
+class CancellationSource {
+public:
+  CancellationSource()
+      : Flag(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Idempotent; visible to all tokens on their
+  /// next check().
+  void cancel() { Flag->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const { return Flag->load(std::memory_order_relaxed); }
+
+  /// Mints a token observing this source's flag, optionally bounded by
+  /// \p Limit.
+  CancellationToken token(Deadline Limit = Deadline::never()) const {
+    return CancellationToken(Flag, Limit);
+  }
+
+private:
+  std::shared_ptr<std::atomic<bool>> Flag;
+};
+
+/// Installs \p Token as the calling thread's current token for the
+/// scope's lifetime; the evaluator's checked tier and the executor's IR
+/// loop poll it via checkCancellation(). Scopes nest: destruction
+/// restores the previously installed token.
+class CancellationScope {
+public:
+  explicit CancellationScope(CancellationToken Token);
+  ~CancellationScope();
+
+  CancellationScope(const CancellationScope &) = delete;
+  CancellationScope &operator=(const CancellationScope &) = delete;
+
+  /// The calling thread's installed token (a never-cancelled token when
+  /// no scope is active).
+  static const CancellationToken &current();
+
+private:
+  CancellationToken Previous;
+};
+
+/// Convenience poll of the calling thread's current token; the spelling
+/// the checked evaluator tier uses. Success when no scope is installed.
+Status checkCancellation(const char *What);
+
+} // namespace ace
+
+#endif // ACE_SUPPORT_CANCELLATION_H

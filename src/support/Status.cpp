@@ -35,6 +35,10 @@ const char *ace::errorCodeName(ErrorCode Code) {
     return "data-corrupt";
   case ErrorCode::IoError:
     return "io-error";
+  case ErrorCode::Cancelled:
+    return "cancelled";
+  case ErrorCode::DeadlineExceeded:
+    return "deadline-exceeded";
   }
   return "unknown";
 }

@@ -30,7 +30,9 @@ namespace ace {
 /// level/scale management (LevelMismatch, ScaleMismatch, DepthExhausted),
 /// key material (KeyMissing), resources (ResourceExhausted), broken
 /// internal invariants (Internal), malformed or tampered serialized bytes
-/// (DataCorrupt), and failed file/stream operations (IoError).
+/// (DataCorrupt), failed file/stream operations (IoError), and request
+/// lifecycle in the serving layer (Cancelled, DeadlineExceeded - see
+/// support/Cancellation.h and docs/serving.md).
 enum class ErrorCode : unsigned char {
   Ok = 0,
   InvalidArgument,
@@ -42,6 +44,8 @@ enum class ErrorCode : unsigned char {
   Internal,
   DataCorrupt,
   IoError,
+  Cancelled,
+  DeadlineExceeded,
 };
 
 /// Stable lowercase name of \p Code ("ok", "invalid-argument", ...).
@@ -103,6 +107,12 @@ public:
   }
   static Status ioError(std::string M) {
     return error(ErrorCode::IoError, std::move(M));
+  }
+  static Status cancelled(std::string M) {
+    return error(ErrorCode::Cancelled, std::move(M));
+  }
+  static Status deadlineExceeded(std::string M) {
+    return error(ErrorCode::DeadlineExceeded, std::move(M));
   }
   /// @}
 

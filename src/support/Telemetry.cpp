@@ -76,6 +76,18 @@ const char *ace::telemetry::counterName(Counter C) {
     return "bytes-serialized";
   case Counter::BytesDeserialized:
     return "bytes-deserialized";
+  case Counter::SvcAccepted:
+    return "service-accepted";
+  case Counter::SvcRejected:
+    return "service-rejected";
+  case Counter::SvcCompleted:
+    return "service-completed";
+  case Counter::SvcFailed:
+    return "service-failed";
+  case Counter::SvcDeadlineExpired:
+    return "service-deadline-expired";
+  case Counter::SvcCancelled:
+    return "service-cancelled";
   case Counter::CounterCount:
     break;
   }

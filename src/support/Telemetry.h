@@ -74,6 +74,12 @@ enum class Counter : unsigned {
   ParallelFor,     ///< forked parallelFor regions (see support/ThreadPool.h)
   BytesSerialized,   ///< wire-format bytes written (docs/serialization.md)
   BytesDeserialized, ///< wire-format bytes accepted by a successful load
+  SvcAccepted,        ///< service requests admitted to the queue
+  SvcRejected,        ///< service requests shed at admission (backpressure)
+  SvcCompleted,       ///< service requests finished successfully
+  SvcFailed,          ///< service requests failed (malformed, bad key, ...)
+  SvcDeadlineExpired, ///< service requests abandoned on an expired deadline
+  SvcCancelled,       ///< service requests abandoned by client cancellation
   CounterCount,
 };
 

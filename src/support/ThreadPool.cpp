@@ -156,20 +156,36 @@ ThreadPool &ThreadPool::instance() {
 
 bool ThreadPool::inWorker() { return InParallelTask; }
 
+ThreadPool::InlineRegion::InlineRegion() : Prev(InParallelTask) {
+  InParallelTask = true;
+}
+
+ThreadPool::InlineRegion::~InlineRegion() { InParallelTask = Prev; }
+
 size_t ThreadPool::numThreads() const {
   std::lock_guard<std::mutex> Lock(P->Mutex);
   return P->NumThreads;
 }
 
-void ThreadPool::setNumThreads(size_t N) {
-  assert(!InParallelTask &&
-         "setNumThreads must not be called from a pool task");
+Status ThreadPool::setNumThreads(size_t N) {
+  // A pool task asking the pool to reconfigure would join the very
+  // workers executing it (self-join deadlock). Fail cleanly instead of
+  // relying on the header's "must not" - a service request handler is
+  // exactly the kind of caller that might reach this by accident. No
+  // assert here: this repo keeps asserts on in every build type, and the
+  // recoverable path must stay testable.
+  if (InParallelTask)
+    return Status::invalidArgument(
+        "setNumThreads: called from inside a parallelFor task; the pool "
+        "cannot join its own workers (reconfigure from a quiescent "
+        "point instead)");
   if (N == 0)
     N = threadCountFromSpec(std::getenv("ACE_THREADS"));
   std::lock_guard<std::mutex> RunLock(P->RunMutex);
   P->stopWorkers();
   std::lock_guard<std::mutex> Lock(P->Mutex);
   P->NumThreads = N;
+  return Status::success();
 }
 
 void ThreadPool::parallelFor(size_t Begin, size_t End,

@@ -46,6 +46,8 @@
 #ifndef ACE_SUPPORT_THREADPOOL_H
 #define ACE_SUPPORT_THREADPOOL_H
 
+#include "support/Status.h"
+
 #include <cstddef>
 #include <functional>
 #include <memory>
@@ -73,9 +75,11 @@ public:
   size_t numThreads() const;
 
   /// Reconfigures the pool to \p N threads (0 = re-read the ACE_THREADS
-  /// default). Joins existing workers first; must not be called from
-  /// inside a parallelFor task.
-  void setNumThreads(size_t N);
+  /// default). Joins existing workers first. Calling it from inside a
+  /// parallelFor task would have the pool join itself; that is detected
+  /// and rejected with Status(InvalidArgument), leaving the configuration
+  /// unchanged.
+  Status setNumThreads(size_t N);
 
   /// Calls \p Fn(I) for every I in [Begin, End), potentially on worker
   /// threads. Blocks until all indices completed; rethrows the first
@@ -86,6 +90,24 @@ public:
   /// True on a thread currently executing pool tasks (used to serialize
   /// nested parallelFor calls).
   static bool inWorker();
+
+  /// RAII: while alive, every parallelFor on THIS thread runs inline,
+  /// exactly as if it were nested inside a pool task. For callers that
+  /// must not contend for the pool's fork lock while holding their own
+  /// mutex: forking under an external lock inverts lock order against
+  /// pool tasks that take the same lock (the inference service's
+  /// per-session mutexes were the motivating deadlock). Results are
+  /// unchanged - inline and forked execution are bit-identical.
+  class InlineRegion {
+  public:
+    InlineRegion();
+    ~InlineRegion();
+    InlineRegion(const InlineRegion &) = delete;
+    InlineRegion &operator=(const InlineRegion &) = delete;
+
+  private:
+    bool Prev;
+  };
 
 private:
   ThreadPool();

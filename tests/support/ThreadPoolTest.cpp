@@ -124,6 +124,31 @@ TEST_F(ThreadPoolTest, DeterministicResultAcrossThreadCounts) {
   }
 }
 
+/// Reconfiguring the pool from inside one of its own tasks would have it
+/// join itself; the guard must reject that with Status(InvalidArgument),
+/// leave the configuration unchanged, and keep the pool usable - at the
+/// forked AND the serial/inline execution paths.
+TEST_F(ThreadPoolTest, SetNumThreadsFromInsideTaskIsRejected) {
+  for (size_t Threads : {1u, 4u}) {
+    ThreadPool::instance().setNumThreads(Threads);
+    std::atomic<int> Rejections{0};
+    parallelFor(0, 8, [&](size_t) {
+      Status S = ThreadPool::instance().setNumThreads(2);
+      if (!S.ok() && S.code() == ErrorCode::InvalidArgument)
+        Rejections.fetch_add(1);
+    });
+    EXPECT_EQ(Rejections.load(), 8) << Threads << " threads";
+    EXPECT_EQ(ThreadPool::instance().numThreads(), Threads);
+    // The pool survives the rejected call.
+    std::atomic<int> Count{0};
+    parallelFor(0, 100, [&](size_t) { Count.fetch_add(1); });
+    EXPECT_EQ(Count.load(), 100);
+  }
+  // From a quiescent point reconfiguration still succeeds.
+  EXPECT_TRUE(ThreadPool::instance().setNumThreads(2).ok());
+  EXPECT_EQ(ThreadPool::instance().numThreads(), 2u);
+}
+
 TEST_F(ThreadPoolTest, ForkedRegionsCountInTelemetry) {
   telemetry::Telemetry &Tel = telemetry::Telemetry::instance();
   Tel.clear();
