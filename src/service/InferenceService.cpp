@@ -40,6 +40,16 @@ inline void countSvc(telemetry::Counter C) {
 constexpr uint8_t kMaxWireErrorCode =
     static_cast<uint8_t>(ErrorCode::DeadlineExceeded);
 
+/// SplitMix64 finisher (the same mix Rng uses to expand seeds). Bijective
+/// over u64: for a fixed params seed, distinct session ids can never
+/// produce the same key seed.
+uint64_t splitmix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
 double percentile(std::vector<double> &Sorted, double Q) {
   if (Sorted.empty())
     return 0.0;
@@ -109,10 +119,14 @@ StatusOr<uint64_t> InferenceService::openSession() {
   // Reseed key generation per session: the compiled parameters carry one
   // deterministic seed, and two sessions sharing it would generate
   // IDENTICAL keys - indistinguishable fingerprints, no client isolation.
-  // The mix keeps sessions deterministic for a given (params, id) pair.
+  // The SplitMix64 mix is bijective in the session id for a fixed params
+  // seed, so no two sessions of one service can alias, and it stays
+  // deterministic for a given (params, id) pair.
   uint64_t KeySeed =
-      (State.SelectedParams.Seed + 1) * 0x9E3779B97F4A7C15ull + S->Id;
-  ACE_RETURN_IF_ERROR(S->Exec->setup(KeySeed | 1));
+      splitmix64(State.SelectedParams.Seed * 0x9E3779B97F4A7C15ull + S->Id);
+  if (KeySeed == 0) // setup(0) means "keep the compiled params seed"
+    KeySeed = 0x9E3779B97F4A7C15ull;
+  ACE_RETURN_IF_ERROR(S->Exec->setup(KeySeed));
   std::vector<uint8_t> PubBytes;
   ACE_RETURN_IF_ERROR(fhe::wire::save(S->Exec->publicKey(), PubBytes));
   S->Fingerprint = crc32c(PubBytes.data(), PubBytes.size());
@@ -160,10 +174,16 @@ InferenceService::encryptRequest(uint64_t SessionId, const nn::Tensor &Input,
     ACE_ASSIGN_OR_RETURN(fhe::Ciphertext Ct, S->Exec->encryptInput(Input));
     ACE_RETURN_IF_ERROR(fhe::wire::save(Ct, CtBytes));
   }
-  double Budget =
-      DeadlineSeconds < 0.0 ? Config.DefaultDeadlineSeconds : DeadlineSeconds;
-  uint64_t Micros =
-      Budget <= 0.0 ? 0 : static_cast<uint64_t>(Budget * 1e6 + 0.5);
+  // Deadline wire encoding: negative defers to the server default (0 on
+  // the wire); 0 is explicitly unbounded; positive budgets are clamped
+  // to >= 1 micro so a tiny-but-positive budget still expires instead of
+  // truncating to 0 and silently picking up the server default.
+  uint64_t Micros = 0;
+  if (DeadlineSeconds == 0.0)
+    Micros = frame::kUnboundedDeadlineMicros;
+  else if (DeadlineSeconds > 0.0)
+    Micros = std::max<uint64_t>(
+        1, static_cast<uint64_t>(DeadlineSeconds * 1e6 + 0.5));
 
   std::vector<uint8_t> Out;
   ByteWriter W(Out);
@@ -231,9 +251,11 @@ InferenceService::submit(std::vector<uint8_t> RequestBytes) {
   R->ClientTag = Tag;
   R->Fingerprint = Fp;
   R->Bytes = std::move(RequestBytes);
-  if (Micros > 0)
+  // kUnboundedDeadlineMicros leaves Limit at never(): the client
+  // explicitly opted out of the server default.
+  if (Micros > 0 && Micros != frame::kUnboundedDeadlineMicros)
     R->Limit = Deadline::afterMicros(Micros);
-  else if (Config.DefaultDeadlineSeconds > 0.0)
+  else if (Micros == 0 && Config.DefaultDeadlineSeconds > 0.0)
     R->Limit = Deadline::afterSeconds(Config.DefaultDeadlineSeconds);
   R->EnqueuedAt = std::chrono::steady_clock::now();
 

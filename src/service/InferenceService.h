@@ -71,7 +71,8 @@ namespace service {
 /// docs/serving.md). A request is
 ///
 ///   magic "ACRQ" | version u16 | session id u64 | client tag u64 |
-///   deadline budget in micros u64 (0 = none) | key fingerprint u32 |
+///   deadline budget in micros u64 (0 = none carried, server default
+///   applies; 2^64-1 = explicitly unbounded) | key fingerprint u32 |
 ///   header CRC-32C u32 | framed ciphertext ("ACEW"...)
 ///
 /// and a response is
@@ -88,6 +89,10 @@ namespace frame {
 constexpr uint32_t kRequestMagic = 0x51524341u;  // "ACRQ"
 constexpr uint32_t kResponseMagic = 0x53524341u; // "ACRS"
 constexpr uint16_t kVersion = 1;
+/// Deadline-budget wire value for "the client explicitly requested NO
+/// deadline". Distinct from 0 ("frame carries no deadline"), which lets
+/// the server apply ServiceConfig::DefaultDeadlineSeconds.
+constexpr uint64_t kUnboundedDeadlineMicros = ~0ull;
 /// Offset of the key fingerprint in a request frame (tests forge
 /// mismatches by patching it and re-sealing the header CRC).
 constexpr size_t kFingerprintOffset = 4 + 2 + 8 + 8 + 8;
@@ -105,7 +110,8 @@ struct ServiceConfig {
   /// Upper bound on requests executed concurrently per dispatcher wave;
   /// 0 = the pool's thread count.
   size_t MaxBatch = 0;
-  /// Deadline applied to requests that carry none (0 = unbounded).
+  /// Deadline applied to requests that carry none (0 = no default). A
+  /// client opts out explicitly with encryptRequest(DeadlineSeconds=0).
   double DefaultDeadlineSeconds = 0.0;
 };
 
@@ -167,13 +173,18 @@ public:
   /// seconds at realistic parameters) and returns its id.
   StatusOr<uint64_t> openSession();
 
-  /// Forgets a session. In-flight requests against it finish normally
-  /// (they hold a reference); later submits fail with KeyMissing.
+  /// Forgets a session. A request the dispatcher is already executing
+  /// completes normally (the worker holds a reference to the key
+  /// material); requests still queued fail with KeyMissing when they
+  /// reach a worker, as do later submits.
   Status closeSession(uint64_t SessionId);
 
   /// Client-side: encrypts \p Input under the session's keys into a
-  /// request frame. \p DeadlineSeconds < 0 uses the config default; 0
-  /// means unbounded; positive values bound queue wait + execution.
+  /// request frame. \p DeadlineSeconds < 0 defers to the server's
+  /// DefaultDeadlineSeconds; 0 means explicitly unbounded (overriding
+  /// that default); positive values bound queue wait + execution,
+  /// clamped to at least one microsecond so a tiny budget expires
+  /// instead of silently degrading to the default.
   StatusOr<std::vector<uint8_t>> encryptRequest(uint64_t SessionId,
                                                 const nn::Tensor &Input,
                                                 uint64_t ClientTag = 0,

@@ -25,6 +25,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <thread>
 
 using namespace ace;
@@ -161,6 +162,77 @@ TEST_F(InferenceServiceTest, MalformedFramesAreRejectedSynchronously) {
   ServiceStats S = Svc.stats();
   EXPECT_EQ(S.Accepted, 0u);
   EXPECT_EQ(S.QueueDepth, 0u);
+}
+
+/// Regression for a key-seed collision: the seed derivation used to end
+/// in `setup(KeySeed | 1)`, which maps an even seed and the next odd one
+/// to the SAME value - consecutive sessions (2 and 3 under the default
+/// params seed) generated identical keys and fingerprints, so one
+/// client's frames were accepted by and decryptable under another's
+/// session. Every session must draw distinct key material.
+TEST_F(InferenceServiceTest, ConsecutiveSessionsGetDistinctKeys) {
+  InferenceService Svc(Compiled->Program, Compiled->State);
+  constexpr size_t kSessions = 8;
+  std::set<uint32_t> Fingerprints;
+  uint64_t FirstSid = 0, LastSid = 0;
+  for (size_t I = 0; I < kSessions; ++I) {
+    auto Sid = Svc.openSession();
+    ASSERT_TRUE(Sid.ok()) << Sid.status().message();
+    if (I == 0)
+      FirstSid = *Sid;
+    LastSid = *Sid;
+    uint32_t Fp = Svc.sessionKeyFingerprint(*Sid);
+    EXPECT_NE(Fp, 0u);
+    Fingerprints.insert(Fp);
+  }
+  EXPECT_EQ(Fingerprints.size(), kSessions)
+      << "consecutive sessions share key material";
+
+  // Cross-acceptance really is refused: a frame encrypted under the
+  // first session, re-routed to the last, is a key mismatch.
+  auto Frame = Svc.encryptRequest(FirstSid, makeInput(12));
+  ASSERT_TRUE(Frame.ok());
+  auto Misrouted = *Frame;
+  patchHeaderU64(Misrouted, 6, LastSid);
+  EXPECT_EQ(Svc.submit(Misrouted).status().code(), ErrorCode::KeyMissing);
+}
+
+/// Deadline wire semantics: DeadlineSeconds=0 is EXPLICITLY unbounded and
+/// must override a server default that would otherwise expire the
+/// request; a sub-microsecond positive budget must clamp up to one micro
+/// and expire, not truncate to "no deadline" and pick up the default.
+TEST_F(InferenceServiceTest, ExplicitlyUnboundedDeadlineOverridesDefault) {
+  ThreadPool::instance().setNumThreads(1);
+  ServiceConfig Cfg;
+  Cfg.DefaultDeadlineSeconds = 1e-6; // any request carrying none expires
+  InferenceService Svc(Compiled->Program, Compiled->State, Cfg);
+  auto Sid = Svc.openSession();
+  ASSERT_TRUE(Sid.ok());
+
+  // Carrying no deadline (negative) picks up the server default.
+  auto Defaulted = Svc.encryptRequest(*Sid, makeInput(2), /*ClientTag=*/0,
+                                      /*DeadlineSeconds=*/-1.0);
+  ASSERT_TRUE(Defaulted.ok());
+  auto DefT = Svc.submit(*Defaulted);
+  ASSERT_TRUE(DefT.ok());
+  EXPECT_EQ(DefT->Result.get().Outcome.code(), ErrorCode::DeadlineExceeded);
+
+  // An explicit 0 opts out of the default: the request runs unbounded.
+  auto Unbounded = Svc.encryptRequest(*Sid, makeInput(2), /*ClientTag=*/0,
+                                      /*DeadlineSeconds=*/0.0);
+  ASSERT_TRUE(Unbounded.ok());
+  auto UnbT = Svc.submit(*Unbounded);
+  ASSERT_TRUE(UnbT.ok());
+  InferenceResponse R = UnbT->Result.get();
+  EXPECT_TRUE(R.Outcome.ok()) << R.Outcome.message();
+
+  // A tiny positive budget still expires: it encodes as 1 micro, never 0.
+  auto Tiny = Svc.encryptRequest(*Sid, makeInput(2), /*ClientTag=*/0,
+                                 /*DeadlineSeconds=*/1e-9);
+  ASSERT_TRUE(Tiny.ok());
+  auto TinyT = Svc.submit(*Tiny);
+  ASSERT_TRUE(TinyT.ok());
+  EXPECT_EQ(TinyT->Result.get().Outcome.code(), ErrorCode::DeadlineExceeded);
 }
 
 /// The acceptance stress scenario: two sessions, a wave of healthy
