@@ -133,18 +133,41 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(KV.second));
   std::printf("  stats %s\n", Stats.json().c_str());
 
+  // Per-stage latency quantiles from the service's lock-free histograms
+  // (queue wait, execution, end-to-end; p50/p90/p99/p99.9).
+  std::string StageJson = "{";
+  bool FirstStage = true;
+  for (size_t I = 0;
+       I < static_cast<size_t>(service::InferenceService::kStageCount);
+       ++I) {
+    auto Stage = static_cast<service::InferenceService::Stage>(I);
+    auto Snap = Svc.latencySnapshot(Stage);
+    if (Snap.Count == 0)
+      continue;
+    std::printf("  stage %-8s %s\n",
+                service::InferenceService::stageName(Stage),
+                Snap.quantilesJson().c_str());
+    if (!FirstStage)
+      StageJson += ", ";
+    FirstStage = false;
+    StageJson += std::string("\"") +
+                 service::InferenceService::stageName(Stage) +
+                 "\": " + Snap.quantilesJson();
+  }
+  StageJson += "}";
+
   if (!Args.JsonPath.empty()) {
-    char Results[512];
+    char Results[1536];
     std::snprintf(Results, sizeof(Results),
                   "{\"clients\": %zu, \"requests_per_client\": %zu, "
                   "\"queue_capacity\": %zu, \"wall_seconds\": %.6f, "
                   "\"throughput_rps\": %.3f, \"ok\": %llu, \"total\": %llu, "
-                  "\"service\": %s}",
+                  "\"service\": %s, \"stages\": %s}",
                   Clients, Requests, QueueCap, Seconds,
                   Seconds > 0 ? static_cast<double>(OkCount) / Seconds : 0.0,
                   static_cast<unsigned long long>(OkCount.load()),
                   static_cast<unsigned long long>(Total),
-                  Stats.json().c_str());
+                  Stats.json().c_str(), StageJson.c_str());
     bench::writeBenchJson(Args.JsonPath, "service_stress", Results);
   }
   return 0;

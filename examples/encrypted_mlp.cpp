@@ -13,25 +13,30 @@
 // by an automatically placed bootstrap.
 //
 // Run: ./encrypted_mlp [--telemetry-report[=json]] [--threads=N]
+//                       [--metrics-dump=FILE]
 //   ACE_TRACE=trace.json ./encrypted_mlp   # chrome://tracing span dump
+//   --metrics-dump writes the Prometheus exposition on exit
 //
 //===----------------------------------------------------------------------===//
 
 #include "codegen/CkksExecutor.h"
 #include "driver/AceCompiler.h"
 #include "nn/ModelZoo.h"
+#include "support/MetricsRegistry.h"
 #include "support/Telemetry.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 
 using namespace ace;
 
 int main(int argc, char **argv) {
   bool Report = false, ReportJson = false;
   int Threads = 0;
+  std::string MetricsDump;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--telemetry-report") == 0)
       Report = true;
@@ -39,8 +44,10 @@ int main(int argc, char **argv) {
       Report = ReportJson = true;
     else if (std::strncmp(argv[I], "--threads=", 10) == 0)
       Threads = std::atoi(argv[I] + 10);
+    else if (std::strncmp(argv[I], "--metrics-dump=", 15) == 0)
+      MetricsDump = argv[I] + 15;
   }
-  if (Report)
+  if (Report || !MetricsDump.empty())
     telemetry::Telemetry::instance().setEnabled(true);
   // A 2-hidden-layer MLP classifying synthetic 24-dim vectors.
   const int Classes = 6;
@@ -115,5 +122,15 @@ int main(int argc, char **argv) {
   std::printf("\nencrypted_mlp OK\n");
   if (Report)
     driver::printTelemetryReport(std::cout, ReportJson);
+  if (!MetricsDump.empty()) {
+    Status S =
+        metrics::MetricsRegistry::instance().writePrometheusFile(MetricsDump);
+    if (!S.ok()) {
+      std::fprintf(stderr, "metrics-dump failed: %s\n",
+                   S.message().c_str());
+      return 1;
+    }
+    std::printf("metrics exposition written to %s\n", MetricsDump.c_str());
+  }
   return Match >= Total - 1 ? 0 : 1;
 }

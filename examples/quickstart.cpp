@@ -16,6 +16,10 @@
 //
 // Run: ./quickstart [--telemetry-report[=json]] [--threads=N]
 //                   [--save-ct=FILE] [--load-ct=FILE]
+//                   [--metrics-dump=FILE]
+//
+// --metrics-dump writes the Prometheus text exposition (every counter
+// and latency histogram; docs/observability.md) to FILE on exit.
 //
 // --save-ct writes the encrypted input to FILE over the hardened wire
 // format (docs/serialization.md); --load-ct runs inference on a
@@ -28,6 +32,7 @@
 #include "driver/AceCompiler.h"
 #include "fhe/Serializer.h"
 #include "nn/ModelZoo.h"
+#include "support/MetricsRegistry.h"
 #include "support/Rng.h"
 #include "support/Telemetry.h"
 
@@ -43,7 +48,7 @@ using namespace ace;
 int main(int argc, char **argv) {
   bool Report = false, ReportJson = false;
   int Threads = 0;
-  std::string SaveCt, LoadCt;
+  std::string SaveCt, LoadCt, MetricsDump;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--telemetry-report") == 0)
       Report = true;
@@ -55,8 +60,10 @@ int main(int argc, char **argv) {
       SaveCt = argv[I] + 10;
     else if (std::strncmp(argv[I], "--load-ct=", 10) == 0)
       LoadCt = argv[I] + 10;
+    else if (std::strncmp(argv[I], "--metrics-dump=", 15) == 0)
+      MetricsDump = argv[I] + 15;
   }
-  if (Report)
+  if (Report || !MetricsDump.empty())
     telemetry::Telemetry::instance().setEnabled(true);
   // --- 1. The model (paper Fig. 4), round-tripped through a model file.
   onnx::Model Model = nn::buildLinearInfer(/*Seed=*/42);
@@ -178,5 +185,15 @@ int main(int argc, char **argv) {
   std::printf("\nquickstart OK\n");
   if (Report)
     driver::printTelemetryReport(std::cout, ReportJson);
+  if (!MetricsDump.empty()) {
+    Status S =
+        metrics::MetricsRegistry::instance().writePrometheusFile(MetricsDump);
+    if (!S.ok()) {
+      std::fprintf(stderr, "metrics-dump failed: %s\n",
+                   S.message().c_str());
+      return 1;
+    }
+    std::printf("metrics exposition written to %s\n", MetricsDump.c_str());
+  }
   return 0;
 }

@@ -10,11 +10,37 @@
 #include "nn/ModelZoo.h"
 #include "service/InferenceService.h"
 #include "support/Crc32c.h"
+#include "support/MetricsRegistry.h"
 #include "support/Rng.h"
+#include "support/Telemetry.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 using namespace ace;
+
+// Prints the per-request diagnostics every completed response carries:
+// trace id, stage latencies, and (when telemetry is on) the request's
+// own FHE op-count delta.
+static void printDiagnostics(const service::InferenceResponse &Resp) {
+  std::printf("  trace 0x%016llx: queue %.6fs, exec %.6fs, total %.6fs",
+              static_cast<unsigned long long>(Resp.TraceId),
+              Resp.QueueSeconds, Resp.ExecSeconds, Resp.LatencySeconds);
+  if (Resp.HasMinNoiseBudget)
+    std::printf(", min budget %.1f bits", Resp.MinNoiseBudgetBits);
+  std::printf("\n  ops:");
+  bool Any = false;
+  for (size_t I = 0; I < telemetry::kCounterCount; ++I)
+    if (Resp.OpDelta.Values[I] > 0) {
+      std::printf(" %s=%llu",
+                  telemetry::counterName(
+                      static_cast<telemetry::Counter>(I)),
+                  static_cast<unsigned long long>(Resp.OpDelta.Values[I]));
+      Any = true;
+    }
+  std::printf(Any ? "\n" : " (telemetry disabled)\n");
+}
 
 static nn::Tensor randomInput(Rng &R, int64_t Width) {
   nn::Tensor T;
@@ -25,7 +51,13 @@ static nn::Tensor randomInput(Rng &R, int64_t Width) {
   return T;
 }
 
-int main() {
+int main(int argc, char **argv) {
+  std::string MetricsDump;
+  for (int I = 1; I < argc; ++I)
+    if (std::strncmp(argv[I], "--metrics-dump=", 15) == 0)
+      MetricsDump = argv[I] + 15;
+  if (!MetricsDump.empty())
+    telemetry::Telemetry::instance().setEnabled(true);
   // Compile once (fast toy parameters; the service shape is the point).
   onnx::Model Model = nn::buildMlp({16, 12, 8}, 5);
   Rng R(19);
@@ -67,6 +99,19 @@ int main() {
   std::printf("normal request: %s, %zu logits, latency %.3fs\n",
               Resp.Outcome.ok() ? "ok" : Resp.Outcome.message().c_str(),
               Logits.ok() ? Logits->size() : 0, Resp.LatencySeconds);
+  printDiagnostics(Resp);
+
+  // A client-chosen trace id round-trips through both frames, so a log
+  // pipeline can join client- and server-side records on it.
+  Frame = Svc.encryptRequest(*Alice, randomInput(R, 16), /*ClientTag=*/7,
+                             /*DeadlineSeconds=*/-1.0,
+                             /*TraceId=*/0xace0000000000001ull);
+  Ticket = Svc.submit(Frame.take());
+  Resp = Ticket->Result.get();
+  std::printf("traced request: [%s] client-chosen trace id echoed: %s\n",
+              errorCodeName(Resp.Outcome.code()),
+              Resp.TraceId == 0xace0000000000001ull ? "yes" : "NO");
+  printDiagnostics(Resp);
 
   // 2. A request whose deadline already passed when it was submitted.
   Frame = Svc.encryptRequest(*Bob, randomInput(R, 16), /*ClientTag=*/1,
@@ -105,5 +150,27 @@ int main() {
               Misrouted.status().message().c_str());
 
   std::printf("stats: %s\n", Svc.stats().json().c_str());
+  for (size_t I = 0;
+       I < static_cast<size_t>(service::InferenceService::kStageCount); ++I) {
+    auto Stage = static_cast<service::InferenceService::Stage>(I);
+    auto Snap = Svc.latencySnapshot(Stage);
+    if (Snap.Count == 0)
+      continue;
+    std::printf("stage %s: %s\n",
+                service::InferenceService::stageName(Stage),
+                Snap.quantilesJson().c_str());
+  }
+  if (!MetricsDump.empty()) {
+    // While the service is still alive, so its gauges and stage
+    // histograms are part of the exposition.
+    Status S =
+        metrics::MetricsRegistry::instance().writePrometheusFile(MetricsDump);
+    if (!S.ok()) {
+      std::fprintf(stderr, "metrics-dump failed: %s\n",
+                   S.message().c_str());
+      return 1;
+    }
+    std::printf("metrics exposition written to %s\n", MetricsDump.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Validate the observability exports (docs/observability.md).
+
+Usage:
+    check_metrics.py METRICS_FILE [EVENTLOG_FILE] [--service] [--expect-slow]
+
+METRICS_FILE is a Prometheus text exposition written by --metrics-dump
+or ACE_METRICS. Checks:
+
+  * every sample line parses, and its family is introduced by exactly
+    one ``# HELP`` + ``# TYPE`` header pair before the first sample;
+  * histogram families are complete: cumulative ``_bucket`` counts are
+    monotone in ``le``, the ``+Inf`` bucket equals ``_count``, and
+    ``_sum``/``_count`` are present per label set;
+  * the built-in families (``ace_ops_total``, trace-buffer accounting,
+    peak RSS) are present; with ``--service``, the serving families
+    (``ace_service_stage_seconds``, queue/in-flight/session gauges) too.
+
+EVENTLOG_FILE is a JSONL request log written by ACE_EVENT_LOG. Checks:
+
+  * every line is one valid JSON object with the required schema keys;
+  * ``trace_id`` is a 16-digit hex string;
+  * records flagged ``slow`` carry the upgraded payload (``spans`` and
+    ``health`` objects); with ``--expect-slow``, at least one such
+    record must exist.
+
+Exits nonzero with a message per violation.
+"""
+
+import json
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'      # metric name
+    r'(?:\{([^}]*)\})?'                  # optional label list
+    r' (-?[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?|[+-]Inf|NaN)$'
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+REQUIRED_FAMILIES = [
+    "ace_ops_total",
+    "ace_trace_events_total",
+    "ace_trace_dropped_events_total",
+    "ace_peak_rss_bytes",
+]
+SERVICE_FAMILIES = [
+    "ace_service_stage_seconds",
+    "ace_service_queue_depth",
+    "ace_service_in_flight",
+    "ace_service_open_sessions",
+]
+
+EVENT_REQUIRED_KEYS = [
+    "ts", "event", "session", "trace_id", "request", "client_tag",
+    "status", "ops",
+]
+
+
+def family_of(name):
+    """Histogram series share one family header."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check_metrics(path, require_service):
+    errors = []
+    helps, types = {}, {}
+    # family -> label-set-sans-le -> list of (le, value); plus _sum/_count
+    buckets, sums, counts = {}, {}, {}
+    seen_families = set()
+
+    with open(path) as fh:
+        lines = fh.read().splitlines()
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            name = line.split(None, 3)[2]
+            if name in helps:
+                errors.append(f"{path}:{lineno}: duplicate # HELP for {name}")
+            helps[name] = lineno
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"):
+                errors.append(f"{path}:{lineno}: malformed # TYPE line")
+                continue
+            name = parts[2]
+            if name in types:
+                errors.append(f"{path}:{lineno}: duplicate # TYPE for {name}")
+            types[name] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{path}:{lineno}: unparseable sample: {line!r}")
+            continue
+        name, labelstr, value = m.group(1), m.group(2) or "", m.group(3)
+        fam = family_of(name)
+        seen_families.add(fam)
+        if fam not in helps or fam not in types:
+            errors.append(
+                f"{path}:{lineno}: sample {name} before its family header")
+            continue
+        labels = dict(LABEL_RE.findall(labelstr))
+        if types.get(fam) == "histogram":
+            key = tuple(sorted((k, v) for k, v in labels.items()
+                               if k != "le"))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"{path}:{lineno}: _bucket without le")
+                    continue
+                le = (float("inf") if labels["le"] == "+Inf"
+                      else float(labels["le"]))
+                buckets.setdefault(fam, {}).setdefault(key, []).append(
+                    (le, float(value), lineno))
+            elif name.endswith("_sum"):
+                sums.setdefault(fam, {})[key] = float(value)
+            elif name.endswith("_count"):
+                counts.setdefault(fam, {})[key] = float(value)
+            else:
+                errors.append(
+                    f"{path}:{lineno}: bare sample {name} in histogram "
+                    f"family {fam}")
+
+    for fam, by_label in buckets.items():
+        for key, series in by_label.items():
+            where = f"{path}: {fam}{dict(key)}"
+            series.sort(key=lambda t: t[0])
+            values = [v for _, v, _ in series]
+            if values != sorted(values):
+                errors.append(f"{where}: bucket counts not cumulative")
+            if series[-1][0] != float("inf"):
+                errors.append(f"{where}: missing le=\"+Inf\" bucket")
+            elif key in counts.get(fam, {}) and \
+                    series[-1][1] != counts[fam][key]:
+                errors.append(
+                    f"{where}: +Inf bucket {series[-1][1]} != _count "
+                    f"{counts[fam][key]}")
+            if key not in sums.get(fam, {}):
+                errors.append(f"{where}: missing _sum")
+            if key not in counts.get(fam, {}):
+                errors.append(f"{where}: missing _count")
+
+    required = list(REQUIRED_FAMILIES)
+    if require_service:
+        required += SERVICE_FAMILIES
+    for fam in required:
+        if fam not in seen_families:
+            errors.append(f"{path}: required family {fam} missing")
+    return errors
+
+
+def check_event_log(path, expect_slow):
+    errors = []
+    records = slow_records = 0
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                errors.append(f"{path}:{lineno}: invalid JSON: {exc}")
+                continue
+            if not isinstance(rec, dict):
+                errors.append(f"{path}:{lineno}: not a JSON object")
+                continue
+            records += 1
+            for key in EVENT_REQUIRED_KEYS:
+                if key not in rec:
+                    errors.append(f"{path}:{lineno}: missing key {key!r}")
+            if "trace_id" in rec and not re.fullmatch(
+                    r"0x[0-9a-f]{16}", str(rec["trace_id"])):
+                errors.append(
+                    f"{path}:{lineno}: malformed trace_id "
+                    f"{rec.get('trace_id')!r}")
+            if "ops" in rec and not isinstance(rec["ops"], dict):
+                errors.append(f"{path}:{lineno}: 'ops' is not an object")
+            if rec.get("slow"):
+                slow_records += 1
+                for key in ("spans", "health"):
+                    if not isinstance(rec.get(key), dict):
+                        errors.append(
+                            f"{path}:{lineno}: slow record missing "
+                            f"object key {key!r}")
+    if records == 0:
+        errors.append(f"{path}: no event-log records")
+    if expect_slow and slow_records == 0:
+        errors.append(f"{path}: no slow-flagged records "
+                      "(is ACE_SLOW_REQUEST_SECONDS armed?)")
+    return errors
+
+
+def main(argv):
+    flags = [a for a in argv[1:] if a.startswith("--")]
+    paths = [a for a in argv[1:] if not a.startswith("--")]
+    unknown = set(flags) - {"--service", "--expect-slow"}
+    if unknown or not paths or len(paths) > 2:
+        sys.stderr.write(__doc__)
+        return 2
+    errors = check_metrics(paths[0], "--service" in flags)
+    if len(paths) == 2:
+        errors += check_event_log(paths[1], "--expect-slow" in flags)
+    for err in errors:
+        print(f"ERROR: {err}")
+    if not errors:
+        print(f"check_metrics: OK ({', '.join(paths)})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

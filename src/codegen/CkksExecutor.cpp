@@ -113,6 +113,7 @@ StatusOr<fhe::Ciphertext>
 CkksExecutor::encryptInput(const nn::Tensor &Input) {
   if (!Encrypt)
     return Status::invalidArgument("executor: setup() not run");
+  telemetry::TraceSpan Span("executor", "encrypt");
   const CipherLayout &L = State.InputLayout;
   std::vector<double> Slots(L.slotCount(), 0.0);
   double Inv = 1.0 / State.InputDataScale;
@@ -363,6 +364,7 @@ StatusOr<std::vector<double>>
 CkksExecutor::decryptLogits(const Ciphertext &Output) {
   if (!Decrypt)
     return Status::invalidArgument("executor: setup() not run");
+  telemetry::TraceSpan Span("executor", "decrypt");
   ACE_ASSIGN_OR_RETURN(std::vector<double> Slots,
                        Decrypt->checkedDecryptRealValues(*Enc, Output));
   const CipherLayout &L = State.OutputLayout;

@@ -13,6 +13,7 @@
 #include "fhe/Encryptor.h"
 #include "fhe/Evaluator.h"
 #include "fhe/Serializer.h"
+#include "support/MetricsRegistry.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
@@ -653,6 +654,31 @@ int ace_telemetry_write_trace(const char *Path) {
     return ACE_ERR_INVALID_ARGUMENT;
   }
   Status S = telemetry::Telemetry::instance().writeChromeTraceFile(Path);
+  if (!S.ok()) {
+    setLastError(S);
+    return toCCode(S.code());
+  }
+  return ACE_OK;
+}
+
+char *ace_metrics_prometheus(void) {
+  std::string R = metrics::MetricsRegistry::instance().prometheusString();
+  char *Out = static_cast<char *>(std::malloc(R.size() + 1));
+  if (!Out) {
+    setLastError(ACE_ERR_RESOURCE_EXHAUSTED,
+                 "metrics_prometheus: cannot allocate exposition buffer");
+    return nullptr;
+  }
+  std::memcpy(Out, R.c_str(), R.size() + 1);
+  return Out;
+}
+
+int ace_metrics_write(const char *Path) {
+  if (!Path) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT, "metrics_write: NULL path");
+    return ACE_ERR_INVALID_ARGUMENT;
+  }
+  Status S = metrics::MetricsRegistry::instance().writePrometheusFile(Path);
   if (!S.ok()) {
     setLastError(S);
     return toCCode(S.code());

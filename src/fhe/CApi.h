@@ -179,6 +179,14 @@ char *ace_telemetry_report(int as_json);
 /// error code.
 int ace_telemetry_write_trace(const char *path);
 
+/// Full Prometheus text exposition (every counter, gauge, and histogram
+/// the process knows about; see docs/observability.md) as a malloc'd
+/// string the caller frees. NULL on allocation failure.
+char *ace_metrics_prometheus(void);
+/// Writes the Prometheus exposition to path. Returns ACE_OK or an
+/// error code.
+int ace_metrics_write(const char *path);
+
 /// @}
 
 /// \name Threading (see docs/performance.md)

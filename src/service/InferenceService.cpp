@@ -12,6 +12,8 @@
 #include "support/ByteReader.h"
 #include "support/ByteWriter.h"
 #include "support/Crc32c.h"
+#include "support/EventLog.h"
+#include "support/MetricsRegistry.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
@@ -24,11 +26,6 @@ using namespace ace;
 using namespace ace::service;
 
 namespace {
-
-/// Completed-request latencies kept for the percentile estimate; old
-/// entries are overwritten ring-buffer style so a long-lived service
-/// cannot grow without bound.
-constexpr size_t kLatencyWindow = 4096;
 
 inline void countSvc(telemetry::Counter C) {
   if (telemetry::enabled())
@@ -48,13 +45,6 @@ uint64_t splitmix64(uint64_t X) {
   X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
   X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
   return X ^ (X >> 31);
-}
-
-double percentile(std::vector<double> &Sorted, double Q) {
-  if (Sorted.empty())
-    return 0.0;
-  size_t Idx = static_cast<size_t>(Q * static_cast<double>(Sorted.size() - 1));
-  return Sorted[Idx];
 }
 
 } // namespace
@@ -92,18 +82,77 @@ struct InferenceService::Request {
   uint64_t Id = 0;
   uint64_t SessionId = 0;
   uint64_t ClientTag = 0;
+  /// Client-chosen (nonzero) or server-assigned trace id.
+  uint64_t TraceId = 0;
   uint32_t Fingerprint = 0;
   Deadline Limit;
   CancellationSource Source;
   std::vector<uint8_t> Bytes; // full request frame; payload after header
   std::promise<InferenceResponse> Promise;
   std::chrono::steady_clock::time_point EnqueuedAt;
+  /// Stage seconds, filled in as the request moves; negative = the
+  /// stage never ran.
+  double QueueSeconds = -1.0;
+  double ExecSeconds = -1.0;
+  /// Per-request telemetry attribution (op deltas, min noise budget,
+  /// span breakdown), populated while execute() holds a RequestScope.
+  telemetry::RequestContext Ctx;
 };
+
+const char *InferenceService::stageName(Stage S) {
+  switch (S) {
+  case Stage::Queue:
+    return "queue";
+  case Stage::Exec:
+    return "exec";
+  case Stage::EndToEnd:
+    return "e2e";
+  case Stage::Decrypt:
+    return "decrypt";
+  case Stage::StageCount:
+    break;
+  }
+  return "unknown";
+}
+
+Histogram::Snapshot InferenceService::latencySnapshot(Stage S) const {
+  return StageHist[static_cast<size_t>(S)].snapshot();
+}
 
 InferenceService::InferenceService(const air::IrFunction &F,
                                    const air::CompileState &State,
                                    ServiceConfig Config)
     : F(F), State(State), Config(Config) {
+  // Export the service's health through the process metrics registry
+  // (docs/observability.md). Callbacks run at export time only and take
+  // the same locks stats() does; registrations are released in
+  // shutdown() before the dispatcher joins.
+  auto &Reg = metrics::MetricsRegistry::instance();
+  for (size_t I = 0; I < kStageCount; ++I)
+    MetricIds.push_back(Reg.addHistogram(
+        "ace_service_stage_seconds",
+        "Per-stage request latency (queue wait, execution, end-to-end, "
+        "client decrypt).",
+        std::string("stage=\"") + stageName(static_cast<Stage>(I)) + "\"",
+        &StageHist[I]));
+  MetricIds.push_back(Reg.addGauge(
+      "ace_service_queue_depth", "Requests waiting for a dispatcher wave.",
+      "", [this] {
+        std::lock_guard<std::mutex> Lock(QueueMutex);
+        return static_cast<double>(Queue.size());
+      }));
+  MetricIds.push_back(Reg.addGauge(
+      "ace_service_in_flight", "Requests currently executing.", "",
+      [this] {
+        std::lock_guard<std::mutex> Lock(QueueMutex);
+        return static_cast<double>(InFlight);
+      }));
+  MetricIds.push_back(Reg.addGauge(
+      "ace_service_open_sessions", "Sessions currently open.", "",
+      [this] {
+        std::lock_guard<std::mutex> Lock(SessionsMutex);
+        return static_cast<double>(Sessions.size());
+      }));
   Dispatcher = std::thread([this] { dispatchLoop(); });
 }
 
@@ -157,8 +206,8 @@ uint32_t InferenceService::sessionKeyFingerprint(uint64_t SessionId) const {
 
 StatusOr<std::vector<uint8_t>>
 InferenceService::encryptRequest(uint64_t SessionId, const nn::Tensor &Input,
-                                 uint64_t ClientTag,
-                                 double DeadlineSeconds) {
+                                 uint64_t ClientTag, double DeadlineSeconds,
+                                 uint64_t TraceId) {
   auto S = findSession(SessionId);
   if (!S)
     return Status::keyMissing("encryptRequest: unknown session id " +
@@ -191,6 +240,7 @@ InferenceService::encryptRequest(uint64_t SessionId, const nn::Tensor &Input,
   W.u16(frame::kVersion);
   W.u64(SessionId);
   W.u64(ClientTag);
+  W.u64(TraceId);
   W.u64(Micros);
   W.u32(S->Fingerprint);
   W.u32(crc32c(Out.data(), Out.size())); // header CRC seals the routing
@@ -210,11 +260,12 @@ InferenceService::submit(std::vector<uint8_t> RequestBytes) {
   ByteReader Rd(RequestBytes.data(), RequestBytes.size());
   uint32_t Magic = 0, Fp = 0, Crc = 0;
   uint16_t Version = 0;
-  uint64_t SessionId = 0, Tag = 0, Micros = 0;
+  uint64_t SessionId = 0, Tag = 0, TraceId = 0, Micros = 0;
   Rd.u32(Magic);
   Rd.u16(Version);
   Rd.u64(SessionId);
   Rd.u64(Tag);
+  Rd.u64(TraceId);
   Rd.u64(Micros);
   Rd.u32(Fp);
   Rd.u32(Crc);
@@ -249,6 +300,7 @@ InferenceService::submit(std::vector<uint8_t> RequestBytes) {
   auto R = std::make_shared<Request>();
   R->SessionId = SessionId;
   R->ClientTag = Tag;
+  R->TraceId = TraceId;
   R->Fingerprint = Fp;
   R->Bytes = std::move(RequestBytes);
   // kUnboundedDeadlineMicros leaves Limit at never(): the client
@@ -276,6 +328,14 @@ InferenceService::submit(std::vector<uint8_t> RequestBytes) {
           "); retry after backpressure clears");
     }
     R->Id = NextRequestId++;
+    // Server-assigned trace id when the client passed 0: the SplitMix64
+    // mix keeps ids well-spread even for consecutive request ids (the
+    // raw id is the astronomically-unlikely fallback for a zero mix).
+    if (R->TraceId == 0) {
+      R->TraceId = splitmix64(R->Id);
+      if (R->TraceId == 0)
+        R->TraceId = R->Id;
+    }
     T.Id = R->Id;
     T.Result = R->Promise.get_future();
     Queue.push_back(R);
@@ -302,6 +362,7 @@ Status InferenceService::cancel(uint64_t RequestId) {
 }
 
 void InferenceService::dispatchLoop() {
+  telemetry::Telemetry::instance().nameThread("ace-svc-dispatcher");
   while (true) {
     std::vector<std::shared_ptr<Request>> Batch;
     bool Draining = false;
@@ -382,6 +443,13 @@ void InferenceService::dispatchLoop() {
 }
 
 void InferenceService::execute(const std::shared_ptr<Request> &R) {
+  // The queue stage ends the moment a worker picks the request up.
+  auto DequeuedAt = std::chrono::steady_clock::now();
+  R->QueueSeconds =
+      std::chrono::duration<double>(DequeuedAt - R->EnqueuedAt).count();
+  StageHist[static_cast<size_t>(Stage::Queue)].recordSeconds(
+      R->QueueSeconds);
+
   CancellationToken Token = R->Source.token(R->Limit);
   // Pre-flight poll covers time spent queued: an expired or cancelled
   // request unwinds before its ciphertext is even parsed.
@@ -398,25 +466,38 @@ void InferenceService::execute(const std::shared_ptr<Request> &R) {
            {});
     return;
   }
-  auto Ct = fhe::wire::loadCiphertext(
-      S->Exec->context(), R->Bytes.data() + frame::kRequestHeaderBytes,
-      R->Bytes.size() - frame::kRequestHeaderBytes);
-  if (!Ct.ok()) {
-    finish(R, Ct.status(), {});
-    return;
-  }
   std::vector<uint8_t> CtBytes;
   Status Outcome;
   {
-    // No lock here: the dispatcher holds this session's RunMutex for
-    // the whole wave (one request per session per wave), so the
-    // executor is exclusively ours.
-    auto Result = S->Exec->run(*Ct, Token);
-    if (Result.ok())
-      Outcome = fhe::wire::save(*Result, CtBytes); // injected faults land here
-    else
-      Outcome = Result.status();
+    // Request-scoped attribution: every telemetry counter bumped, span
+    // closed, and noise budget observed from here to the end of the
+    // block lands on this request's context (payload parse included,
+    // so wire bytes attribute too). Nested FHE kernels run inline on
+    // this thread (the pool's nesting rule), so the thread-local scope
+    // covers the whole execution.
+    R->Ctx.TraceId = R->TraceId;
+    telemetry::RequestScope Scope(R->Ctx);
+    auto Ct = fhe::wire::loadCiphertext(
+        S->Exec->context(), R->Bytes.data() + frame::kRequestHeaderBytes,
+        R->Bytes.size() - frame::kRequestHeaderBytes);
+    if (!Ct.ok()) {
+      Outcome = Ct.status();
+    } else {
+      // No lock here: the dispatcher holds this session's RunMutex for
+      // the whole wave (one request per session per wave), so the
+      // executor is exclusively ours.
+      auto Result = S->Exec->run(*Ct, Token);
+      if (Result.ok())
+        Outcome =
+            fhe::wire::save(*Result, CtBytes); // injected faults land here
+      else
+        Outcome = Result.status();
+    }
   }
+  R->ExecSeconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - DequeuedAt)
+                       .count();
+  StageHist[static_cast<size_t>(Stage::Exec)].recordSeconds(R->ExecSeconds);
   if (!Outcome.ok())
     CtBytes.clear();
   finish(R, std::move(Outcome), std::move(CtBytes));
@@ -428,10 +509,18 @@ void InferenceService::finish(const std::shared_ptr<Request> &R,
   InferenceResponse Resp;
   Resp.RequestId = R->Id;
   Resp.ClientTag = R->ClientTag;
+  Resp.TraceId = R->TraceId;
   Resp.LatencySeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     R->EnqueuedAt)
           .count();
+  Resp.QueueSeconds = R->QueueSeconds;
+  Resp.ExecSeconds = R->ExecSeconds;
+  Resp.OpDelta = R->Ctx.opSnapshot();
+  if (R->Ctx.SawHealth) {
+    Resp.MinNoiseBudgetBits = R->Ctx.MinNoiseBudgetBits;
+    Resp.HasMinNoiseBudget = true;
+  }
 
   ByteWriter W(Resp.Bytes);
   W.u32(frame::kResponseMagic);
@@ -439,6 +528,7 @@ void InferenceService::finish(const std::shared_ptr<Request> &R,
   W.u64(R->SessionId);
   W.u64(R->ClientTag);
   W.u64(R->Id);
+  W.u64(R->TraceId);
   W.u8(static_cast<uint8_t>(Outcome.code()));
   const std::string &Msg = Outcome.message();
   W.u32(static_cast<uint32_t>(Msg.size()));
@@ -446,6 +536,10 @@ void InferenceService::finish(const std::shared_ptr<Request> &R,
   W.u32(R->Fingerprint);
   if (Outcome.ok())
     W.bytes(CtBytes.data(), CtBytes.size());
+
+  if (Outcome.ok())
+    StageHist[static_cast<size_t>(Stage::EndToEnd)].recordSeconds(
+        Resp.LatencySeconds);
 
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
@@ -456,12 +550,6 @@ void InferenceService::finish(const std::shared_ptr<Request> &R,
     switch (Outcome.code()) {
     case ErrorCode::Ok:
       ++Counters.Completed;
-      if (Latencies.size() < kLatencyWindow) {
-        Latencies.push_back(Resp.LatencySeconds);
-      } else {
-        Latencies[LatencyCursor] = Resp.LatencySeconds;
-        LatencyCursor = (LatencyCursor + 1) % kLatencyWindow;
-      }
       break;
     case ErrorCode::DeadlineExceeded:
       ++Counters.DeadlineExpired;
@@ -473,6 +561,45 @@ void InferenceService::finish(const std::shared_ptr<Request> &R,
       ++Counters.Failed;
       break;
     }
+  }
+
+  if (telemetry::enabled()) {
+    // One async span per request in the Chrome trace, back-dated to
+    // admission so queue wait and execution render as one bar,
+    // correlated across threads by the trace id.
+    auto &T = telemetry::Telemetry::instance();
+    double EndUs = T.nowUs();
+    telemetry::TraceEvent B;
+    B.Name = "request";
+    B.Category = "service";
+    B.Phase = 'b';
+    B.Id = R->TraceId;
+    B.TsUs = EndUs - Resp.LatencySeconds * 1e6;
+    T.addEvent(std::move(B));
+    telemetry::TraceEvent E;
+    E.Name = "request";
+    E.Category = "service";
+    E.Phase = 'e';
+    E.Id = R->TraceId;
+    E.TsUs = EndUs;
+    T.addEvent(std::move(E));
+  }
+
+  if (obs::EventLog::instance().enabled()) {
+    obs::RequestLogEntry LE;
+    LE.SessionId = R->SessionId;
+    LE.TraceId = R->TraceId;
+    LE.RequestId = R->Id;
+    LE.ClientTag = R->ClientTag;
+    LE.StatusName = errorCodeName(Outcome.code());
+    LE.QueueSeconds = R->QueueSeconds;
+    LE.ExecSeconds = R->ExecSeconds;
+    LE.TotalSeconds = Resp.LatencySeconds;
+    LE.OpDelta = Resp.OpDelta;
+    LE.MinNoiseBudgetBits = Resp.MinNoiseBudgetBits;
+    LE.HasMinNoiseBudget = Resp.HasMinNoiseBudget;
+    LE.Spans = R->Ctx.Spans;
+    obs::EventLog::instance().record(LE);
   }
   switch (Outcome.code()) {
   case ErrorCode::Ok:
@@ -499,18 +626,20 @@ InferenceService::decryptResponse(uint64_t SessionId,
   if (!S)
     return Status::keyMissing("decryptResponse: unknown session id " +
                               std::to_string(SessionId));
+  auto DecryptStart = std::chrono::steady_clock::now();
   ByteReader Rd(Bytes.data(), Bytes.size());
   uint32_t Magic = 0, Fp = 0, MsgLen = 0;
   uint16_t Version = 0;
-  uint64_t Sid = 0, Tag = 0, Rid = 0;
+  uint64_t Sid = 0, Tag = 0, Rid = 0, TraceId = 0;
   uint8_t Code = 0;
   if (!Rd.u32(Magic) || Magic != frame::kResponseMagic)
     return Status::dataCorrupt("response frame: bad magic");
   if (!Rd.u16(Version) || Version != frame::kVersion)
     return Status::dataCorrupt("response frame: unsupported version");
-  if (!Rd.u64(Sid) || !Rd.u64(Tag) || !Rd.u64(Rid) || !Rd.u8(Code) ||
-      !Rd.u32(MsgLen))
+  if (!Rd.u64(Sid) || !Rd.u64(Tag) || !Rd.u64(Rid) || !Rd.u64(TraceId) ||
+      !Rd.u8(Code) || !Rd.u32(MsgLen))
     return Status::dataCorrupt("response frame: truncated header");
+  (void)TraceId; // parsed for layout; InferenceResponse carries it
   if (Code > kMaxWireErrorCode)
     return Status::dataCorrupt("response frame: unknown status code " +
                                std::to_string(Code));
@@ -534,18 +663,23 @@ InferenceService::decryptResponse(uint64_t SessionId,
                                                  Rd.remaining()));
   // Same lock-order discipline as encryptRequest: never fork while
   // holding a session mutex.
-  std::lock_guard<std::mutex> Run(S->RunMutex);
-  ThreadPool::InlineRegion Inline;
-  return S->Exec->decryptLogits(Ct);
+  StatusOr<std::vector<double>> Logits = [&] {
+    std::lock_guard<std::mutex> Run(S->RunMutex);
+    ThreadPool::InlineRegion Inline;
+    return S->Exec->decryptLogits(Ct);
+  }();
+  StageHist[static_cast<size_t>(Stage::Decrypt)].recordSeconds(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    DecryptStart)
+          .count());
+  return Logits;
 }
 
 ServiceStats InferenceService::stats() const {
   ServiceStats Out;
-  std::vector<double> Window;
   {
     std::lock_guard<std::mutex> Lock(StatsMutex);
     Out = Counters;
-    Window = Latencies;
   }
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
@@ -556,9 +690,13 @@ ServiceStats InferenceService::stats() const {
     std::lock_guard<std::mutex> Lock(SessionsMutex);
     Out.OpenSessions = Sessions.size();
   }
-  std::sort(Window.begin(), Window.end());
-  Out.P50LatencySeconds = percentile(Window, 0.50);
-  Out.P99LatencySeconds = percentile(Window, 0.99);
+  // Percentiles come from the end-to-end histogram (completed requests
+  // only, matching the counter semantics): within one log-linear bucket
+  // - at most ~12.5% relative error - of the exact order statistic,
+  // over EVERY completed request, not a sliding sample window.
+  Histogram::Snapshot E2e = latencySnapshot(Stage::EndToEnd);
+  Out.P50LatencySeconds = E2e.quantileSeconds(0.50);
+  Out.P99LatencySeconds = E2e.quantileSeconds(0.99);
   return Out;
 }
 
@@ -571,4 +709,11 @@ void InferenceService::shutdown() {
   std::lock_guard<std::mutex> Lock(ShutdownMutex);
   if (Dispatcher.joinable())
     Dispatcher.join();
+  // Release metric registrations: the gauge callbacks capture `this`
+  // and must not outlive the service (an at-exit exposition dump may
+  // run long after this object is gone).
+  auto &Reg = metrics::MetricsRegistry::instance();
+  for (uint64_t Id : MetricIds)
+    Reg.remove(Id);
+  MetricIds.clear();
 }

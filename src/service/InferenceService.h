@@ -51,7 +51,9 @@
 
 #include "codegen/CkksExecutor.h"
 #include "support/Cancellation.h"
+#include "support/Histogram.h"
 #include "support/Status.h"
+#include "support/Telemetry.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -71,31 +73,37 @@ namespace service {
 /// docs/serving.md). A request is
 ///
 ///   magic "ACRQ" | version u16 | session id u64 | client tag u64 |
-///   deadline budget in micros u64 (0 = none carried, server default
-///   applies; 2^64-1 = explicitly unbounded) | key fingerprint u32 |
+///   trace id u64 (0 = let the server assign one) | deadline budget in
+///   micros u64 (0 = none carried, server default applies; 2^64-1 =
+///   explicitly unbounded) | key fingerprint u32 |
 ///   header CRC-32C u32 | framed ciphertext ("ACEW"...)
 ///
 /// and a response is
 ///
 ///   magic "ACRS" | version u16 | session id u64 | client tag u64 |
-///   request id u64 | status code u8 | message length u32 | message |
+///   request id u64 | trace id u64 (echo, or the server-assigned id) |
+///   status code u8 | message length u32 | message |
 ///   key fingerprint u32 | framed ciphertext (present only on success)
 ///
 /// The header CRC covers every request-header byte before it, so a
 /// bit-flipped session id or fingerprint is detected as DataCorrupt
 /// before any routing decision is made; the ciphertext payload carries
 /// its own frame CRC (PR 4).
+///
+/// Version history: v1 had no trace id; v2 (this build) inserts it
+/// after the client tag in both frames. Versions are checked exactly -
+/// a v1 frame fails with DataCorrupt, never a silent field shift.
 namespace frame {
 constexpr uint32_t kRequestMagic = 0x51524341u;  // "ACRQ"
 constexpr uint32_t kResponseMagic = 0x53524341u; // "ACRS"
-constexpr uint16_t kVersion = 1;
+constexpr uint16_t kVersion = 2;
 /// Deadline-budget wire value for "the client explicitly requested NO
 /// deadline". Distinct from 0 ("frame carries no deadline"), which lets
 /// the server apply ServiceConfig::DefaultDeadlineSeconds.
 constexpr uint64_t kUnboundedDeadlineMicros = ~0ull;
 /// Offset of the key fingerprint in a request frame (tests forge
 /// mismatches by patching it and re-sealing the header CRC).
-constexpr size_t kFingerprintOffset = 4 + 2 + 8 + 8 + 8;
+constexpr size_t kFingerprintOffset = 4 + 2 + 8 + 8 + 8 + 8;
 /// Offset of the header CRC-32C (covers bytes [0, kFingerprintOffset+4)).
 constexpr size_t kHeaderCrcOffset = kFingerprintOffset + 4;
 /// Total request-header bytes before the ciphertext payload.
@@ -144,6 +152,10 @@ struct InferenceResponse {
   uint64_t RequestId = 0;
   /// Echo of the client-chosen tag from the request frame.
   uint64_t ClientTag = 0;
+  /// The request's trace id: the client's if nonzero, otherwise the
+  /// server-assigned one. Also echoed in the response frame and stamped
+  /// on every trace event and event-log line the request produced.
+  uint64_t TraceId = 0;
   /// Success, or why the request failed (the same code travels in-band
   /// in Bytes so a remote client decodes it without this struct).
   Status Outcome;
@@ -152,6 +164,18 @@ struct InferenceResponse {
   std::vector<uint8_t> Bytes;
   /// Submit-to-completion wall time.
   double LatencySeconds = 0.0;
+  /// Stage breakdown: admission-to-dispatch wait and execution wall
+  /// time. Negative when the stage never ran (e.g. shed at shutdown).
+  double QueueSeconds = -1.0;
+  double ExecSeconds = -1.0;
+  /// Per-request FHE op-count delta (ct-ct muls, rotations, bootstraps,
+  /// wire bytes, ...), populated when telemetry is enabled; all-zero
+  /// otherwise. Exact when the request executed on one thread (the
+  /// service's per-request fan-out; see docs/serving.md).
+  telemetry::CounterSnapshot OpDelta;
+  /// Minimum noise budget any FHE op in this request observed.
+  double MinNoiseBudgetBits = 0.0;
+  bool HasMinNoiseBudget = false;
 };
 
 /// Compile once, serve many: one instance owns the worker machinery for
@@ -185,10 +209,15 @@ public:
   /// that default); positive values bound queue wait + execution,
   /// clamped to at least one microsecond so a tiny budget expires
   /// instead of silently degrading to the default.
+  /// \p TraceId propagates end-to-end: it is carried in the request
+  /// frame, stamped on every trace event the request produces, echoed
+  /// in the response frame, and surfaced in InferenceResponse. 0 lets
+  /// the server assign one.
   StatusOr<std::vector<uint8_t>> encryptRequest(uint64_t SessionId,
                                                 const nn::Tensor &Input,
                                                 uint64_t ClientTag = 0,
-                                                double DeadlineSeconds = -1.0);
+                                                double DeadlineSeconds = -1.0,
+                                                uint64_t TraceId = 0);
 
   /// Client-side: decrypts a response frame produced for \p SessionId.
   /// A failure response reconstructs and returns the server's Status.
@@ -217,6 +246,17 @@ public:
 
   /// Snapshot of counters, queue depth, and latency percentiles.
   ServiceStats stats() const;
+
+  /// The per-stage latency histograms (lock-free, unbounded count; see
+  /// support/Histogram.h). Queue = admission to dispatch, Exec =
+  /// execution wall time, EndToEnd = submit to completion (completed
+  /// requests only, matching ServiceStats percentiles), Decrypt =
+  /// client-side decryptResponse calls.
+  enum class Stage { Queue = 0, Exec, EndToEnd, Decrypt, StageCount };
+  static constexpr size_t kStageCount = static_cast<size_t>(Stage::StageCount);
+  /// Stable exposition/JSON name ("queue", "exec", "e2e", "decrypt").
+  static const char *stageName(Stage S);
+  Histogram::Snapshot latencySnapshot(Stage S) const;
 
   /// Stops admission, fails every queued request with Cancelled, waits
   /// for running requests to finish, and joins the dispatcher.
@@ -255,8 +295,13 @@ private:
 
   mutable std::mutex StatsMutex;
   ServiceStats Counters;                 // queue/latency fields unused here
-  std::vector<double> Latencies;         // completed requests, bounded ring
-  size_t LatencyCursor = 0;
+
+  /// Per-stage latency histograms (replaces the PR 6 sample ring:
+  /// lock-free recording, unbounded request counts, mergeable).
+  std::array<Histogram, kStageCount> StageHist;
+
+  /// Metric registrations (ace_service_*) released in shutdown().
+  std::vector<uint64_t> MetricIds;
 
   std::mutex ShutdownMutex; // serializes the dispatcher join
   std::thread Dispatcher;

@@ -1,0 +1,120 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded structured JSONL event log for the serving stack (see
+/// docs/observability.md). One JSON object per line, one line per
+/// request lifecycle completion: session, trace id, outcome, stage
+/// latencies (queue wait / execute / end-to-end), the request's FHE
+/// op-count delta, and its minimum observed noise budget - the record a
+/// log pipeline ingests to answer "why was THIS request slow" after the
+/// fact.
+///
+/// A configurable slow-request threshold upgrades a record: requests at
+/// or above it additionally carry their full span breakdown (every
+/// trace span closed on the request's thread, with wall seconds) and a
+/// ciphertext-health snapshot, so the one pathological request in a
+/// million arrives in the log with its own profile attached.
+///
+/// Bounded by design: records beyond MaxRecords are counted as dropped,
+/// never buffered; each record is a single bounded write under one
+/// mutex. Disabled (the default) the check is one relaxed atomic load.
+/// ACE_EVENT_LOG=<file> opens the log at process start (and enables
+/// telemetry so op deltas and noise budgets are populated);
+/// ACE_SLOW_REQUEST_SECONDS=<s> sets the threshold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_SUPPORT_EVENTLOG_H
+#define ACE_SUPPORT_EVENTLOG_H
+
+#include "support/Status.h"
+#include "support/Telemetry.h"
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ace {
+namespace obs {
+
+/// Everything one request-completion line carries. Stage seconds that
+/// never happened (a request failed before execution) stay negative and
+/// are omitted from the line.
+struct RequestLogEntry {
+  uint64_t SessionId = 0;
+  uint64_t TraceId = 0;
+  uint64_t RequestId = 0;
+  uint64_t ClientTag = 0;
+  /// Stable status-code name ("ok", "deadline-exceeded", ...).
+  const char *StatusName = "ok";
+  double QueueSeconds = -1.0;
+  double ExecSeconds = -1.0;
+  double TotalSeconds = -1.0;
+  /// Per-request counter delta; only nonzero slots are written.
+  telemetry::CounterSnapshot OpDelta;
+  /// Minimum noise budget any FHE op in this request observed;
+  /// +infinity (= absent) when no op recorded health.
+  double MinNoiseBudgetBits = 0.0;
+  bool HasMinNoiseBudget = false;
+  /// Span breakdown for the slow-request dump: (name, wall seconds) of
+  /// every trace span closed while the request executed.
+  std::vector<std::pair<std::string, double>> Spans;
+};
+
+/// The process-wide JSONL sink. Thread-safe; record() takes one mutex
+/// only when the log is open.
+class EventLog {
+public:
+  static EventLog &instance();
+
+  /// The one branch the disabled path pays.
+  bool enabled() const {
+    return Enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Opens (truncates) \p Path and starts accepting records.
+  Status open(const std::string &Path);
+  /// Flushes and closes; record() becomes a no-op again.
+  void close();
+
+  /// Requests with TotalSeconds >= the threshold get the span/health
+  /// dump. <= 0 disables slow dumps (the default when the env var is
+  /// unset).
+  void setSlowThresholdSeconds(double S);
+  double slowThresholdSeconds() const;
+
+  /// Cap on emitted lines; records beyond it are counted, not written.
+  void setMaxRecords(uint64_t N);
+
+  /// Appends one line (or counts a drop past the cap). No-op while
+  /// closed.
+  void record(const RequestLogEntry &E);
+
+  uint64_t writtenCount() const;
+  uint64_t droppedCount() const;
+
+  /// Renders \p E exactly as record() would write it (exposed so tests
+  /// and bespoke sinks share one schema).
+  static std::string renderLine(const RequestLogEntry &E, bool Slow);
+
+private:
+  EventLog();
+  EventLog(const EventLog &) = delete;
+  EventLog &operator=(const EventLog &) = delete;
+
+  std::atomic<bool> Enabled{false};
+  struct Impl;
+  Impl *P; // leaked singleton state: the atexit close must stay valid
+};
+
+} // namespace obs
+} // namespace ace
+
+#endif // ACE_SUPPORT_EVENTLOG_H

@@ -1,0 +1,191 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace ace;
+
+namespace {
+
+/// Index of the highest set bit (v must be nonzero).
+inline unsigned highestBit(uint64_t V) {
+#if defined(__GNUC__) || defined(__clang__)
+  return 63u - static_cast<unsigned>(__builtin_clzll(V));
+#else
+  unsigned B = 0;
+  while (V >>= 1)
+    ++B;
+  return B;
+#endif
+}
+
+} // namespace
+
+size_t Histogram::bucketIndex(uint64_t Nanos) {
+  if (Nanos < kSubBuckets)
+    return static_cast<size_t>(Nanos);
+  unsigned Msb = highestBit(Nanos);
+  unsigned Shift = Msb - kSubBucketBits;
+  size_t Sub = static_cast<size_t>((Nanos >> Shift) & (kSubBuckets - 1));
+  size_t Idx = (Msb - kSubBucketBits + 1) * kSubBuckets + Sub;
+  return Idx < kBuckets ? Idx : kBuckets - 1;
+}
+
+uint64_t Histogram::bucketLowerNanos(size_t Index) {
+  if (Index < kSubBuckets)
+    return static_cast<uint64_t>(Index);
+  size_t Block = Index / kSubBuckets;      // 1-based octave block
+  size_t Sub = Index % kSubBuckets;
+  unsigned Msb = static_cast<unsigned>(Block + kSubBucketBits - 1);
+  return (static_cast<uint64_t>(kSubBuckets + Sub))
+         << (Msb - kSubBucketBits);
+}
+
+uint64_t Histogram::bucketUpperNanos(size_t Index) {
+  if (Index < kSubBuckets)
+    return static_cast<uint64_t>(Index) + 1;
+  if (Index >= kBuckets - 1)
+    return ~uint64_t(0);
+  size_t Block = Index / kSubBuckets;
+  unsigned Msb = static_cast<unsigned>(Block + kSubBucketBits - 1);
+  return bucketLowerNanos(Index) + (uint64_t(1) << (Msb - kSubBucketBits));
+}
+
+void Histogram::recordSeconds(double Seconds) {
+  if (!(Seconds > 0.0)) { // NaN and negatives land in the zero bucket
+    recordNanos(0);
+    return;
+  }
+  double Nanos = Seconds * 1e9;
+  constexpr double kMax = 1.8e19; // < 2^64, saturate instead of wrapping
+  recordNanos(Nanos >= kMax ? ~uint64_t(0)
+                            : static_cast<uint64_t>(Nanos + 0.5));
+}
+
+void Histogram::recordNanos(uint64_t Nanos) {
+  Buckets[bucketIndex(Nanos)].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  SumNanos.fetch_add(Nanos, std::memory_order_relaxed);
+  uint64_t Prev = MinNanos.load(std::memory_order_relaxed);
+  while (Nanos < Prev &&
+         !MinNanos.compare_exchange_weak(Prev, Nanos,
+                                         std::memory_order_relaxed))
+    ;
+  Prev = MaxNanos.load(std::memory_order_relaxed);
+  while (Nanos > Prev &&
+         !MaxNanos.compare_exchange_weak(Prev, Nanos,
+                                         std::memory_order_relaxed))
+    ;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot S;
+  for (size_t I = 0; I < kBuckets; ++I)
+    S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+  S.Count = Count.load(std::memory_order_relaxed);
+  S.SumNanos = SumNanos.load(std::memory_order_relaxed);
+  S.MinNanos = MinNanos.load(std::memory_order_relaxed);
+  S.MaxNanos = MaxNanos.load(std::memory_order_relaxed);
+  return S;
+}
+
+void Histogram::merge(const Histogram &Other) {
+  Snapshot S = Other.snapshot();
+  for (size_t I = 0; I < kBuckets; ++I)
+    if (S.Buckets[I])
+      Buckets[I].fetch_add(S.Buckets[I], std::memory_order_relaxed);
+  Count.fetch_add(S.Count, std::memory_order_relaxed);
+  SumNanos.fetch_add(S.SumNanos, std::memory_order_relaxed);
+  uint64_t Prev = MinNanos.load(std::memory_order_relaxed);
+  while (S.MinNanos < Prev &&
+         !MinNanos.compare_exchange_weak(Prev, S.MinNanos,
+                                         std::memory_order_relaxed))
+    ;
+  Prev = MaxNanos.load(std::memory_order_relaxed);
+  while (S.MaxNanos > Prev &&
+         !MaxNanos.compare_exchange_weak(Prev, S.MaxNanos,
+                                         std::memory_order_relaxed))
+    ;
+}
+
+void Histogram::clear() {
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  SumNanos.store(0, std::memory_order_relaxed);
+  MinNanos.store(~uint64_t(0), std::memory_order_relaxed);
+  MaxNanos.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Snapshot::merge(const Snapshot &Other) {
+  for (size_t I = 0; I < kBuckets; ++I)
+    Buckets[I] += Other.Buckets[I];
+  Count += Other.Count;
+  SumNanos += Other.SumNanos;
+  MinNanos = std::min(MinNanos, Other.MinNanos);
+  MaxNanos = std::max(MaxNanos, Other.MaxNanos);
+}
+
+double Histogram::Snapshot::quantileSeconds(double Q) const {
+  if (Count == 0)
+    return 0.0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  // Rank of the order statistic we are estimating (0-based, nearest).
+  uint64_t Rank = static_cast<uint64_t>(
+      Q * static_cast<double>(Count - 1) + 0.5);
+  uint64_t Seen = 0;
+  for (size_t I = 0; I < kBuckets; ++I) {
+    uint64_t B = Buckets[I];
+    if (B == 0)
+      continue;
+    if (Seen + B > Rank) {
+      // Linear interpolation within the bucket's value range.
+      double Lo = static_cast<double>(bucketLowerNanos(I));
+      double Hi = static_cast<double>(bucketUpperNanos(I));
+      double Frac =
+          (static_cast<double>(Rank - Seen) + 0.5) / static_cast<double>(B);
+      double Nanos = Lo + (Hi - Lo) * Frac;
+      // The observed extrema are exact; never report outside them.
+      Nanos = std::max(Nanos, static_cast<double>(MinNanos));
+      Nanos = std::min(Nanos, static_cast<double>(MaxNanos));
+      return Nanos * 1e-9;
+    }
+    Seen += B;
+  }
+  return static_cast<double>(MaxNanos) * 1e-9;
+}
+
+uint64_t Histogram::Snapshot::cumulativeCount(double Seconds) const {
+  if (Seconds < 0)
+    return 0;
+  double Nanos = Seconds * 1e9;
+  uint64_t N = Nanos >= 1.8e19 ? ~uint64_t(0)
+                               : static_cast<uint64_t>(Nanos + 0.5);
+  size_t Limit = bucketIndex(N);
+  uint64_t Total = 0;
+  for (size_t I = 0; I <= Limit && I < kBuckets; ++I)
+    Total += Buckets[I];
+  return Total;
+}
+
+std::string Histogram::Snapshot::quantilesJson() const {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"count\": %llu, \"p50\": %.6f, \"p90\": %.6f, "
+                "\"p99\": %.6f, \"p999\": %.6f, \"mean\": %.6f, "
+                "\"max\": %.6f}",
+                static_cast<unsigned long long>(Count),
+                quantileSeconds(0.50), quantileSeconds(0.90),
+                quantileSeconds(0.99), quantileSeconds(0.999),
+                meanSeconds(), maxSeconds());
+  return Buf;
+}

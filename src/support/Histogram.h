@@ -1,0 +1,125 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lock-free log-bucketed latency histogram (see docs/observability.md).
+///
+/// Replaces the service layer's fixed sample ring: a bounded, mergeable
+/// histogram whose record() path is two relaxed atomic adds plus two
+/// relaxed min/max updates - safe to call from any number of threads
+/// with no locks and no allocation, so a serving hot path can record
+/// every request forever without growing memory.
+///
+/// Bucketing is HdrHistogram-style log-linear: values (nanoseconds) are
+/// grouped by power-of-two octave, each octave subdivided into
+/// kSubBuckets linear sub-buckets. Worst-case relative bucket width is
+/// 1/kSubBuckets (12.5%), so any quantile estimate is within one bucket
+/// - at most ~12.5% relative error - of the exact order statistic.
+/// Values below kSubBuckets nanoseconds are exact.
+///
+/// All statistics are monotone counters, so a Snapshot taken while other
+/// threads record is a consistent-enough view: every bucket count is a
+/// true value the bucket held at some point during the copy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_SUPPORT_HISTOGRAM_H
+#define ACE_SUPPORT_HISTOGRAM_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ace {
+
+class Histogram {
+public:
+  /// Sub-buckets per power-of-two octave (8 = 12.5% max relative error).
+  static constexpr size_t kSubBucketBits = 3;
+  static constexpr size_t kSubBuckets = size_t(1) << kSubBucketBits;
+  /// Bucket count covering the full uint64 nanosecond range: one block
+  /// of exact small values (indices [0, kSubBuckets)) plus one block per
+  /// octave with the most-significant bit in [kSubBucketBits, 63].
+  static constexpr size_t kBuckets =
+      (64 - kSubBucketBits + 1) * kSubBuckets;
+
+  /// A point-in-time copy with derived statistics. Plain data:
+  /// mergeable, copyable, serializable by the caller.
+  struct Snapshot {
+    std::array<uint64_t, kBuckets> Buckets{};
+    uint64_t Count = 0;
+    uint64_t SumNanos = 0;
+    uint64_t MinNanos = ~uint64_t(0);
+    uint64_t MaxNanos = 0;
+
+    /// Estimate of the Q-quantile (Q in [0,1]) in seconds, interpolated
+    /// within the owning bucket and clamped to the observed min/max.
+    /// 0 when empty.
+    double quantileSeconds(double Q) const;
+    /// Number of recorded values <= Seconds (bucket-granular: counts the
+    /// whole bucket containing Seconds).
+    uint64_t cumulativeCount(double Seconds) const;
+    double sumSeconds() const { return static_cast<double>(SumNanos) * 1e-9; }
+    double minSeconds() const {
+      return Count ? static_cast<double>(MinNanos) * 1e-9 : 0.0;
+    }
+    double maxSeconds() const { return static_cast<double>(MaxNanos) * 1e-9; }
+    double meanSeconds() const {
+      return Count ? sumSeconds() / static_cast<double>(Count) : 0.0;
+    }
+
+    /// Element-wise accumulate (histograms are mergeable: a merged
+    /// snapshot's quantiles are the quantiles of the combined stream).
+    void merge(const Snapshot &Other);
+
+    /// `{"count":N,"p50":...,"p90":...,"p99":...,"p999":...,"mean":...,
+    /// "max":...}` - the shared quantile block bench JSON emits.
+    std::string quantilesJson() const;
+  };
+
+  Histogram() = default;
+  Histogram(const Histogram &) = delete;
+  Histogram &operator=(const Histogram &) = delete;
+
+  /// Records one value. Negative and NaN clamp to zero; values are
+  /// saturated at ~584 years. Lock-free, wait-free, allocation-free.
+  void recordSeconds(double Seconds);
+  void recordNanos(uint64_t Nanos);
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+
+  Snapshot snapshot() const;
+
+  /// Folds \p Other's current contents into this histogram.
+  void merge(const Histogram &Other);
+
+  /// Resets every bucket and statistic to empty.
+  void clear();
+
+  /// \name Bucket geometry (pure functions; exposed for tests and
+  /// exporters).
+  /// @{
+  static size_t bucketIndex(uint64_t Nanos);
+  static uint64_t bucketLowerNanos(size_t Index);
+  /// Exclusive upper bound; saturates at the top bucket.
+  static uint64_t bucketUpperNanos(size_t Index);
+  /// @}
+
+private:
+  std::array<std::atomic<uint64_t>, kBuckets> Buckets{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> SumNanos{0};
+  std::atomic<uint64_t> MinNanos{~uint64_t(0)};
+  std::atomic<uint64_t> MaxNanos{0};
+};
+
+} // namespace ace
+
+#endif // ACE_SUPPORT_HISTOGRAM_H

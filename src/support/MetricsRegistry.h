@@ -1,0 +1,106 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics export layer (see docs/observability.md): one registry
+/// that renders every counter, gauge, and histogram the process knows
+/// about in Prometheus text exposition format, so a scrape endpoint,
+/// a node-exporter textfile collector, or a CI check can consume the
+/// same numbers the in-process reports print.
+///
+/// Two sources feed the exposition:
+///
+///  1. Built-ins, always exported: the telemetry op counters
+///     (`ace_ops_total{op="..."}`), trace buffer occupancy and drops,
+///     peak RSS, and the per-FHE-op latency histograms
+///     (`ace_fhe_op_seconds{op="..."}`).
+///  2. Registered metrics: components (the inference service, benches,
+///     user code) add gauges, counter callbacks, and Histogram pointers
+///     with a name + help + optional label set, and remove them when the
+///     owning object dies. Registration is cheap and does not touch any
+///     hot path - the callbacks run at export time only.
+///
+/// Histograms are exported against a fixed, compact set of `le` bounds
+/// (the internal log-linear resolution is much finer; export coarsens so
+/// the exposition stays a few KB). ACE_METRICS=<file> enables telemetry
+/// at process start and dumps the exposition to the file at exit -
+/// the serving analogue of ACE_TRACE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_SUPPORT_METRICSREGISTRY_H
+#define ACE_SUPPORT_METRICSREGISTRY_H
+
+#include "support/Histogram.h"
+#include "support/Status.h"
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace ace {
+namespace metrics {
+
+/// The export-time `le` bounds (seconds) histogram expositions use,
+/// terminated by +Inf which is always emitted.
+extern const double kExportBoundsSeconds[];
+extern const size_t kExportBoundCount;
+
+/// Process-wide registry. Thread-safe; export never blocks a record
+/// path (histograms are snapshotted lock-free, callbacks are invoked
+/// outside any recording code).
+class MetricsRegistry {
+public:
+  static MetricsRegistry &instance();
+
+  using GaugeFn = std::function<double()>;
+  using CounterFn = std::function<uint64_t()>;
+
+  /// \name Registration
+  /// \p Name must be a valid Prometheus metric name (the same family
+  /// may be registered many times with distinct \p Labels). \p Labels
+  /// is the inner label list without braces (`stage="queue"`), empty
+  /// for none. Returns an id for remove(). The callback / histogram
+  /// must stay valid until removed.
+  /// @{
+  uint64_t addGauge(std::string Name, std::string Help, std::string Labels,
+                    GaugeFn Fn);
+  uint64_t addCounter(std::string Name, std::string Help,
+                      std::string Labels, CounterFn Fn);
+  uint64_t addHistogram(std::string Name, std::string Help,
+                        std::string Labels, const Histogram *H);
+  void remove(uint64_t Id);
+  /// @}
+
+  /// Renders the full exposition: built-ins plus every registered
+  /// metric, families grouped under one # HELP / # TYPE header each.
+  void writePrometheus(std::ostream &OS) const;
+  std::string prometheusString() const;
+  Status writePrometheusFile(const std::string &Path) const;
+
+private:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry &) = delete;
+  MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+  struct Impl;
+  Impl *P; // leaked singleton state: exporters may run at exit
+};
+
+/// Writes one histogram exposition block (the `_bucket`/`_sum`/`_count`
+/// series for one label set) - shared by the registry and any bespoke
+/// exporter.
+void writeHistogramSeries(std::ostream &OS, const std::string &Name,
+                          const std::string &Labels,
+                          const Histogram::Snapshot &S);
+
+} // namespace metrics
+} // namespace ace
+
+#endif // ACE_SUPPORT_METRICSREGISTRY_H

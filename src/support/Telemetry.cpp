@@ -21,6 +21,7 @@ using namespace ace;
 using namespace ace::telemetry;
 
 std::atomic<bool> ace::telemetry::detail::Enabled{false};
+thread_local RequestContext *ace::telemetry::detail::CurrentRequest = nullptr;
 
 namespace {
 
@@ -234,6 +235,23 @@ std::vector<std::pair<Counter, OpHealth>> Telemetry::health() const {
   return Out;
 }
 
+void Telemetry::nameThread(const std::string &Name) {
+  uint32_t Tid = threadId();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[ExistingTid, ExistingName] : ThreadNames)
+    if (ExistingTid == Tid) {
+      ExistingName = Name;
+      return;
+    }
+  ThreadNames.emplace_back(Tid, Name);
+}
+
+std::vector<std::pair<uint32_t, std::string>>
+Telemetry::threadNames() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return ThreadNames;
+}
+
 void Telemetry::accumulatePhase(const std::string &Name, double Seconds) {
   std::lock_guard<std::mutex> Lock(Mutex);
   Phases.add(Name, Seconds);
@@ -271,10 +289,13 @@ void Telemetry::clear() {
   DroppedEvents = 0;
   Snapshots.clear();
   Health = {};
+  ThreadNames.clear();
   Phases.clear();
   PeakRss.store(0, std::memory_order_relaxed);
   for (auto &C : Counters)
     C.store(0, std::memory_order_relaxed);
+  for (auto &H : OpLatency)
+    H.clear();
 }
 
 //===----------------------------------------------------------------------===//
@@ -283,14 +304,26 @@ void Telemetry::clear() {
 
 void Telemetry::writeChromeTrace(std::ostream &OS) const {
   std::vector<TraceEvent> Copy;
+  std::vector<std::pair<uint32_t, std::string>> Names;
   size_t Dropped;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     Copy = Events;
+    Names = ThreadNames;
     Dropped = DroppedEvents;
   }
   OS << "{\"traceEvents\":[";
   bool First = true;
+  // Metadata first: the process name and one thread_name 'M' event per
+  // registered thread, so pool workers and the service dispatcher show
+  // up labeled in chrome://tracing. Synthesized at write time - naming
+  // works even for threads started before telemetry was enabled.
+  OS << "\n{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"ace\"}}";
+  First = false;
+  for (const auto &[Tid, Name] : Names)
+    OS << ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << Tid << ",\"args\":{\"name\":\"" << jsonEscape(Name) << "\"}}";
   for (const TraceEvent &E : Copy) {
     if (!First)
       OS << ",";
@@ -299,6 +332,11 @@ void Telemetry::writeChromeTrace(std::ostream &OS) const {
        << jsonEscape(E.Category) << "\",\"ph\":\"" << E.Phase
        << "\",\"pid\":1,\"tid\":" << E.Tid;
     char Buf[64];
+    if (E.Phase == 'b' || E.Phase == 'e') {
+      std::snprintf(Buf, sizeof(Buf), "\"0x%llx\"",
+                    static_cast<unsigned long long>(E.Id));
+      OS << ",\"id\":" << Buf;
+    }
     std::snprintf(Buf, sizeof(Buf), "%.3f", E.TsUs);
     OS << ",\"ts\":" << Buf;
     if (E.Phase == 'X') {
@@ -325,6 +363,14 @@ void Telemetry::writeChromeTrace(std::ostream &OS) const {
       Arg("noiseBudgetBits", E.NoiseBudgetBits);
     if (std::isfinite(E.CounterValue))
       Arg("value", E.CounterValue, /*AsInt=*/true);
+    if (E.Id != 0 && E.Phase != 'b' && E.Phase != 'e') {
+      if (!FirstArg)
+        OS << ",";
+      FirstArg = false;
+      std::snprintf(Buf, sizeof(Buf), "\"0x%016llx\"",
+                    static_cast<unsigned long long>(E.Id));
+      OS << "\"trace\":" << Buf;
+    }
     OS << "}}";
   }
   OS << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
@@ -504,12 +550,17 @@ TraceSpan::~TraceSpan() {
   if (!Emit)
     return;
   Telemetry &T = Telemetry::instance();
+  RequestContext *Ctx = detail::CurrentRequest;
+  if (Ctx && Ctx->Spans.size() < RequestContext::kMaxSpans)
+    Ctx->Spans.emplace_back(Name, Seconds);
   TraceEvent E;
   E.Name = Name;
   E.Category = Category;
   E.Phase = 'X';
   E.TsUs = StartUs;
   E.DurUs = Seconds * 1e6;
+  if (Ctx)
+    E.Id = Ctx->TraceId;
   T.addEvent(std::move(E));
   T.accumulatePhase(Name, Seconds);
 }
@@ -532,15 +583,26 @@ FheOpSpan::~FheOpSpan() {
     return;
   Telemetry &T = Telemetry::instance();
   double EndUs = T.nowUs();
+  double DurUs = EndUs - StartUs;
+  T.opLatency(Op).recordNanos(
+      DurUs > 0.0 ? static_cast<uint64_t>(DurUs * 1e3) : 0);
+  RequestContext *Ctx = detail::CurrentRequest;
+  if (Ctx && std::isfinite(NoiseBudgetBits)) {
+    Ctx->MinNoiseBudgetBits =
+        std::min(Ctx->MinNoiseBudgetBits, NoiseBudgetBits);
+    Ctx->SawHealth = true;
+  }
   TraceEvent E;
   E.Name = counterName(Op);
   E.Category = "fhe";
   E.Phase = 'X';
   E.TsUs = StartUs;
-  E.DurUs = EndUs - StartUs;
+  E.DurUs = DurUs;
   E.Level = NumQ;
   E.Log2Scale = Log2Scale;
   E.NoiseBudgetBits = NoiseBudgetBits;
+  if (Ctx)
+    E.Id = Ctx->TraceId;
   T.addEvent(std::move(E));
   T.recordHealth(Op, NumQ, Log2Scale, NoiseBudgetBits);
 }

@@ -36,6 +36,7 @@
 #ifndef ACE_SUPPORT_TELEMETRY_H
 #define ACE_SUPPORT_TELEMETRY_H
 
+#include "support/Histogram.h"
 #include "support/Status.h"
 #include "support/Timer.h"
 
@@ -119,8 +120,63 @@ struct CounterSnapshot {
   }
 };
 
+/// Per-request observation context (see docs/observability.md). While a
+/// RequestScope is installed on a thread, every Telemetry::count() on
+/// that thread also accumulates into OpDelta, every FheOpSpan folds its
+/// noise budget into MinNoiseBudgetBits, and every TraceSpan appends its
+/// (name, wall seconds) to Spans - giving the serving layer an exact
+/// per-request op-cost and span breakdown without any global diffing.
+///
+/// Not thread-safe by design: one context belongs to the one thread
+/// executing the request (nested kernels run inline on that thread at
+/// the service's per-request fan-out; see docs/serving.md for the
+/// attribution caveat when a lone request forks across workers).
+struct RequestContext {
+  /// Cap on captured spans; requests past it count but stop recording.
+  static constexpr size_t kMaxSpans = 256;
+
+  uint64_t TraceId = 0;
+  /// Counter increments observed while this context was installed.
+  std::array<uint64_t, kCounterCount> OpDelta{};
+  double MinNoiseBudgetBits = std::numeric_limits<double>::infinity();
+  bool SawHealth = false;
+  /// (span name, wall seconds) of every TraceSpan closed in scope.
+  std::vector<std::pair<std::string, double>> Spans;
+
+  CounterSnapshot opSnapshot() const {
+    CounterSnapshot S;
+    S.Values = OpDelta;
+    return S;
+  }
+};
+
+namespace detail {
+/// The thread's active request context (nullptr outside any request).
+/// Only touched through RequestScope; read by the telemetry hooks.
+extern thread_local RequestContext *CurrentRequest;
+} // namespace detail
+
+/// RAII installer for a RequestContext on the current thread. Nests:
+/// the previous context is restored on destruction.
+class RequestScope {
+public:
+  explicit RequestScope(RequestContext &Ctx) : Prev(detail::CurrentRequest) {
+    detail::CurrentRequest = &Ctx;
+  }
+  ~RequestScope() { detail::CurrentRequest = Prev; }
+
+  RequestScope(const RequestScope &) = delete;
+  RequestScope &operator=(const RequestScope &) = delete;
+
+private:
+  RequestContext *Prev;
+};
+
 /// One completed trace event. Phase 'X' = complete span (TsUs + DurUs),
-/// 'C' = counter sample (CounterValue), 'i' = instant.
+/// 'C' = counter sample (CounterValue), 'i' = instant, 'b'/'e' = async
+/// span begin/end (correlated by Id; the service emits one async span
+/// per request so queue wait and execution render as one bar per
+/// request in chrome://tracing).
 struct TraceEvent {
   std::string Name;
   const char *Category = "";     ///< must point at a static string
@@ -134,6 +190,10 @@ struct TraceEvent {
   double NoiseBudgetBits = std::numeric_limits<double>::quiet_NaN();
   /// Sample value for 'C' events (e.g. RSS bytes).
   double CounterValue = std::numeric_limits<double>::quiet_NaN();
+  /// Correlation id: the async-span id for 'b'/'e' events, and the
+  /// owning request's trace id (rendered as a "trace" arg) for 'X'
+  /// events recorded inside a RequestScope. 0 = absent.
+  uint64_t Id = 0;
 };
 
 /// Programmatic consumer of completed events (in addition to the
@@ -170,6 +230,10 @@ public:
   void count(Counter C, uint64_t N = 1) {
     Counters[static_cast<size_t>(C)].fetch_add(N,
                                                std::memory_order_relaxed);
+    // Per-request attribution. Hook sites only reach count() behind a
+    // telemetry::enabled() check, so the disabled path never pays this.
+    if (RequestContext *Ctx = detail::CurrentRequest)
+      Ctx->OpDelta[static_cast<size_t>(C)] += N;
   }
   uint64_t counterValue(Counter C) const {
     return Counters[static_cast<size_t>(C)].load(
@@ -201,6 +265,30 @@ public:
                     double NoiseBudgetBits);
   /// (op, stats) pairs for every op kind seen at least once.
   std::vector<std::pair<Counter, OpHealth>> health() const;
+  /// @}
+
+  /// \name Per-op latency
+  /// Lock-free histogram of wall time per traced FHE primitive, fed by
+  /// FheOpSpan and exported as ace_fhe_op_seconds{op=...} (see
+  /// support/MetricsRegistry.h). One histogram per counter slot.
+  /// @{
+  Histogram &opLatency(Counter C) {
+    return OpLatency[static_cast<size_t>(C)];
+  }
+  const Histogram &opLatency(Counter C) const {
+    return OpLatency[static_cast<size_t>(C)];
+  }
+  /// @}
+
+  /// \name Thread names
+  /// Names the calling thread for the Chrome trace ('M' thread_name
+  /// metadata events, synthesized at write time so naming works even
+  /// before telemetry is enabled). Cheap: one mutex take per call;
+  /// call once per thread at startup.
+  /// @{
+  void nameThread(const std::string &Name);
+  /// (tid, name) pairs registered so far.
+  std::vector<std::pair<uint32_t, std::string>> threadNames() const;
   /// @}
 
   /// \name Phase accumulation
@@ -248,6 +336,7 @@ private:
   Telemetry &operator=(const Telemetry &) = delete;
 
   std::array<std::atomic<uint64_t>, kCounterCount> Counters{};
+  std::array<Histogram, kCounterCount> OpLatency{};
   std::atomic<size_t> PeakRss{0};
 
   mutable std::mutex Mutex;
@@ -255,6 +344,7 @@ private:
   size_t DroppedEvents = 0;
   std::vector<std::pair<std::string, CounterSnapshot>> Snapshots;
   std::array<OpHealth, kCounterCount> Health{};
+  std::vector<std::pair<uint32_t, std::string>> ThreadNames;
   TimingRegistry Phases;
   TraceSink *Sink = nullptr;
   std::chrono::steady_clock::time_point Epoch;

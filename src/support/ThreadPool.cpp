@@ -224,8 +224,14 @@ void ThreadPool::parallelFor(size_t Begin, size_t End,
   {
     std::lock_guard<std::mutex> Lock(P->Mutex);
     // Lazy worker start: Threads - 1 workers, the caller is the Nth.
-    while (P->Workers.size() + 1 < Threads)
-      P->Workers.emplace_back([Impl = P.get()] { Impl->workerMain(); });
+    while (P->Workers.size() + 1 < Threads) {
+      size_t WorkerIndex = P->Workers.size();
+      P->Workers.emplace_back([Impl = P.get(), WorkerIndex] {
+        telemetry::Telemetry::instance().nameThread(
+            "ace-pool-worker-" + std::to_string(WorkerIndex));
+        Impl->workerMain();
+      });
+    }
     P->Current = J;
     ++P->Generation;
   }

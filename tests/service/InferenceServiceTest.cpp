@@ -16,15 +16,19 @@
 #include "nn/ModelZoo.h"
 #include "service/ServiceCApi.h"
 #include "support/Crc32c.h"
+#include "support/EventLog.h"
 #include "support/FaultInjector.h"
 #include "support/Rng.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <set>
 #include <thread>
 
@@ -482,6 +486,140 @@ TEST_F(InferenceServiceTest, ShutdownFailsQueuedRequestsCleanly) {
   EXPECT_GE(CancelledCount, 2u);
   EXPECT_EQ(Svc->submit(*Frame).status().code(), ErrorCode::InvalidArgument);
   Svc.reset(); // double-shutdown via the destructor must be safe
+}
+
+/// Trace propagation (docs/observability.md): a client-chosen trace id
+/// rides the request frame, is read back off the WIRE by the server, and
+/// is echoed in the response; a zero id gets a server-assigned nonzero
+/// one so every admitted request is joinable in logs.
+TEST_F(InferenceServiceTest, TraceIdRoundTripsThroughWireFrames) {
+  InferenceService Svc(Compiled->Program, Compiled->State);
+  auto Sid = Svc.openSession();
+  ASSERT_TRUE(Sid.ok());
+
+  constexpr uint64_t kChosen = 0xace0000000001234ull;
+  auto Frame = Svc.encryptRequest(*Sid, makeInput(31), /*ClientTag=*/5,
+                                  /*DeadlineSeconds=*/-1.0,
+                                  /*TraceId=*/kChosen);
+  ASSERT_TRUE(Frame.ok()) << Frame.status().message();
+  // The id sits in the request header between the client tag and the
+  // deadline: magic(4) + version(2) + session(8) + tag(8) = offset 22.
+  uint64_t OnWire = 0;
+  std::memcpy(&OnWire, Frame->data() + 22, sizeof(OnWire));
+  EXPECT_EQ(OnWire, kChosen);
+
+  auto T = Svc.submit(*Frame);
+  ASSERT_TRUE(T.ok()) << T.status().message();
+  InferenceResponse R = T->Result.get();
+  ASSERT_TRUE(R.Outcome.ok()) << R.Outcome.message();
+  EXPECT_EQ(R.TraceId, kChosen);
+  // Stage latencies ride along on every completed response.
+  EXPECT_GE(R.QueueSeconds, 0.0);
+  EXPECT_GE(R.ExecSeconds, 0.0);
+  EXPECT_TRUE(Svc.decryptResponse(*Sid, R.Bytes).ok());
+
+  // The server reads the id off the wire, not from client-side state: a
+  // proxy rewriting the header (CRC re-sealed) changes what is echoed.
+  auto Rewritten = *Frame;
+  patchHeaderU64(Rewritten, 22, 0x5EEDull);
+  auto T2 = Svc.submit(Rewritten);
+  ASSERT_TRUE(T2.ok());
+  EXPECT_EQ(T2->Result.get().TraceId, 0x5EEDull);
+
+  // No client id -> the service assigns a nonzero one.
+  auto Plain = Svc.encryptRequest(*Sid, makeInput(31));
+  ASSERT_TRUE(Plain.ok());
+  auto T3 = Svc.submit(*Plain);
+  ASSERT_TRUE(T3.ok());
+  EXPECT_NE(T3->Result.get().TraceId, 0u);
+}
+
+/// Per-request attribution: with a serial pool (every FHE op runs on the
+/// dispatcher thread, inside the request's scope) the response's op-count
+/// delta must equal the GLOBAL counter delta bit-exactly for every
+/// non-service counter - nothing leaks in or out of the attribution.
+TEST_F(InferenceServiceTest, PerRequestOpCountsMatchGlobalDeltas) {
+  ThreadPool::instance().setNumThreads(1);
+  telemetry::Telemetry &T = telemetry::Telemetry::instance();
+  T.clear();
+  T.setEnabled(true);
+
+  InferenceService Svc(Compiled->Program, Compiled->State);
+  auto Sid = Svc.openSession();
+  ASSERT_TRUE(Sid.ok());
+  auto Frame = Svc.encryptRequest(*Sid, makeInput(33));
+  ASSERT_TRUE(Frame.ok());
+
+  telemetry::CounterSnapshot Before = T.counters();
+  auto Ticket = Svc.submit(*Frame);
+  ASSERT_TRUE(Ticket.ok());
+  InferenceResponse R = Ticket->Result.get();
+  ASSERT_TRUE(R.Outcome.ok()) << R.Outcome.message();
+  telemetry::CounterSnapshot After = T.counters();
+  T.setEnabled(false);
+  T.clear();
+
+  telemetry::CounterSnapshot Global = After.deltaSince(Before);
+  for (size_t I = 0;
+       I < static_cast<size_t>(telemetry::Counter::SvcAccepted); ++I)
+    EXPECT_EQ(R.OpDelta.Values[I], Global.Values[I])
+        << telemetry::counterName(static_cast<telemetry::Counter>(I));
+  // The request actually did FHE work (an all-zero pass would satisfy
+  // the equality vacuously).
+  EXPECT_GT(R.OpDelta.get(telemetry::Counter::Rotate), 0u);
+  EXPECT_GT(R.OpDelta.get(telemetry::Counter::BytesDeserialized), 0u);
+  // Service lifecycle counters are deliberately outside the scope: they
+  // describe the service, not the request's FHE work.
+  EXPECT_EQ(R.OpDelta.get(telemetry::Counter::SvcAccepted), 0u);
+  EXPECT_EQ(Global.get(telemetry::Counter::SvcAccepted), 1u);
+  EXPECT_EQ(Global.get(telemetry::Counter::SvcCompleted), 1u);
+}
+
+/// The slow-request path: with the threshold armed below any real
+/// latency, a completed request lands in the JSONL event log carrying
+/// the upgraded record (span breakdown + health snapshot).
+TEST_F(InferenceServiceTest, SlowRequestEmitsUpgradedEventLogRecord) {
+  ThreadPool::instance().setNumThreads(1);
+  telemetry::Telemetry::instance().clear();
+  telemetry::Telemetry::instance().setEnabled(true);
+  std::string Path =
+      ::testing::TempDir() + "/ace_service_event_log.jsonl";
+  obs::EventLog &Log = obs::EventLog::instance();
+  ASSERT_TRUE(Log.open(Path).ok());
+  Log.setSlowThresholdSeconds(1e-9); // every completed request is "slow"
+
+  {
+    InferenceService Svc(Compiled->Program, Compiled->State);
+    auto Sid = Svc.openSession();
+    ASSERT_TRUE(Sid.ok());
+    auto Frame = Svc.encryptRequest(*Sid, makeInput(35), /*ClientTag=*/77,
+                                    /*DeadlineSeconds=*/-1.0,
+                                    /*TraceId=*/0xfacef00dull);
+    ASSERT_TRUE(Frame.ok());
+    auto Ticket = Svc.submit(*Frame);
+    ASSERT_TRUE(Ticket.ok());
+    ASSERT_TRUE(Ticket->Result.get().Outcome.ok());
+  }
+  EXPECT_GE(Log.writtenCount(), 1u);
+  Log.close();
+  Log.setSlowThresholdSeconds(0.0);
+  telemetry::Telemetry::instance().setEnabled(false);
+  telemetry::Telemetry::instance().clear();
+
+  std::ifstream IS(Path);
+  std::string Line, Found;
+  while (std::getline(IS, Line))
+    if (Line.find("\"trace_id\":\"0x00000000facef00d\"") !=
+        std::string::npos)
+      Found = Line;
+  ASSERT_FALSE(Found.empty()) << "no event-log line for the request";
+  for (const char *Key :
+       {"\"event\":\"request\"", "\"status\":\"ok\"", "\"client_tag\":77",
+        "\"queue_s\":", "\"exec_s\":", "\"total_s\":", "\"ops\":{",
+        "\"slow\":true", "\"spans\":{", "\"health\":{"})
+    EXPECT_NE(Found.find(Key), std::string::npos)
+        << Key << " missing in " << Found;
+  std::remove(Path.c_str());
 }
 
 /// The flat C surface drives the same machinery end to end.

@@ -1,0 +1,179 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+using namespace ace;
+
+namespace {
+
+TEST(Histogram, BucketGeometryRoundTrips) {
+  // Small values are exact: one bucket per nanosecond.
+  for (uint64_t N = 0; N < Histogram::kSubBuckets; ++N) {
+    EXPECT_EQ(Histogram::bucketIndex(N), N);
+    EXPECT_EQ(Histogram::bucketLowerNanos(N), N);
+    EXPECT_EQ(Histogram::bucketUpperNanos(N), N + 1);
+  }
+  // Every value lands in a bucket whose [lower, upper) range contains
+  // it, across the full magnitude sweep.
+  for (uint64_t N : {8ull, 9ull, 15ull, 16ull, 17ull, 100ull, 1000ull,
+                     123456ull, 1000000000ull, ~0ull >> 1, ~0ull}) {
+    size_t Idx = Histogram::bucketIndex(N);
+    ASSERT_LT(Idx, Histogram::kBuckets);
+    EXPECT_LE(Histogram::bucketLowerNanos(Idx), N);
+    if (Idx + 1 < Histogram::kBuckets)
+      EXPECT_GT(Histogram::bucketUpperNanos(Idx), N);
+    else // The top bucket saturates; its upper bound is inclusive.
+      EXPECT_GE(Histogram::bucketUpperNanos(Idx), N);
+  }
+  // Bucket bounds tile the axis: upper(i) == lower(i+1).
+  for (size_t I = 0; I + 1 < Histogram::kBuckets; ++I)
+    EXPECT_EQ(Histogram::bucketUpperNanos(I),
+              Histogram::bucketLowerNanos(I + 1));
+}
+
+TEST(Histogram, RelativeBucketWidthBounded) {
+  // Log-linear contract: above the exact range, bucket width is at most
+  // lower / kSubBuckets (12.5% relative error).
+  for (size_t I = Histogram::kSubBuckets; I < Histogram::kBuckets - 1; ++I) {
+    uint64_t Lo = Histogram::bucketLowerNanos(I);
+    uint64_t Hi = Histogram::bucketUpperNanos(I);
+    EXPECT_LE(Hi - Lo, Lo / Histogram::kSubBuckets + 1)
+        << "bucket " << I << " [" << Lo << "," << Hi << ")";
+  }
+}
+
+/// Exact order statistic matching Snapshot::quantileSeconds's rank
+/// convention (nearest-rank on Q * (Count - 1)).
+double exactQuantileSeconds(std::vector<uint64_t> SortedNanos, double Q) {
+  size_t Rank = static_cast<size_t>(
+      Q * static_cast<double>(SortedNanos.size() - 1) + 0.5);
+  if (Rank >= SortedNanos.size())
+    Rank = SortedNanos.size() - 1;
+  return static_cast<double>(SortedNanos[Rank]) * 1e-9;
+}
+
+TEST(Histogram, QuantilesWithinOneBucketOfExact) {
+  // The tentpole accuracy contract: every quantile estimate is within
+  // one log-linear bucket (<= 12.5% relative) of the exact sorted-sample
+  // percentile, across a heavy-tailed latency-like distribution.
+  std::mt19937_64 Gen(42);
+  std::lognormal_distribution<double> Dist(/*m=*/11.0, /*s=*/1.5);
+  Histogram H;
+  std::vector<uint64_t> Values;
+  for (int I = 0; I < 20000; ++I) {
+    uint64_t Nanos = static_cast<uint64_t>(Dist(Gen));
+    Values.push_back(Nanos);
+    H.recordNanos(Nanos);
+  }
+  std::sort(Values.begin(), Values.end());
+  Histogram::Snapshot S = H.snapshot();
+  ASSERT_EQ(S.Count, Values.size());
+  for (double Q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    double Exact = exactQuantileSeconds(Values, Q);
+    double Est = S.quantileSeconds(Q);
+    double Tol =
+        Exact / static_cast<double>(Histogram::kSubBuckets) + 2e-9;
+    EXPECT_NEAR(Est, Exact, Tol) << "Q=" << Q;
+  }
+  // Extremes are exact (clamped to observed min/max).
+  EXPECT_DOUBLE_EQ(S.quantileSeconds(0.0), S.minSeconds());
+  EXPECT_DOUBLE_EQ(S.quantileSeconds(1.0), S.maxSeconds());
+}
+
+TEST(Histogram, EmptyAndEdgeCases) {
+  Histogram H;
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_DOUBLE_EQ(S.quantileSeconds(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(S.minSeconds(), 0.0);
+  EXPECT_DOUBLE_EQ(S.meanSeconds(), 0.0);
+
+  // Negative and NaN clamp to zero; huge values saturate, not overflow.
+  H.recordSeconds(-1.0);
+  H.recordSeconds(std::numeric_limits<double>::quiet_NaN());
+  H.recordSeconds(1e30);
+  EXPECT_EQ(H.count(), 3u);
+  S = H.snapshot();
+  EXPECT_EQ(S.Buckets[0], 2u);
+  EXPECT_EQ(S.Buckets[Histogram::kBuckets - 1], 1u);
+}
+
+TEST(Histogram, MergeCombinesStreams) {
+  Histogram A, B;
+  for (int I = 1; I <= 100; ++I)
+    A.recordNanos(static_cast<uint64_t>(I) * 1000);
+  for (int I = 101; I <= 200; ++I)
+    B.recordNanos(static_cast<uint64_t>(I) * 1000);
+  Histogram Merged;
+  Merged.merge(A);
+  Merged.merge(B);
+  Histogram::Snapshot S = Merged.snapshot();
+  EXPECT_EQ(S.Count, 200u);
+  EXPECT_EQ(S.MinNanos, 1000u);
+  EXPECT_EQ(S.MaxNanos, 200000u);
+  // Snapshot-level merge agrees with histogram-level merge.
+  Histogram::Snapshot S2 = A.snapshot();
+  S2.merge(B.snapshot());
+  EXPECT_EQ(S2.Count, S.Count);
+  EXPECT_EQ(S2.Buckets, S.Buckets);
+  EXPECT_EQ(S2.SumNanos, S.SumNanos);
+}
+
+TEST(Histogram, CumulativeCountMatchesBuckets) {
+  Histogram H;
+  for (uint64_t N : {10ull, 100ull, 1000ull, 10000ull})
+    H.recordNanos(N);
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.cumulativeCount(0.0), 0u);
+  EXPECT_EQ(S.cumulativeCount(1e-9 * 10), 1u);
+  EXPECT_EQ(S.cumulativeCount(1e-9 * 5000), 3u);
+  EXPECT_EQ(S.cumulativeCount(1.0), 4u);
+}
+
+TEST(Histogram, ConcurrentRecordLosesNothing) {
+  // Lock-free contract: N threads x M records, every one lands.
+  Histogram H;
+  constexpr int kThreads = 8, kPer = 20000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < kThreads; ++T)
+    Ts.emplace_back([&H, T] {
+      std::mt19937_64 Gen(static_cast<uint64_t>(T) + 1);
+      for (int I = 0; I < kPer; ++I)
+        H.recordNanos(Gen() % 1000000);
+    });
+  for (auto &T : Ts)
+    T.join();
+  Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, static_cast<uint64_t>(kThreads) * kPer);
+  uint64_t BucketSum = 0;
+  for (uint64_t B : S.Buckets)
+    BucketSum += B;
+  EXPECT_EQ(BucketSum, S.Count);
+}
+
+TEST(Histogram, QuantilesJsonShape) {
+  Histogram H;
+  H.recordSeconds(0.001);
+  H.recordSeconds(0.002);
+  std::string J = H.snapshot().quantilesJson();
+  EXPECT_NE(J.find("\"count\": 2"), std::string::npos) << J;
+  for (const char *Key : {"\"p50\":", "\"p90\":", "\"p99\":", "\"p999\":",
+                          "\"mean\":", "\"max\":"})
+    EXPECT_NE(J.find(Key), std::string::npos) << J;
+}
+
+} // namespace

@@ -12,9 +12,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/EventLog.h"
+#include "support/MetricsRegistry.h"
 #include "support/Telemetry.h"
 
 #include <gtest/gtest.h>
+
+#include <fstream>
 
 #include <sstream>
 #include <thread>
@@ -199,6 +203,169 @@ TEST_F(TelemetryTest, RssSampleFoldsIntoPeak) {
   auto Events = Telemetry::instance().eventsCopy();
   ASSERT_EQ(1u, Events.size());
   EXPECT_EQ('C', Events[0].Phase);
+}
+
+TEST_F(TelemetryTest, ThreadNamesEmitChromeMetadata) {
+  std::thread([] {
+    Telemetry::instance().nameThread("ace-test-worker");
+    TraceSpan Span("test", "named-thread-work");
+  }).join();
+  std::ostringstream OS;
+  Telemetry::instance().writeChromeTrace(OS);
+  std::string S = OS.str();
+  EXPECT_NE(std::string::npos, S.find("\"ph\":\"M\""));
+  EXPECT_NE(std::string::npos, S.find("\"thread_name\""));
+  EXPECT_NE(std::string::npos, S.find("ace-test-worker"));
+  EXPECT_NE(std::string::npos, S.find("\"process_name\""));
+}
+
+TEST_F(TelemetryTest, RequestScopeAttributesCounterDeltas) {
+  RequestContext Ctx;
+  Ctx.TraceId = 0x1234;
+  RequestContext Inner;
+  Telemetry::instance().count(Counter::Rotate, 2); // before: unattributed
+  {
+    RequestScope Scope(Ctx);
+    Telemetry::instance().count(Counter::Rotate, 5);
+    Telemetry::instance().count(Counter::CtCtMul, 3);
+    // Nested scopes save and restore the outer request.
+    {
+      RequestScope InnerScope(Inner);
+      Telemetry::instance().count(Counter::Rescale, 1);
+    }
+    Telemetry::instance().count(Counter::Rotate, 1);
+  }
+  Telemetry::instance().count(Counter::Rotate, 7); // after: unattributed
+  CounterSnapshot Delta = Ctx.opSnapshot();
+  EXPECT_EQ(6u, Delta.get(Counter::Rotate));
+  EXPECT_EQ(3u, Delta.get(Counter::CtCtMul));
+  EXPECT_EQ(0u, Delta.get(Counter::Rescale)); // went to the inner request
+  EXPECT_EQ(1u, Inner.opSnapshot().get(Counter::Rescale));
+  // Global counters saw everything regardless of attribution.
+  EXPECT_EQ(15u, Telemetry::instance().counterValue(Counter::Rotate));
+}
+
+TEST_F(TelemetryTest, RequestScopeCollectsSpansAndTraceIds) {
+  RequestContext Ctx;
+  Ctx.TraceId = 0xabcdef;
+  {
+    RequestScope Scope(Ctx);
+    { TraceSpan Span("test", "inside-request"); }
+  }
+  ASSERT_EQ(1u, Ctx.Spans.size());
+  EXPECT_EQ("inside-request", Ctx.Spans[0].first);
+  EXPECT_GE(Ctx.Spans[0].second, 0.0);
+  // The emitted event carries the owning request's trace id...
+  auto Events = Telemetry::instance().eventsCopy();
+  ASSERT_EQ(1u, Events.size());
+  EXPECT_EQ(0xabcdefu, Events[0].Id);
+  // ...and the Chrome trace renders it as a joinable arg.
+  std::ostringstream OS;
+  Telemetry::instance().writeChromeTrace(OS);
+  EXPECT_NE(std::string::npos,
+            OS.str().find("\"trace\":\"0x0000000000abcdef\""));
+}
+
+TEST_F(TelemetryTest, PrometheusExpositionCoversBuiltinsAndRegistered) {
+  Telemetry::instance().count(Counter::Rotate, 4);
+  {
+    FheOpSpan Op;
+    Op.begin(Counter::Rotate, 3, 2.0, 30.0);
+  }
+  metrics::MetricsRegistry &Reg = metrics::MetricsRegistry::instance();
+  uint64_t GaugeId = Reg.addGauge("ace_test_gauge", "A test gauge.",
+                                  "kind=\"unit\"", [] { return 42.0; });
+  Histogram H;
+  H.recordSeconds(0.002);
+  uint64_t HistId =
+      Reg.addHistogram("ace_test_seconds", "A test histogram.", "", &H);
+  std::string S = Reg.prometheusString();
+  Reg.remove(GaugeId);
+  Reg.remove(HistId);
+  EXPECT_NE(std::string::npos, S.find("# TYPE ace_ops_total counter"));
+  EXPECT_NE(std::string::npos, S.find("ace_ops_total{op=\"rotate\"} 5"));
+  // Satellite: dropped trace events are a first-class metric.
+  EXPECT_NE(std::string::npos,
+            S.find("ace_trace_dropped_events_total 0"));
+  EXPECT_NE(std::string::npos,
+            S.find("ace_fhe_op_seconds_bucket{op=\"rotate\",le=\"+Inf\"} 1"));
+  EXPECT_NE(std::string::npos, S.find("ace_fhe_op_seconds_count"));
+  EXPECT_NE(std::string::npos,
+            S.find("ace_test_gauge{kind=\"unit\"} 42"));
+  EXPECT_NE(std::string::npos, S.find("# TYPE ace_test_seconds histogram"));
+  EXPECT_NE(std::string::npos, S.find("ace_test_seconds_count 1"));
+  // After remove(), the registered families disappear.
+  std::string After = Reg.prometheusString();
+  EXPECT_EQ(std::string::npos, After.find("ace_test_gauge"));
+}
+
+TEST_F(TelemetryTest, EventLogRenderLineSchema) {
+  obs::RequestLogEntry E;
+  E.SessionId = 3;
+  E.TraceId = 0xfeed;
+  E.RequestId = 9;
+  E.ClientTag = 12;
+  E.StatusName = "ok";
+  E.QueueSeconds = 0.001;
+  E.ExecSeconds = 0.02;
+  E.TotalSeconds = 0.021;
+  E.OpDelta.Values[static_cast<size_t>(Counter::Rotate)] = 8;
+  E.HasMinNoiseBudget = true;
+  E.MinNoiseBudgetBits = 17.25;
+  E.Spans.emplace_back("executor", 0.0195);
+  E.Spans.emplace_back("executor", 0.0005); // aggregated with the first
+
+  std::string Line = obs::EventLog::renderLine(E, /*Slow=*/false);
+  EXPECT_EQ('\n', Line.back());
+  for (const char *Key :
+       {"\"event\":\"request\"", "\"session\":3",
+        "\"trace_id\":\"0x000000000000feed\"", "\"request\":9",
+        "\"client_tag\":12", "\"status\":\"ok\"", "\"queue_s\":0.001000",
+        "\"exec_s\":0.020000", "\"total_s\":0.021000", "\"rotate\":8",
+        "\"min_noise_budget_bits\":17.25"})
+    EXPECT_NE(std::string::npos, Line.find(Key)) << Key << " in " << Line;
+  EXPECT_EQ(std::string::npos, Line.find("\"slow\""));
+
+  // The slow upgrade adds the span breakdown and a health snapshot.
+  {
+    FheOpSpan Op;
+    Op.begin(Counter::Rescale, 4, 1.0, 21.5);
+  }
+  std::string Slow = obs::EventLog::renderLine(E, /*Slow=*/true);
+  for (const char *Key :
+       {"\"slow\":true",
+        "\"spans\":{\"executor\":{\"seconds\":0.020000,\"count\":2}",
+        "\"health\":{\"rescale\":{\"count\":1,\"minLevel\":4"})
+    EXPECT_NE(std::string::npos, Slow.find(Key)) << Key << " in " << Slow;
+}
+
+TEST_F(TelemetryTest, EventLogWritesBoundedJsonl) {
+  std::string Path = ::testing::TempDir() + "/ace_event_log_test.jsonl";
+  obs::EventLog &Log = obs::EventLog::instance();
+  ASSERT_TRUE(Log.open(Path).ok());
+  Log.setMaxRecords(2);
+  obs::RequestLogEntry E;
+  E.TraceId = 0x1;
+  for (int I = 0; I < 3; ++I) {
+    E.RequestId = static_cast<uint64_t>(I);
+    Log.record(E);
+  }
+  EXPECT_EQ(2u, Log.writtenCount());
+  EXPECT_EQ(1u, Log.droppedCount()); // bounded: the third line is counted
+  Log.close();
+  Log.setMaxRecords(uint64_t(1) << 20);
+  // Closed again, record() is a no-op.
+  Log.record(E);
+  EXPECT_EQ(2u, Log.writtenCount());
+
+  std::ifstream IS(Path);
+  std::string L1, L2, L3;
+  ASSERT_TRUE(std::getline(IS, L1));
+  ASSERT_TRUE(std::getline(IS, L2));
+  EXPECT_FALSE(std::getline(IS, L3));
+  EXPECT_NE(std::string::npos, L1.find("\"request\":0"));
+  EXPECT_NE(std::string::npos, L2.find("\"request\":1"));
+  std::remove(Path.c_str());
 }
 
 TEST(TimingRegistryTest, IndexedAddPreservesFirstSeenOrder) {
