@@ -7,12 +7,16 @@
 
 #include "fhe/Bootstrapper.h"
 #include "fhe/Encryptor.h"
+#include "fhe/ModArith.h"
+#include "fhe/Ntt.h"
+#include "fhe/PolyBackend.h"
 #include "support/Rng.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <map>
 #include <string>
 
@@ -195,6 +199,118 @@ void BM_TelemetryDisabledCheck(benchmark::State &State) {
 }
 BENCHMARK(BM_TelemetryDisabledCheck)->Unit(benchmark::kNanosecond);
 
+//===----------------------------------------------------------------------===//
+// Per-kernel roofline numbers (docs/performance.md "Kernel roofline"):
+// one RNS limb through each backend, no thread pool, no evaluator
+// bookkeeping - the raw cost of a butterfly and a modular multiply that
+// everything above is built from. Arg 0 = ring degree, arg 1 = backend
+// (0 = scalar reference, 1 = simd); the simd rows skip cleanly on hosts
+// without vector support. ns_per_butterfly divides by the (N/2)*log2(N)
+// butterflies of one transform; ns_per_modmul by the N lane multiplies
+// of one pointwise pass.
+//===----------------------------------------------------------------------===//
+
+const PolyBackend *kernelBackend(benchmark::State &State) {
+  if (State.range(1) == 0)
+    return &scalarPolyBackend();
+  const PolyBackend *B = simdPolyBackend();
+  if (!B)
+    State.SkipWithError("simd backend not supported on this host/build");
+  return B;
+}
+
+void addButterflyRate(benchmark::State &State, size_t N) {
+  double Bf = (static_cast<double>(N) / 2) * std::log2(N);
+  State.counters["ns_per_butterfly"] = benchmark::Counter(
+      State.iterations() * Bf / 1e9,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_NttForwardKernel(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  const PolyBackend *B = kernelBackend(State);
+  if (!B)
+    return;
+  uint64_t P = generateNttPrimes(55, 2 * N, 1, {})[0];
+  NttTable Table(N, P);
+  Rng R(7);
+  std::vector<uint64_t> Data;
+  R.uniformVector(P, N, Data);
+  for (auto _ : State) {
+    B->forwardNtt(Table, Data.data());
+    benchmark::DoNotOptimize(Data.data());
+  }
+  addButterflyRate(State, N);
+}
+BENCHMARK(BM_NttForwardKernel)
+    ->ArgsProduct({{1024, 4096, 16384}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NttInverseKernel(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  const PolyBackend *B = kernelBackend(State);
+  if (!B)
+    return;
+  uint64_t P = generateNttPrimes(55, 2 * N, 1, {})[0];
+  NttTable Table(N, P);
+  Rng R(7);
+  std::vector<uint64_t> Data;
+  R.uniformVector(P, N, Data);
+  for (auto _ : State) {
+    B->inverseNtt(Table, Data.data());
+    benchmark::DoNotOptimize(Data.data());
+  }
+  addButterflyRate(State, N);
+}
+BENCHMARK(BM_NttInverseKernel)
+    ->ArgsProduct({{1024, 4096, 16384}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PointwiseMulKernel(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  const PolyBackend *B = kernelBackend(State);
+  if (!B)
+    return;
+  uint64_t P = generateNttPrimes(55, 2 * N, 1, {})[0];
+  Rng R(7);
+  std::vector<uint64_t> A, X;
+  R.uniformVector(P, N, A);
+  R.uniformVector(P, N, X);
+  for (auto _ : State) {
+    B->mul(A.data(), X.data(), N, P);
+    benchmark::DoNotOptimize(A.data());
+  }
+  State.counters["ns_per_modmul"] = benchmark::Counter(
+      State.iterations() * static_cast<double>(N) / 1e9,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_PointwiseMulKernel)
+    ->ArgsProduct({{1024, 4096, 16384}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MulAccKernel(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  const PolyBackend *B = kernelBackend(State);
+  if (!B)
+    return;
+  uint64_t P = generateNttPrimes(55, 2 * N, 1, {})[0];
+  Rng R(7);
+  std::vector<uint64_t> Acc, X, Y;
+  R.uniformVector(P, N, Acc);
+  R.uniformVector(P, N, X);
+  R.uniformVector(P, N, Y);
+  for (auto _ : State) {
+    B->mulAcc(Acc.data(), X.data(), Y.data(), N, P);
+    benchmark::DoNotOptimize(Acc.data());
+  }
+  State.counters["ns_per_modmul"] = benchmark::Counter(
+      State.iterations() * static_cast<double>(N) / 1e9,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_MulAccKernel)
+    ->ArgsProduct({{1024, 4096, 16384}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
 } // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): stamp the JSON/console output
@@ -208,6 +324,7 @@ int main(int argc, char **argv) {
   benchmark::AddCustomContext("build_type", ACE_BUILD_TYPE);
   benchmark::AddCustomContext(
       "threads", std::to_string(ThreadPool::instance().numThreads()));
+  benchmark::AddCustomContext("poly_backend", activePolyBackendName());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

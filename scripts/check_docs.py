@@ -1,12 +1,17 @@
 #!/usr/bin/env python3
 """Documentation checks run by CI (docs-check job).
 
-Two invariants:
+Three invariants:
   1. Every page under docs/ is referenced (linked) from README.md, so
      the README docs index stays the complete entry point.
   2. Every relative markdown link in README.md, DESIGN.md,
      EXPERIMENTS.md, ROADMAP.md, and docs/*.md points at a file that
      exists (anchors are stripped; absolute URLs are ignored).
+  3. Every public entry point of the poly-ops backend contract
+     (src/fhe/PolyBackend.h: the PolyBackend virtual methods and the
+     free selection functions) is mentioned by name in docs/kernels.md,
+     so the backend contract documentation cannot silently fall behind
+     the interface.
 
 Exits nonzero listing every violation.
 """
@@ -41,6 +46,38 @@ def check_links(path):
     return errors
 
 
+GENERIC_NAMES = {"name"}  # too common to grep for meaningfully
+
+# `virtual ... name(...)` methods and namespace-scope `... name(...);`
+# free-function declarations in the backend header.
+VIRTUAL_METHOD = re.compile(r"virtual\s+[\w:*&\s]+?(\w+)\s*\(")
+FREE_FUNCTION = re.compile(r"^(?:const\s+)?[\w:&*]+\s+[&*]?(\w+)\s*\(",
+                           re.MULTILINE)
+
+
+def backend_entry_points():
+    """Public names of the poly backend contract: the PolyBackend
+    virtual methods plus the free selection functions declared after the
+    class body."""
+    header = (ROOT / "src/fhe/PolyBackend.h").read_text()
+    names = set(VIRTUAL_METHOD.findall(header))
+    after_class = header.split("};", 1)[1] if "};" in header else header
+    names.update(m for m in FREE_FUNCTION.findall(after_class)
+                 if m not in ("namespace", "endif", "include"))
+    return sorted(names - GENERIC_NAMES)
+
+
+def check_backend_doc():
+    doc = ROOT / "docs/kernels.md"
+    if not doc.exists():
+        return ["docs/kernels.md: missing (the poly backend contract "
+                "must be documented)"]
+    text = doc.read_text()
+    return [f"docs/kernels.md: backend entry point '{name}' from "
+            "src/fhe/PolyBackend.h is not documented"
+            for name in backend_entry_points() if name not in text]
+
+
 def main():
     errors = []
     readme = (ROOT / "README.md").read_text()
@@ -50,12 +87,15 @@ def main():
                           "(add it to the docs index)")
     for path in markdown_files():
         errors.extend(check_links(path))
+    errors.extend(check_backend_doc())
     if errors:
         print("\n".join(errors), file=sys.stderr)
         return 1
     count = len(markdown_files())
+    entry_points = len(backend_entry_points())
     print(f"docs check OK: {count} markdown files, all docs/ pages "
-          "indexed, all relative links resolve")
+          "indexed, all relative links resolve, all "
+          f"{entry_points} poly-backend entry points documented")
     return 0
 
 

@@ -216,12 +216,14 @@ Ciphertext Bootstrapper::matvec(const Ciphertext &Ct, int MatrixId) const {
       size_t D = I * BS + J;
       if (D >= N)
         break;
-      Ciphertext Term = Eval.mulPlain(Rotated[J], Diags[D]);
+      // First term materializes the accumulator; the rest ride the
+      // fused backend multiply-accumulate (bit-identical to the old
+      // mulPlain + addInPlace pair, without the Term temporary).
       if (!HaveInner) {
-        Inner = std::move(Term);
+        Inner = Eval.mulPlain(Rotated[J], Diags[D]);
         HaveInner = true;
       } else {
-        Eval.addInPlace(Inner, Term);
+        Eval.mulPlainAddInPlace(Inner, Rotated[J], Diags[D]);
       }
     }
     if (!HaveInner)

@@ -12,6 +12,7 @@
 #include "fhe/CApiInternal.h"
 #include "fhe/Encryptor.h"
 #include "fhe/Evaluator.h"
+#include "fhe/PolyBackend.h"
 #include "fhe/Serializer.h"
 #include "support/MetricsRegistry.h"
 #include "support/Telemetry.h"
@@ -708,3 +709,22 @@ int ace_set_num_threads(int N) {
 int ace_num_threads(void) {
   return static_cast<int>(ThreadPool::instance().numThreads());
 }
+
+//===----------------------------------------------------------------------===//
+// Poly-ops kernel backend
+//===----------------------------------------------------------------------===//
+
+int ace_set_poly_backend(const char *Name) {
+  if (!Name) {
+    setLastError(ACE_ERR_INVALID_ARGUMENT,
+                 "set_poly_backend: null backend name");
+    return ACE_ERR_INVALID_ARGUMENT;
+  }
+  if (Status S = selectPolyBackend(Name)) {
+    setLastError(S);
+    return ace_last_error();
+  }
+  return ACE_OK;
+}
+
+const char *ace_poly_backend(void) { return activePolyBackendName(); }

@@ -206,6 +206,26 @@ int ace_num_threads(void);
 
 /// @}
 
+/// \name Poly-ops kernel backend (see docs/kernels.md)
+/// Every FHE hot loop (NTT butterflies, pointwise limb arithmetic, the
+/// key-switch inner product) runs through a pluggable kernel backend:
+/// "scalar" (the portable reference) or "simd" (AVX2/NEON, selected by
+/// CPUID). Backends are bit-identical, so the choice only affects
+/// speed. It is per-process - the default resolves the
+/// ACE_POLY_BACKEND environment variable on first use.
+/// @{
+
+/// Selects the backend by name: "scalar", "simd", or "auto" (simd when
+/// supported). Returns ACE_OK, or ACE_ERR_INVALID_ARGUMENT for an
+/// unknown name or for "simd" on a host without vector support (the
+/// previous selection stays active). Safe to call between (not during)
+/// runtime calls.
+int ace_set_poly_backend(const char *name);
+/// The active backend name ("scalar" or "simd"); never NULL.
+const char *ace_poly_backend(void);
+
+/// @}
+
 #ifdef __cplusplus
 } // extern "C"
 #endif

@@ -9,6 +9,7 @@
 #include "fhe/Context.h"
 
 #include "fhe/ModArith.h"
+#include "fhe/PolyBackend.h"
 
 #include <cassert>
 #include <cmath>
@@ -34,6 +35,10 @@ bool CkksParams::valid() const {
 
 Context::Context(const CkksParams &P) : Params(P) {
   assert(P.valid() && "invalid CKKS parameters");
+  // Pin the poly-ops backend now (CPUID probe + ACE_POLY_BACKEND
+  // resolution, docs/kernels.md): the choice is per-process and must be
+  // settled before any FHE work, not lazily inside a hot loop.
+  (void)activePolyBackend();
   uint64_t TwoN = 2 * P.RingDegree;
 
   // Build the chain: one q_0 prime, NumRescaleModuli rescale primes, one

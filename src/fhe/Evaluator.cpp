@@ -9,6 +9,7 @@
 #include "fhe/Evaluator.h"
 
 #include "fhe/ModArith.h"
+#include "fhe/PolyBackend.h"
 #include "support/Cancellation.h"
 #include "support/FaultInjector.h"
 #include "support/Telemetry.h"
@@ -285,6 +286,34 @@ Ciphertext Evaluator::mulPlain(const Ciphertext &A, const Plaintext &P) const {
   return R;
 }
 
+void Evaluator::mulPlainAddInPlace(Ciphertext &Acc, const Ciphertext &A,
+                                   const Plaintext &P) const {
+  assert(P.numQ() >= A.numQ() && "plaintext level below ciphertext level");
+  assert(Acc.size() == A.size() && Acc.numQ() == A.numQ() &&
+         Acc.Slots == A.Slots && "mulPlainAdd operand shape mismatch");
+  assert(scalesCloseOrReport("mulPlainAdd", Acc.Scale, A.Scale * P.Scale) &&
+         "mulPlainAdd scale mismatch");
+  ++Counters.MulPlain;
+  ++Counters.Add;
+  countOp(telemetry::Counter::Add);
+  telemetry::FheOpSpan Span;
+  if (telemetry::enabled())
+    Span.begin(telemetry::Counter::CtPtMul, A.numQ(), A.Scale,
+               noiseBudgetBits(A));
+  // Acc[i] += A[i] * P elementwise - one fused backend mulAcc per limb
+  // instead of a product temporary plus an add pass. Residues match the
+  // unfused mulPlain-then-addInPlace sequence bit-for-bit.
+  if (P.numQ() == A.numQ()) {
+    for (size_t I = 0; I < A.size(); ++I)
+      Acc.Polys[I].mulAddInPlace(A.Polys[I], P.Poly);
+  } else {
+    RnsPoly Restricted =
+        P.Poly.restrictedCopy(A.numQ(), /*KeepSpecial=*/false);
+    for (size_t I = 0; I < A.size(); ++I)
+      Acc.Polys[I].mulAddInPlace(A.Polys[I], Restricted);
+  }
+}
+
 Ciphertext Evaluator::mulScalar(const Ciphertext &A, double Value,
                                 double TargetScale) const {
   ++Counters.MulPlain;
@@ -341,12 +370,10 @@ Ciphertext Evaluator::mulByI(const Ciphertext &A) const {
     // only read it (the cache is per-mod-index mutable state).
     for (size_t I = 0, E = Poly.numComponents(); I < E; ++I)
       monomialNtt(Poly.modIndex(I));
+    const PolyBackend &B = activePolyBackend();
     parallelFor(0, Poly.numComponents(), [&](size_t I) {
-      uint64_t Q = Poly.modulus(I);
       const auto &Mono = monomialNtt(Poly.modIndex(I));
-      uint64_t *Comp = Poly.component(I);
-      for (size_t J = 0; J < N; ++J)
-        Comp[J] = mulMod(Comp[J], Mono[J], Q);
+      B.mul(Poly.component(I), Mono.data(), N, Poly.modulus(I));
     });
   }
   return R;
@@ -414,30 +441,31 @@ void Evaluator::hoistedInnerProduct(const HoistedDecomposition &Dec,
 
   Acc0 = RnsPoly(Ctx, L, /*HasSpecial=*/true, /*NttForm=*/true);
   Acc1 = RnsPoly(Ctx, L, /*HasSpecial=*/true, /*NttForm=*/true);
+  const PolyBackend &B = activePolyBackend();
   parallelFor(0, L + 1, [&](size_t C) {
     // Chain prime c maps to key component c, the special prime to the
     // key's own special slot. Digits accumulate in ascending order so
-    // each residue sees exactly the serial code's value.
+    // each residue sees exactly the serial code's value; within a digit
+    // the two backend mulAcc calls touch disjoint accumulators, so the
+    // values also match the old interleaved loop element-for-element.
     size_t KeyComp = (C == L) ? KeySpecial : C;
     uint64_t Q = Acc0.modulus(C);
     uint64_t *A0 = Acc0.component(C);
     uint64_t *A1 = Acc1.component(C);
+    std::vector<uint64_t> Gather(Perm ? N : 0);
     for (size_t Digit = 0; Digit < L; ++Digit) {
       const uint64_t *X = Dec.Digits[Digit].component(C);
       const uint64_t *K0 = Key.Parts[Digit].first.component(KeyComp);
       const uint64_t *K1 = Key.Parts[Digit].second.component(KeyComp);
       if (Perm) {
-        for (size_t J = 0; J < N; ++J) {
-          uint64_t V = X[Perm[J]];
-          A0[J] = addMod(A0[J], mulMod(V, K0[J], Q), Q);
-          A1[J] = addMod(A1[J], mulMod(V, K1[J], Q), Q);
-        }
-      } else {
-        for (size_t J = 0; J < N; ++J) {
-          A0[J] = addMod(A0[J], mulMod(X[J], K0[J], Q), Q);
-          A1[J] = addMod(A1[J], mulMod(X[J], K1[J], Q), Q);
-        }
+        // Materialize the permuted digit once per (component, digit)
+        // so the accumulation itself is a contiguous backend kernel.
+        for (size_t J = 0; J < N; ++J)
+          Gather[J] = X[Perm[J]];
+        X = Gather.data();
       }
+      B.mulAcc(A0, X, K0, N, Q);
+      B.mulAcc(A1, X, K1, N, Q);
     }
   });
 }

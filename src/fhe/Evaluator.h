@@ -144,6 +144,14 @@ public:
   /// ciphertext level); scale = sA * sP.
   Ciphertext mulPlain(const Ciphertext &A, const Plaintext &P) const;
   void mulPlainInPlace(Ciphertext &A, const Plaintext &P) const;
+  /// Fused Acc += A * P (one backend multiply-accumulate per limb, no
+  /// product temporary). Requires Acc.Scale ~= A.Scale * P.Scale and
+  /// matching shapes; residues are bit-identical to mulPlain followed
+  /// by addInPlace, and the op counters record one ct-pt mul plus one
+  /// add, exactly like the unfused pair. The bootstrapper's BSGS
+  /// matrix-vector accumulation is the intended caller.
+  void mulPlainAddInPlace(Ciphertext &Acc, const Ciphertext &A,
+                          const Plaintext &P) const;
   /// Multiplies by the scalar \p Value. The plaintext scale is chosen so
   /// that a following rescale lands the ciphertext scale EXACTLY on
   /// \p TargetScale (default: the input scale). Exact target scales keep

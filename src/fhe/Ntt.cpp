@@ -9,6 +9,7 @@
 #include "fhe/Ntt.h"
 
 #include "fhe/ModArith.h"
+#include "fhe/PolyBackend.h"
 #include "support/Telemetry.h"
 
 #include <cassert>
@@ -62,52 +63,18 @@ NttTable::NttTable(size_t N, uint64_t Modulus) : N(N), Modulus(Modulus) {
   InvDegreeShoup = shoupPrecompute(InvDegree, Modulus);
 }
 
+// The butterfly loops live in the poly-ops backend (PolyBackend.cpp for
+// the scalar reference, PolyBackendSimd.cpp for the vectorized one);
+// these entry points keep the telemetry counters and dispatch.
+
 void NttTable::forward(uint64_t *Data) const {
   if (telemetry::enabled())
     telemetry::Telemetry::instance().count(telemetry::Counter::NttForward);
-  // Cooley-Tukey decimation-in-time; merges the psi twist into the
-  // butterflies so no separate pre-multiplication pass is needed.
-  size_t T = N;
-  for (size_t M = 1; M < N; M <<= 1) {
-    T >>= 1;
-    for (size_t I = 0; I < M; ++I) {
-      size_t J1 = 2 * I * T;
-      size_t J2 = J1 + T;
-      uint64_t W = RootPowers[M + I];
-      uint64_t WShoup = RootPowersShoup[M + I];
-      for (size_t J = J1; J < J2; ++J) {
-        uint64_t U = Data[J];
-        uint64_t V = mulModShoup(Data[J + T], W, WShoup, Modulus);
-        Data[J] = addMod(U, V, Modulus);
-        Data[J + T] = subMod(U, V, Modulus);
-      }
-    }
-  }
+  activePolyBackend().forwardNtt(*this, Data);
 }
 
 void NttTable::inverse(uint64_t *Data) const {
   if (telemetry::enabled())
     telemetry::Telemetry::instance().count(telemetry::Counter::NttInverse);
-  // Gentleman-Sande decimation-in-frequency with inverse twiddles.
-  size_t T = 1;
-  for (size_t M = N; M > 1; M >>= 1) {
-    size_t J1 = 0;
-    size_t H = M >> 1;
-    for (size_t I = 0; I < H; ++I) {
-      size_t J2 = J1 + T;
-      uint64_t W = InvRootPowers[H + I];
-      uint64_t WShoup = InvRootPowersShoup[H + I];
-      for (size_t J = J1; J < J2; ++J) {
-        uint64_t U = Data[J];
-        uint64_t V = Data[J + T];
-        Data[J] = addMod(U, V, Modulus);
-        Data[J + T] =
-            mulModShoup(subMod(U, V, Modulus), W, WShoup, Modulus);
-      }
-      J1 += 2 * T;
-    }
-    T <<= 1;
-  }
-  for (size_t J = 0; J < N; ++J)
-    Data[J] = mulModShoup(Data[J], InvDegree, InvDegreeShoup, Modulus);
+  activePolyBackend().inverseNtt(*this, Data);
 }

@@ -51,6 +51,24 @@ public:
   /// The ring degree.
   size_t degree() const { return N; }
 
+  /// \name Twiddle-table access for PolyBackend implementations
+  /// Bit-reversed psi powers (and Shoup companions) in the Harvey
+  /// layout the butterfly loops consume; see docs/kernels.md.
+  /// @{
+  const std::vector<uint64_t> &rootPowers() const { return RootPowers; }
+  const std::vector<uint64_t> &rootPowersShoup() const {
+    return RootPowersShoup;
+  }
+  const std::vector<uint64_t> &invRootPowers() const {
+    return InvRootPowers;
+  }
+  const std::vector<uint64_t> &invRootPowersShoup() const {
+    return InvRootPowersShoup;
+  }
+  uint64_t invDegree() const { return InvDegree; }
+  uint64_t invDegreeShoup() const { return InvDegreeShoup; }
+  /// @}
+
 private:
   size_t N;
   uint64_t Modulus;

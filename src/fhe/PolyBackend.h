@@ -1,0 +1,136 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pluggable poly-ops backend seam (docs/kernels.md). Every hot loop
+/// of the RNS-CKKS runtime — NTT butterflies, pointwise limb arithmetic,
+/// the key-switch inner product — funnels through this interface, so a
+/// vectorized (or, later, accelerator) implementation can replace the
+/// scalar kernels without touching RnsPoly, the evaluator, or the
+/// bootstrapper. Threading stays ABOVE the backend: ace::ThreadPool
+/// partitions work at RNS-limb / key-switch-digit granularity and each
+/// backend call processes one limb serially, so threading and
+/// vectorization compose.
+///
+/// The contract is bit-identity: every backend must produce exactly the
+/// residues the scalar reference produces, for every op, every modulus
+/// width, and every input (tests/fhe/PolyBackendTest.cpp enforces this
+/// differentially). That makes backend choice invisible to everything
+/// downstream — including the cross-thread-count determinism guarantee
+/// of docs/performance.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACE_FHE_POLYBACKEND_H
+#define ACE_FHE_POLYBACKEND_H
+
+#include "support/Status.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ace {
+namespace fhe {
+
+class NttTable;
+
+/// One set of poly-op kernels over a single RNS limb. All element
+/// pointers reference arrays of residues already reduced modulo the
+/// prime \p P (primes are NTT-friendly, P < 2^61, so sums of two
+/// residues and Shoup intermediates fit comfortably in 64/128 bits).
+///
+/// Aliasing rules: the destination may be identical to a source operand
+/// (all call sites are in-place on the first argument), but otherwise
+/// operands must not overlap. Implementations may process elements in
+/// any order but must write each element exactly once with exactly the
+/// value the scalar reference computes.
+///
+/// Backends are stateless and immutable after construction; one
+/// instance serves all threads concurrently.
+class PolyBackend {
+public:
+  virtual ~PolyBackend() = default;
+
+  /// Stable short name ("scalar", "simd") used by the knob, the bench
+  /// metadata stamp, and the ace_build_info metric.
+  virtual const char *name() const = 0;
+
+  /// In-place forward negacyclic NTT of one limb \p Data (length
+  /// Table.degree()) using \p Table's twiddles. Must match the
+  /// Harvey-layout Cooley-Tukey reference butterfly-for-butterfly.
+  virtual void forwardNtt(const NttTable &Table, uint64_t *Data) const = 0;
+
+  /// In-place inverse negacyclic NTT of one limb, including the final
+  /// N^{-1} scaling.
+  virtual void inverseNtt(const NttTable &Table, uint64_t *Data) const = 0;
+
+  /// Pointwise product: A[i] = A[i] * B[i] mod P.
+  virtual void mul(uint64_t *A, const uint64_t *B, size_t N,
+                   uint64_t P) const = 0;
+
+  /// Pointwise sum: A[i] = A[i] + B[i] mod P.
+  virtual void add(uint64_t *A, const uint64_t *B, size_t N,
+                   uint64_t P) const = 0;
+
+  /// Pointwise difference: A[i] = A[i] - B[i] mod P.
+  virtual void sub(uint64_t *A, const uint64_t *B, size_t N,
+                   uint64_t P) const = 0;
+
+  /// Pointwise negation: A[i] = -A[i] mod P.
+  virtual void negate(uint64_t *A, size_t N, uint64_t P) const = 0;
+
+  /// Scalar product A[i] = A[i] * S mod P via Shoup multiplication;
+  /// \p SShoup is shoupPrecompute(S, P) and S must be reduced mod P.
+  virtual void scalarMul(uint64_t *A, uint64_t S, uint64_t SShoup,
+                         size_t N, uint64_t P) const = 0;
+
+  /// Fused multiply-accumulate: Acc[i] = Acc[i] + X[i] * Y[i] mod P.
+  /// This is the key-switch inner-product kernel.
+  virtual void mulAcc(uint64_t *Acc, const uint64_t *X, const uint64_t *Y,
+                      size_t N, uint64_t P) const = 0;
+};
+
+/// The scalar reference backend (always available; the semantics every
+/// other backend must reproduce bit-for-bit).
+const PolyBackend &scalarPolyBackend();
+
+/// The vectorized backend (AVX2 on x86-64, NEON on AArch64), or nullptr
+/// when this build/host cannot run it. The instance is usable from any
+/// thread.
+const PolyBackend *simdPolyBackend();
+
+/// True when simdPolyBackend() returns a usable backend: the kernels
+/// were compiled in AND the CPU supports them (checked via CPUID once).
+bool simdPolyBackendSupported();
+
+/// The process-wide active backend. First use resolves the
+/// ACE_POLY_BACKEND environment knob ("scalar" | "simd" | "auto";
+/// unset/auto picks simd when supported, scalar otherwise; an
+/// unrecognized value or "simd" on an unsupported host warns on stderr
+/// and degrades to auto — it never aborts). Context creation forces
+/// this resolution, so the choice is fixed per process before any FHE
+/// work runs.
+const PolyBackend &activePolyBackend();
+
+/// Name of the active backend ("scalar" or "simd"); resolves the
+/// selection like activePolyBackend().
+const char *activePolyBackendName();
+
+/// Programmatic override of the active backend: \p Spec is "scalar",
+/// "simd", or "auto". Returns InvalidArgument for an unknown spec and
+/// for "simd" when unsupported, leaving the selection unchanged. Safe
+/// to call between (not during) runtime calls; the choice is
+/// per-process, never per-session. The selected name is stamped into
+/// telemetry run metadata (trace "otherData" and ace_build_info).
+Status selectPolyBackend(const std::string &Spec);
+
+} // namespace fhe
+} // namespace ace
+
+#endif // ACE_FHE_POLYBACKEND_H

@@ -1,0 +1,627 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+//
+// The vectorized poly-ops backend: AVX2 on x86-64 (4 lanes), NEON on
+// AArch64 (2 lanes). Compiled with vector codegen for this file only
+// (see src/fhe/CMakeLists.txt); selection is runtime-gated on CPUID, so
+// the rest of the library stays baseline-portable and a build that
+// includes these kernels still runs on hosts without them.
+//
+// Lane arithmetic (docs/kernels.md "Vector kernels"):
+//
+//  * addMod/subMod/negMod: exact 64-bit lane add/sub plus a masked
+//    conditional +-P. Comparisons use the SIGNED 64-bit lane compare
+//    (there is no unsigned one before AVX-512): safe because every
+//    value involved is < 2^62 (primes are < 2^61, intermediates < 2P).
+//
+//  * mulModShoup: the same three-multiply sequence as the scalar
+//    reference (hi64(A*BShoup) -> A*B - Q*P -> cond-subtract), built
+//    from 32x32->64 partial products (mul_epu32 / vmull_u32) since
+//    64x64 lane multiplies don't exist at this ISA level. All steps are
+//    exact mod 2^64, so the result is bit-identical to the scalar path.
+//
+//  * general mulMod: scalar code reduces the 128-bit product with a
+//    division; per-lane division does not vectorize, so the vector
+//    kernels use a single-pass Barrett reduction instead. With
+//    n = bits(P) we precompute v = floor(2^(n+62) / P) once per kernel
+//    call (one scalar __int128 division; v < 2^63). For a product
+//    d = a*b < P^2 the lanes extract c = floor(d / 2^(n-2)) (< 2^(n+2),
+//    fits 64 bits) from the 128-bit product halves, form the quotient
+//    estimate q = hi64(c * v), and take r = lo64(d) - q*P. The estimate
+//    satisfies q <= floor(d/P) <= q+1 (the 2^(n-2)/2^64 split leaves
+//    error < 1/2 + 2^(n-62) + 1 < 2 for n <= 61), so r < 2P and ONE
+//    conditional subtract lands on the canonical representative in
+//    [0, P) - the SAME value the scalar '%' produces, keeping
+//    bit-identity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fhe/PolyBackend.h"
+
+#include "fhe/ModArith.h"
+#include "fhe/Ntt.h"
+
+#include <cstdint>
+
+#if defined(__AVX2__) && defined(__x86_64__)
+#define ACE_POLY_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__ARM_NEON) && defined(__aarch64__)
+#define ACE_POLY_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+using namespace ace;
+using namespace ace::fhe;
+
+#if defined(ACE_POLY_SIMD_AVX2) || defined(ACE_POLY_SIMD_NEON)
+
+namespace {
+
+/// Per-modulus Barrett constants for the general lane mulMod (see the
+/// file header): V = floor(2^(n+62) / P) with n = bits(P), and the
+/// product shift n-2 used to extract the quotient-estimate input.
+struct BarrettConst {
+  uint64_t V;
+  int Shift; // n - 2
+};
+
+inline BarrettConst barrettConst(uint64_t P) {
+  int N = 64 - __builtin_clzll(P);
+  uint64_t V = static_cast<uint64_t>(
+      (static_cast<unsigned __int128>(1) << (N + 62)) / P);
+  return {V, N - 2};
+}
+
+} // namespace
+
+#endif
+
+//===----------------------------------------------------------------------===//
+// AVX2 lane helpers (4 x u64)
+//===----------------------------------------------------------------------===//
+
+#if defined(ACE_POLY_SIMD_AVX2)
+
+namespace {
+
+inline __m256i loadu(const uint64_t *Ptr) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i *>(Ptr));
+}
+
+inline void storeu(uint64_t *Ptr, __m256i V) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i *>(Ptr), V);
+}
+
+/// Low 64 bits of the 64x64 lane product, from 32-bit partials:
+/// lo(x*y) = xl*yl + ((xh*yl + xl*yh) << 32)  (mod 2^64).
+inline __m256i mulLo64(__m256i X, __m256i Y) {
+  __m256i XH = _mm256_srli_epi64(X, 32);
+  __m256i YH = _mm256_srli_epi64(Y, 32);
+  __m256i Cross = _mm256_add_epi64(_mm256_mul_epu32(XH, Y),
+                                   _mm256_mul_epu32(X, YH));
+  return _mm256_add_epi64(_mm256_mul_epu32(X, Y),
+                          _mm256_slli_epi64(Cross, 32));
+}
+
+/// High 64 bits of the 64x64 lane product (schoolbook with carry from
+/// the low half).
+inline __m256i mulHi64(__m256i X, __m256i Y) {
+  const __m256i Mask = _mm256_set1_epi64x(0xffffffff);
+  __m256i XH = _mm256_srli_epi64(X, 32);
+  __m256i YH = _mm256_srli_epi64(Y, 32);
+  __m256i LL = _mm256_mul_epu32(X, Y);
+  __m256i LH = _mm256_mul_epu32(X, YH);
+  __m256i HL = _mm256_mul_epu32(XH, Y);
+  __m256i HH = _mm256_mul_epu32(XH, YH);
+  // Carry out of the low 64 bits: (LL>>32) + lo32(LH) + lo32(HL),
+  // then >> 32. Fits: 3 * (2^32 - 1) < 2^34.
+  __m256i Mid = _mm256_add_epi64(
+      _mm256_add_epi64(_mm256_srli_epi64(LL, 32),
+                       _mm256_and_si256(LH, Mask)),
+      _mm256_and_si256(HL, Mask));
+  return _mm256_add_epi64(
+      _mm256_add_epi64(HH, _mm256_srli_epi64(LH, 32)),
+      _mm256_add_epi64(_mm256_srli_epi64(HL, 32),
+                       _mm256_srli_epi64(Mid, 32)));
+}
+
+/// R in [0, 2P) -> R mod P. Signed compare is safe: 2P < 2^62.
+inline __m256i condSubP(__m256i R, __m256i P) {
+  __m256i Lt = _mm256_cmpgt_epi64(P, R); // lane all-ones where R < P
+  return _mm256_blendv_epi8(_mm256_sub_epi64(R, P), R, Lt);
+}
+
+inline __m256i addModV(__m256i A, __m256i B, __m256i P) {
+  return condSubP(_mm256_add_epi64(A, B), P);
+}
+
+inline __m256i subModV(__m256i A, __m256i B, __m256i P) {
+  __m256i Lt = _mm256_cmpgt_epi64(B, A); // borrow where A < B
+  return _mm256_add_epi64(_mm256_sub_epi64(A, B),
+                          _mm256_and_si256(Lt, P));
+}
+
+inline __m256i negModV(__m256i A, __m256i P) {
+  __m256i Zero = _mm256_cmpeq_epi64(A, _mm256_setzero_si256());
+  return _mm256_andnot_si256(Zero, _mm256_sub_epi64(P, A));
+}
+
+/// Shoup lane multiply; W/WShoup pre-broadcast. Exactly the scalar
+/// sequence: Q = hi64(A*WShoup); R = A*W - Q*P; R -= P if R >= P.
+inline __m256i mulModShoupV(__m256i A, __m256i W, __m256i WShoup,
+                            __m256i P) {
+  __m256i Q = mulHi64(A, WShoup);
+  __m256i R = _mm256_sub_epi64(mulLo64(A, W), mulLo64(Q, P));
+  return condSubP(R, P);
+}
+
+/// General lane mulMod by single-pass Barrett (file header); BarrV is
+/// the broadcast Barrett factor, ShiftLo = n-2 and ShiftHi = 66-n as
+/// scalar shift counts (srl/sll zero the lanes for a count of 64, which
+/// is exactly right for the degenerate n = 2 case where Hi is zero).
+/// Canonical result in [0, P), bit-identical to the scalar 128-bit '%'.
+inline __m256i mulModV(__m256i A, __m256i B, __m256i P, __m256i BarrV,
+                       __m128i ShiftLo, __m128i ShiftHi) {
+  __m256i Lo = mulLo64(A, B);
+  __m256i Hi = mulHi64(A, B);
+  __m256i C = _mm256_or_si256(_mm256_srl_epi64(Lo, ShiftLo),
+                              _mm256_sll_epi64(Hi, ShiftHi));
+  __m256i Q = mulHi64(C, BarrV);
+  __m256i R = _mm256_sub_epi64(Lo, mulLo64(Q, P));
+  return condSubP(R, P);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// AVX2 backend
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Avx2PolyBackend final : public PolyBackend {
+public:
+  const char *name() const override { return "simd"; }
+
+  void forwardNtt(const NttTable &Table, uint64_t *Data) const override {
+    size_t N = Table.degree();
+    uint64_t P = Table.modulus();
+    const uint64_t *RP = Table.rootPowers().data();
+    const uint64_t *RPS = Table.rootPowersShoup().data();
+    const __m256i VP = _mm256_set1_epi64x(static_cast<int64_t>(P));
+    size_t T = N;
+    for (size_t M = 1; M < N; M <<= 1) {
+      T >>= 1;
+      for (size_t I = 0; I < M; ++I) {
+        size_t J1 = 2 * I * T;
+        uint64_t W = RP[M + I];
+        uint64_t WShoup = RPS[M + I];
+        if (T >= 4) {
+          // T is a power of two, so the 4-lane loop has no tail.
+          const __m256i VW = _mm256_set1_epi64x(static_cast<int64_t>(W));
+          const __m256i VWS =
+              _mm256_set1_epi64x(static_cast<int64_t>(WShoup));
+          for (size_t J = J1; J < J1 + T; J += 4) {
+            __m256i U = loadu(Data + J);
+            __m256i V = mulModShoupV(loadu(Data + J + T), VW, VWS, VP);
+            storeu(Data + J, addModV(U, V, VP));
+            storeu(Data + J + T, subModV(U, V, VP));
+          }
+        } else {
+          // Last one or two stages: butterflies too narrow for lanes.
+          for (size_t J = J1; J < J1 + T; ++J) {
+            uint64_t U = Data[J];
+            uint64_t V = mulModShoup(Data[J + T], W, WShoup, P);
+            Data[J] = addMod(U, V, P);
+            Data[J + T] = subMod(U, V, P);
+          }
+        }
+      }
+    }
+  }
+
+  void inverseNtt(const NttTable &Table, uint64_t *Data) const override {
+    size_t N = Table.degree();
+    uint64_t P = Table.modulus();
+    const uint64_t *IRP = Table.invRootPowers().data();
+    const uint64_t *IRPS = Table.invRootPowersShoup().data();
+    const __m256i VP = _mm256_set1_epi64x(static_cast<int64_t>(P));
+    size_t T = 1;
+    for (size_t M = N; M > 1; M >>= 1) {
+      size_t J1 = 0;
+      size_t H = M >> 1;
+      for (size_t I = 0; I < H; ++I) {
+        uint64_t W = IRP[H + I];
+        uint64_t WShoup = IRPS[H + I];
+        if (T >= 4) {
+          const __m256i VW = _mm256_set1_epi64x(static_cast<int64_t>(W));
+          const __m256i VWS =
+              _mm256_set1_epi64x(static_cast<int64_t>(WShoup));
+          for (size_t J = J1; J < J1 + T; J += 4) {
+            __m256i U = loadu(Data + J);
+            __m256i V = loadu(Data + J + T);
+            storeu(Data + J, addModV(U, V, VP));
+            storeu(Data + J + T,
+                   mulModShoupV(subModV(U, V, VP), VW, VWS, VP));
+          }
+        } else {
+          for (size_t J = J1; J < J1 + T; ++J) {
+            uint64_t U = Data[J];
+            uint64_t V = Data[J + T];
+            Data[J] = addMod(U, V, P);
+            Data[J + T] = mulModShoup(subMod(U, V, P), W, WShoup, P);
+          }
+        }
+        J1 += 2 * T;
+      }
+      T <<= 1;
+    }
+    scalarMul(Data, Table.invDegree(), Table.invDegreeShoup(), N, P);
+  }
+
+  void mul(uint64_t *A, const uint64_t *B, size_t N,
+           uint64_t P) const override {
+    const BarrettConst BC = barrettConst(P);
+    const __m256i VP = _mm256_set1_epi64x(static_cast<int64_t>(P));
+    const __m256i VV = _mm256_set1_epi64x(static_cast<int64_t>(BC.V));
+    const __m128i SLo = _mm_cvtsi32_si128(BC.Shift);
+    const __m128i SHi = _mm_cvtsi32_si128(64 - BC.Shift);
+    size_t J = 0;
+    for (; J + 4 <= N; J += 4)
+      storeu(A + J, mulModV(loadu(A + J), loadu(B + J), VP, VV, SLo, SHi));
+    for (; J < N; ++J)
+      A[J] = static_cast<uint64_t>(
+          (static_cast<unsigned __int128>(A[J]) * B[J]) % P);
+  }
+
+  void add(uint64_t *A, const uint64_t *B, size_t N,
+           uint64_t P) const override {
+    const __m256i VP = _mm256_set1_epi64x(static_cast<int64_t>(P));
+    size_t J = 0;
+    for (; J + 4 <= N; J += 4)
+      storeu(A + J, addModV(loadu(A + J), loadu(B + J), VP));
+    for (; J < N; ++J) {
+      uint64_t Sum = A[J] + B[J];
+      A[J] = Sum >= P ? Sum - P : Sum;
+    }
+  }
+
+  void sub(uint64_t *A, const uint64_t *B, size_t N,
+           uint64_t P) const override {
+    const __m256i VP = _mm256_set1_epi64x(static_cast<int64_t>(P));
+    size_t J = 0;
+    for (; J + 4 <= N; J += 4)
+      storeu(A + J, subModV(loadu(A + J), loadu(B + J), VP));
+    for (; J < N; ++J)
+      A[J] = A[J] >= B[J] ? A[J] - B[J] : A[J] + P - B[J];
+  }
+
+  void negate(uint64_t *A, size_t N, uint64_t P) const override {
+    const __m256i VP = _mm256_set1_epi64x(static_cast<int64_t>(P));
+    size_t J = 0;
+    for (; J + 4 <= N; J += 4)
+      storeu(A + J, negModV(loadu(A + J), VP));
+    for (; J < N; ++J)
+      A[J] = A[J] == 0 ? 0 : P - A[J];
+  }
+
+  void scalarMul(uint64_t *A, uint64_t S, uint64_t SShoup, size_t N,
+                 uint64_t P) const override {
+    const __m256i VP = _mm256_set1_epi64x(static_cast<int64_t>(P));
+    const __m256i VS = _mm256_set1_epi64x(static_cast<int64_t>(S));
+    const __m256i VSS =
+        _mm256_set1_epi64x(static_cast<int64_t>(SShoup));
+    size_t J = 0;
+    for (; J + 4 <= N; J += 4)
+      storeu(A + J, mulModShoupV(loadu(A + J), VS, VSS, VP));
+    for (; J < N; ++J) {
+      uint64_t Q = static_cast<uint64_t>(
+          (static_cast<unsigned __int128>(A[J]) * SShoup) >> 64);
+      uint64_t R = A[J] * S - Q * P;
+      A[J] = R >= P ? R - P : R;
+    }
+  }
+
+  void mulAcc(uint64_t *Acc, const uint64_t *X, const uint64_t *Y,
+              size_t N, uint64_t P) const override {
+    const BarrettConst BC = barrettConst(P);
+    const __m256i VP = _mm256_set1_epi64x(static_cast<int64_t>(P));
+    const __m256i VV = _mm256_set1_epi64x(static_cast<int64_t>(BC.V));
+    const __m128i SLo = _mm_cvtsi32_si128(BC.Shift);
+    const __m128i SHi = _mm_cvtsi32_si128(64 - BC.Shift);
+    size_t J = 0;
+    for (; J + 4 <= N; J += 4) {
+      __m256i Prod =
+          mulModV(loadu(X + J), loadu(Y + J), VP, VV, SLo, SHi);
+      storeu(Acc + J, addModV(loadu(Acc + J), Prod, VP));
+    }
+    for (; J < N; ++J) {
+      uint64_t Prod = static_cast<uint64_t>(
+          (static_cast<unsigned __int128>(X[J]) * Y[J]) % P);
+      uint64_t Sum = Acc[J] + Prod;
+      Acc[J] = Sum >= P ? Sum - P : Sum;
+    }
+  }
+};
+
+} // namespace
+
+const PolyBackend *ace::fhe::simdPolyBackend() {
+  // CPUID check once; AVX2 presence implies every instruction used
+  // above. A build with -mavx2 on this file still runs on pre-AVX2
+  // hardware as long as this returns nullptr there.
+  static const bool Supported = __builtin_cpu_supports("avx2");
+  if (!Supported)
+    return nullptr;
+  static Avx2PolyBackend Backend;
+  return &Backend;
+}
+
+//===----------------------------------------------------------------------===//
+// NEON lane helpers (2 x u64) and backend
+//===----------------------------------------------------------------------===//
+
+#elif defined(ACE_POLY_SIMD_NEON)
+
+namespace {
+
+inline uint64x2_t loadu(const uint64_t *Ptr) { return vld1q_u64(Ptr); }
+
+inline void storeu(uint64_t *Ptr, uint64x2_t V) { vst1q_u64(Ptr, V); }
+
+inline uint64x2_t mulLo64(uint64x2_t X, uint64x2_t Y) {
+  uint32x2_t XL = vmovn_u64(X);
+  uint32x2_t YL = vmovn_u64(Y);
+  uint32x2_t XH = vmovn_u64(vshrq_n_u64(X, 32));
+  uint32x2_t YH = vmovn_u64(vshrq_n_u64(Y, 32));
+  uint64x2_t Cross = vaddq_u64(vmull_u32(XH, YL), vmull_u32(XL, YH));
+  return vaddq_u64(vmull_u32(XL, YL), vshlq_n_u64(Cross, 32));
+}
+
+inline uint64x2_t mulHi64(uint64x2_t X, uint64x2_t Y) {
+  const uint64x2_t Mask = vdupq_n_u64(0xffffffff);
+  uint32x2_t XL = vmovn_u64(X);
+  uint32x2_t YL = vmovn_u64(Y);
+  uint32x2_t XH = vmovn_u64(vshrq_n_u64(X, 32));
+  uint32x2_t YH = vmovn_u64(vshrq_n_u64(Y, 32));
+  uint64x2_t LL = vmull_u32(XL, YL);
+  uint64x2_t LH = vmull_u32(XL, YH);
+  uint64x2_t HL = vmull_u32(XH, YL);
+  uint64x2_t HH = vmull_u32(XH, YH);
+  uint64x2_t Mid = vaddq_u64(
+      vaddq_u64(vshrq_n_u64(LL, 32), vandq_u64(LH, Mask)),
+      vandq_u64(HL, Mask));
+  return vaddq_u64(vaddq_u64(HH, vshrq_n_u64(LH, 32)),
+                   vaddq_u64(vshrq_n_u64(HL, 32), vshrq_n_u64(Mid, 32)));
+}
+
+inline uint64x2_t condSubP(uint64x2_t R, uint64x2_t P) {
+  uint64x2_t Ge = vcgeq_u64(R, P);
+  return vsubq_u64(R, vandq_u64(Ge, P));
+}
+
+inline uint64x2_t addModV(uint64x2_t A, uint64x2_t B, uint64x2_t P) {
+  return condSubP(vaddq_u64(A, B), P);
+}
+
+inline uint64x2_t subModV(uint64x2_t A, uint64x2_t B, uint64x2_t P) {
+  uint64x2_t Lt = vcltq_u64(A, B);
+  return vaddq_u64(vsubq_u64(A, B), vandq_u64(Lt, P));
+}
+
+inline uint64x2_t negModV(uint64x2_t A, uint64x2_t P) {
+  uint64x2_t NonZero = vtstq_u64(A, A); // all-ones where A != 0
+  return vandq_u64(NonZero, vsubq_u64(P, A));
+}
+
+inline uint64x2_t mulModShoupV(uint64x2_t A, uint64x2_t W,
+                               uint64x2_t WShoup, uint64x2_t P) {
+  uint64x2_t Q = mulHi64(A, WShoup);
+  uint64x2_t R = vsubq_u64(mulLo64(A, W), mulLo64(Q, P));
+  return condSubP(R, P);
+}
+
+/// General lane mulMod by single-pass Barrett (file header). vshlq with
+/// a negative count shifts right; counts of +-64 zero the lane, which is
+/// exactly right for the degenerate n = 2 case where Hi is zero.
+inline uint64x2_t mulModV(uint64x2_t A, uint64x2_t B, uint64x2_t P,
+                          uint64x2_t BarrV, int64x2_t ShiftLoNeg,
+                          int64x2_t ShiftHi) {
+  uint64x2_t Lo = mulLo64(A, B);
+  uint64x2_t Hi = mulHi64(A, B);
+  uint64x2_t C =
+      vorrq_u64(vshlq_u64(Lo, ShiftLoNeg), vshlq_u64(Hi, ShiftHi));
+  uint64x2_t Q = mulHi64(C, BarrV);
+  uint64x2_t R = vsubq_u64(Lo, mulLo64(Q, P));
+  return condSubP(R, P);
+}
+
+class NeonPolyBackend final : public PolyBackend {
+public:
+  const char *name() const override { return "simd"; }
+
+  void forwardNtt(const NttTable &Table, uint64_t *Data) const override {
+    size_t N = Table.degree();
+    uint64_t P = Table.modulus();
+    const uint64_t *RP = Table.rootPowers().data();
+    const uint64_t *RPS = Table.rootPowersShoup().data();
+    const uint64x2_t VP = vdupq_n_u64(P);
+    size_t T = N;
+    for (size_t M = 1; M < N; M <<= 1) {
+      T >>= 1;
+      for (size_t I = 0; I < M; ++I) {
+        size_t J1 = 2 * I * T;
+        uint64_t W = RP[M + I];
+        uint64_t WShoup = RPS[M + I];
+        if (T >= 2) {
+          const uint64x2_t VW = vdupq_n_u64(W);
+          const uint64x2_t VWS = vdupq_n_u64(WShoup);
+          for (size_t J = J1; J < J1 + T; J += 2) {
+            uint64x2_t U = loadu(Data + J);
+            uint64x2_t V = mulModShoupV(loadu(Data + J + T), VW, VWS, VP);
+            storeu(Data + J, addModV(U, V, VP));
+            storeu(Data + J + T, subModV(U, V, VP));
+          }
+        } else {
+          uint64_t U = Data[J1];
+          uint64_t Q = static_cast<uint64_t>(
+              (static_cast<unsigned __int128>(Data[J1 + T]) * WShoup) >>
+              64);
+          uint64_t V = Data[J1 + T] * W - Q * P;
+          V = V >= P ? V - P : V;
+          uint64_t Sum = U + V;
+          Data[J1] = Sum >= P ? Sum - P : Sum;
+          Data[J1 + T] = U >= V ? U - V : U + P - V;
+        }
+      }
+    }
+  }
+
+  void inverseNtt(const NttTable &Table, uint64_t *Data) const override {
+    size_t N = Table.degree();
+    uint64_t P = Table.modulus();
+    const uint64_t *IRP = Table.invRootPowers().data();
+    const uint64_t *IRPS = Table.invRootPowersShoup().data();
+    const uint64x2_t VP = vdupq_n_u64(P);
+    size_t T = 1;
+    for (size_t M = N; M > 1; M >>= 1) {
+      size_t J1 = 0;
+      size_t H = M >> 1;
+      for (size_t I = 0; I < H; ++I) {
+        uint64_t W = IRP[H + I];
+        uint64_t WShoup = IRPS[H + I];
+        if (T >= 2) {
+          const uint64x2_t VW = vdupq_n_u64(W);
+          const uint64x2_t VWS = vdupq_n_u64(WShoup);
+          for (size_t J = J1; J < J1 + T; J += 2) {
+            uint64x2_t U = loadu(Data + J);
+            uint64x2_t V = loadu(Data + J + T);
+            storeu(Data + J, addModV(U, V, VP));
+            storeu(Data + J + T,
+                   mulModShoupV(subModV(U, V, VP), VW, VWS, VP));
+          }
+        } else {
+          uint64_t U = Data[J1];
+          uint64_t V = Data[J1 + T];
+          uint64_t Sum = U + V;
+          Data[J1] = Sum >= P ? Sum - P : Sum;
+          uint64_t D = U >= V ? U - V : U + P - V;
+          uint64_t Q = static_cast<uint64_t>(
+              (static_cast<unsigned __int128>(D) * WShoup) >> 64);
+          uint64_t R = D * W - Q * P;
+          Data[J1 + T] = R >= P ? R - P : R;
+        }
+        J1 += 2 * T;
+      }
+      T <<= 1;
+    }
+    scalarMul(Data, Table.invDegree(), Table.invDegreeShoup(), N, P);
+  }
+
+  void mul(uint64_t *A, const uint64_t *B, size_t N,
+           uint64_t P) const override {
+    const BarrettConst BC = barrettConst(P);
+    const uint64x2_t VP = vdupq_n_u64(P);
+    const uint64x2_t VV = vdupq_n_u64(BC.V);
+    const int64x2_t SLo = vdupq_n_s64(-BC.Shift);
+    const int64x2_t SHi = vdupq_n_s64(64 - BC.Shift);
+    size_t J = 0;
+    for (; J + 2 <= N; J += 2)
+      storeu(A + J, mulModV(loadu(A + J), loadu(B + J), VP, VV, SLo, SHi));
+    for (; J < N; ++J)
+      A[J] = static_cast<uint64_t>(
+          (static_cast<unsigned __int128>(A[J]) * B[J]) % P);
+  }
+
+  void add(uint64_t *A, const uint64_t *B, size_t N,
+           uint64_t P) const override {
+    const uint64x2_t VP = vdupq_n_u64(P);
+    size_t J = 0;
+    for (; J + 2 <= N; J += 2)
+      storeu(A + J, addModV(loadu(A + J), loadu(B + J), VP));
+    for (; J < N; ++J) {
+      uint64_t Sum = A[J] + B[J];
+      A[J] = Sum >= P ? Sum - P : Sum;
+    }
+  }
+
+  void sub(uint64_t *A, const uint64_t *B, size_t N,
+           uint64_t P) const override {
+    const uint64x2_t VP = vdupq_n_u64(P);
+    size_t J = 0;
+    for (; J + 2 <= N; J += 2)
+      storeu(A + J, subModV(loadu(A + J), loadu(B + J), VP));
+    for (; J < N; ++J)
+      A[J] = A[J] >= B[J] ? A[J] - B[J] : A[J] + P - B[J];
+  }
+
+  void negate(uint64_t *A, size_t N, uint64_t P) const override {
+    const uint64x2_t VP = vdupq_n_u64(P);
+    size_t J = 0;
+    for (; J + 2 <= N; J += 2)
+      storeu(A + J, negModV(loadu(A + J), VP));
+    for (; J < N; ++J)
+      A[J] = A[J] == 0 ? 0 : P - A[J];
+  }
+
+  void scalarMul(uint64_t *A, uint64_t S, uint64_t SShoup, size_t N,
+                 uint64_t P) const override {
+    const uint64x2_t VP = vdupq_n_u64(P);
+    const uint64x2_t VS = vdupq_n_u64(S);
+    const uint64x2_t VSS = vdupq_n_u64(SShoup);
+    size_t J = 0;
+    for (; J + 2 <= N; J += 2)
+      storeu(A + J, mulModShoupV(loadu(A + J), VS, VSS, VP));
+    for (; J < N; ++J) {
+      uint64_t Q = static_cast<uint64_t>(
+          (static_cast<unsigned __int128>(A[J]) * SShoup) >> 64);
+      uint64_t R = A[J] * S - Q * P;
+      A[J] = R >= P ? R - P : R;
+    }
+  }
+
+  void mulAcc(uint64_t *Acc, const uint64_t *X, const uint64_t *Y,
+              size_t N, uint64_t P) const override {
+    const BarrettConst BC = barrettConst(P);
+    const uint64x2_t VP = vdupq_n_u64(P);
+    const uint64x2_t VV = vdupq_n_u64(BC.V);
+    const int64x2_t SLo = vdupq_n_s64(-BC.Shift);
+    const int64x2_t SHi = vdupq_n_s64(64 - BC.Shift);
+    size_t J = 0;
+    for (; J + 2 <= N; J += 2) {
+      uint64x2_t Prod =
+          mulModV(loadu(X + J), loadu(Y + J), VP, VV, SLo, SHi);
+      storeu(Acc + J, addModV(loadu(Acc + J), Prod, VP));
+    }
+    for (; J < N; ++J) {
+      uint64_t Prod = static_cast<uint64_t>(
+          (static_cast<unsigned __int128>(X[J]) * Y[J]) % P);
+      uint64_t Sum = Acc[J] + Prod;
+      Acc[J] = Sum >= P ? Sum - P : Sum;
+    }
+  }
+};
+
+} // namespace
+
+const PolyBackend *ace::fhe::simdPolyBackend() {
+  // NEON is architecturally guaranteed on AArch64; no runtime probe.
+  static NeonPolyBackend Backend;
+  return &Backend;
+}
+
+#else
+
+const PolyBackend *ace::fhe::simdPolyBackend() {
+  // This build carries no vectorized kernels for the target
+  // architecture; the scalar reference serves everything.
+  return nullptr;
+}
+
+#endif

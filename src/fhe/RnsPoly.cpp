@@ -9,6 +9,7 @@
 #include "fhe/RnsPoly.h"
 
 #include "fhe/ModArith.h"
+#include "fhe/PolyBackend.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -27,7 +28,10 @@ RnsPoly::RnsPoly(const Context &Ctx, size_t NumQ, bool HasSpecial,
 // Every loop below is parallel over RNS components (limbs): each index
 // touches only its own limb's residues, the arithmetic is exact modular
 // integer math, and the chunk partition is fixed - results are
-// bit-identical at any thread count (see support/ThreadPool.h).
+// bit-identical at any thread count (see support/ThreadPool.h). Within
+// one limb the element loop is a poly-ops backend kernel (scalar or
+// vectorized; bit-identical by contract, see docs/kernels.md) - so
+// threading partitions ABOVE the backend and the two compose.
 
 void RnsPoly::toNtt() {
   if (NttForm)
@@ -50,34 +54,26 @@ void RnsPoly::toCoeff() {
 void RnsPoly::addInPlace(const RnsPoly &Other) {
   checkCompatible(Other);
   size_t N = Ctx->degree();
+  const PolyBackend &B = activePolyBackend();
   parallelFor(0, numComponents(), [&](size_t I) {
-    uint64_t P = modulus(I);
-    uint64_t *A = component(I);
-    const uint64_t *B = Other.component(I);
-    for (size_t J = 0; J < N; ++J)
-      A[J] = addMod(A[J], B[J], P);
+    B.add(component(I), Other.component(I), N, modulus(I));
   });
 }
 
 void RnsPoly::subInPlace(const RnsPoly &Other) {
   checkCompatible(Other);
   size_t N = Ctx->degree();
+  const PolyBackend &B = activePolyBackend();
   parallelFor(0, numComponents(), [&](size_t I) {
-    uint64_t P = modulus(I);
-    uint64_t *A = component(I);
-    const uint64_t *B = Other.component(I);
-    for (size_t J = 0; J < N; ++J)
-      A[J] = subMod(A[J], B[J], P);
+    B.sub(component(I), Other.component(I), N, modulus(I));
   });
 }
 
 void RnsPoly::negateInPlace() {
   size_t N = Ctx->degree();
+  const PolyBackend &B = activePolyBackend();
   parallelFor(0, numComponents(), [&](size_t I) {
-    uint64_t P = modulus(I);
-    uint64_t *A = component(I);
-    for (size_t J = 0; J < N; ++J)
-      A[J] = negMod(A[J], P);
+    B.negate(component(I), N, modulus(I));
   });
 }
 
@@ -85,12 +81,9 @@ void RnsPoly::mulInPlace(const RnsPoly &Other) {
   checkCompatible(Other);
   assert(NttForm && "pointwise product requires NTT domain");
   size_t N = Ctx->degree();
+  const PolyBackend &B = activePolyBackend();
   parallelFor(0, numComponents(), [&](size_t I) {
-    uint64_t P = modulus(I);
-    uint64_t *A = component(I);
-    const uint64_t *B = Other.component(I);
-    for (size_t J = 0; J < N; ++J)
-      A[J] = mulMod(A[J], B[J], P);
+    B.mul(component(I), Other.component(I), N, modulus(I));
   });
 }
 
@@ -105,13 +98,10 @@ void RnsPoly::mulAddInPlace(const RnsPoly &A, const RnsPoly &B) {
   checkCompatible(A);
   assert(NttForm && "fused multiply-add requires NTT domain");
   size_t N = Ctx->degree();
+  const PolyBackend &Backend = activePolyBackend();
   parallelFor(0, numComponents(), [&](size_t I) {
-    uint64_t P = modulus(I);
-    uint64_t *Acc = component(I);
-    const uint64_t *X = A.component(I);
-    const uint64_t *Y = B.component(I);
-    for (size_t J = 0; J < N; ++J)
-      Acc[J] = addMod(Acc[J], mulMod(X[J], Y[J], P), P);
+    Backend.mulAcc(component(I), A.component(I), B.component(I), N,
+                   modulus(I));
   });
 }
 
@@ -120,13 +110,11 @@ void RnsPoly::mulScalarPerComponent(
   assert(ScalarPerComp.size() == numComponents() &&
          "scalar table size mismatch");
   size_t N = Ctx->degree();
+  const PolyBackend &B = activePolyBackend();
   parallelFor(0, numComponents(), [&](size_t I) {
     uint64_t P = modulus(I);
     uint64_t S = ScalarPerComp[I] % P;
-    uint64_t SShoup = shoupPrecompute(S, P);
-    uint64_t *A = component(I);
-    for (size_t J = 0; J < N; ++J)
-      A[J] = mulModShoup(A[J], S, SShoup, P);
+    B.scalarMul(component(I), S, shoupPrecompute(S, P), N, P);
   });
 }
 

@@ -184,6 +184,25 @@ void MetricsRegistry::writePrometheus(std::ostream &OS) const {
   writeSampleLine(OS, "ace_peak_rss_bytes", "",
                   static_cast<double>(T.peakRssBytes()));
 
+  // Built-in: run metadata as a constant-1 info gauge, labels from the
+  // telemetry metadata map (the runtime stamps poly_backend there when
+  // it selects a kernel path - docs/kernels.md). Omitted entirely when
+  // nothing was stamped so expositions from metadata-free processes
+  // stay unchanged.
+  auto Meta = T.metadata();
+  if (!Meta.empty()) {
+    OS << "# HELP ace_build_info Constant run metadata (selected kernel "
+          "backend, ...); value is always 1.\n";
+    OS << "# TYPE ace_build_info gauge\n";
+    std::string Labels;
+    for (const auto &[Key, Value] : Meta) {
+      if (!Labels.empty())
+        Labels += ",";
+      Labels += Key + "=\"" + Value + "\"";
+    }
+    writeSampleLine(OS, "ace_build_info", Labels, 1.0);
+  }
+
   // Built-in: per-FHE-op latency histograms (only ops that ran; an
   // all-zero histogram for every taxonomy slot would triple the
   // exposition for no information).

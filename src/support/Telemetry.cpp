@@ -252,6 +252,23 @@ Telemetry::threadNames() const {
   return ThreadNames;
 }
 
+void Telemetry::setMetadata(const std::string &Key,
+                            const std::string &Value) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[ExistingKey, ExistingValue] : Metadata)
+    if (ExistingKey == Key) {
+      ExistingValue = Value;
+      return;
+    }
+  Metadata.emplace_back(Key, Value);
+}
+
+std::vector<std::pair<std::string, std::string>>
+Telemetry::metadata() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Metadata;
+}
+
 void Telemetry::accumulatePhase(const std::string &Name, double Seconds) {
   std::lock_guard<std::mutex> Lock(Mutex);
   Phases.add(Name, Seconds);
@@ -305,11 +322,13 @@ void Telemetry::clear() {
 void Telemetry::writeChromeTrace(std::ostream &OS) const {
   std::vector<TraceEvent> Copy;
   std::vector<std::pair<uint32_t, std::string>> Names;
+  std::vector<std::pair<std::string, std::string>> Meta;
   size_t Dropped;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     Copy = Events;
     Names = ThreadNames;
+    Meta = Metadata;
     Dropped = DroppedEvents;
   }
   OS << "{\"traceEvents\":[";
@@ -375,7 +394,13 @@ void Telemetry::writeChromeTrace(std::ostream &OS) const {
   }
   OS << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{"
      << "\"tool\":\"ace-telemetry\",\"droppedEvents\":" << Dropped
-     << ",\"peakRssBytes\":" << peakRssBytes() << "}}\n";
+     << ",\"peakRssBytes\":" << peakRssBytes();
+  // Run metadata (kernel backend, ...) so a saved trace records which
+  // code path produced its timings.
+  for (const auto &[Key, Value] : Meta)
+    OS << ",\"" << jsonEscape(Key) << "\":\"" << jsonEscape(Value)
+       << "\"";
+  OS << "}}\n";
 }
 
 Status Telemetry::writeChromeTraceFile(const std::string &Path) const {

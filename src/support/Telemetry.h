@@ -301,6 +301,19 @@ public:
   std::vector<std::pair<std::string, double>> phaseEntries() const;
   /// @}
 
+  /// \name Run metadata
+  /// Small string key/value map describing the process configuration
+  /// (e.g. the selected poly-ops kernel backend). Stamped into the
+  /// Chrome trace's "otherData" block and exported as the
+  /// ace_build_info Prometheus gauge so perf records are attributable
+  /// to a kernel path (docs/kernels.md). Recorded even while telemetry
+  /// is disabled - setters run once per selection, never on a hot path.
+  /// @{
+  void setMetadata(const std::string &Key, const std::string &Value);
+  /// (key, value) pairs in insertion order.
+  std::vector<std::pair<std::string, std::string>> metadata() const;
+  /// @}
+
   /// \name Memory
   /// @{
   /// Appends a 'C' event sampling the process RSS (see MemTrack) under
@@ -345,6 +358,7 @@ private:
   std::vector<std::pair<std::string, CounterSnapshot>> Snapshots;
   std::array<OpHealth, kCounterCount> Health{};
   std::vector<std::pair<uint32_t, std::string>> ThreadNames;
+  std::vector<std::pair<std::string, std::string>> Metadata;
   TimingRegistry Phases;
   TraceSink *Sink = nullptr;
   std::chrono::steady_clock::time_point Epoch;
