@@ -10,6 +10,7 @@
 
 #include "BenchUtil.h"
 
+#include "support/LimbPool.h"
 #include "support/Telemetry.h"
 
 #include <cstdio>
@@ -50,11 +51,51 @@ MemResult runOne(const BenchModel &M, const air::CompileOptions &Opt) {
   return Out;
 }
 
-/// Projects one switch key's bytes to production parameters: L digits,
-/// 2 polynomials, L+1 moduli, N coefficients of 8 bytes.
-double productionKeyGiB(size_t L, size_t N) {
-  double Bytes = static_cast<double>(L) * 2.0 * (L + 1) * N * 8.0;
-  return Bytes / (1024.0 * 1024.0 * 1024.0);
+/// One steady-state measurement leg: \p Runs encrypted inferences over
+/// the same ciphertext with the limb pool forced to \p PoolOn, counting
+/// fresh heap allocations (pool misses — counted in bypass mode too, so
+/// both legs read the same counter) and the peak-RSS growth.
+struct SteadyResult {
+  double AllocsPerRun = 0.0;
+  size_t RssDeltaBytes = 0;
+};
+
+SteadyResult steadyStateLeg(codegen::CkksExecutor &Exec,
+                            const fhe::Ciphertext &Ct, int Runs,
+                            bool PoolOn) {
+  LimbPool &Pool = LimbPool::instance();
+  bool Saved = Pool.enabled();
+  Pool.setEnabled(PoolOn);
+  // Warm up: populate the pool's bins (or the allocator's free lists)
+  // so the measured window is the long-running server's steady state.
+  for (int I = 0; I < 2; ++I) {
+    auto Out = Exec.run(Ct);
+    if (!Out.ok()) {
+      std::fprintf(stderr, "steady-state run failed: %s\n",
+                   Out.status().message().c_str());
+      std::exit(1);
+    }
+  }
+  telemetry::Telemetry::instance().sampleRss("steady_state_before");
+  size_t RssBefore = telemetry::Telemetry::instance().peakRssBytes();
+  Pool.resetCounters();
+  for (int I = 0; I < Runs; ++I) {
+    auto Out = Exec.run(Ct);
+    if (!Out.ok()) {
+      std::fprintf(stderr, "steady-state run failed: %s\n",
+                   Out.status().message().c_str());
+      std::exit(1);
+    }
+  }
+  LimbPoolStats S = Pool.stats();
+  telemetry::Telemetry::instance().sampleRss("steady_state_after");
+  size_t RssAfter = telemetry::Telemetry::instance().peakRssBytes();
+  Pool.setEnabled(Saved);
+  SteadyResult Out;
+  Out.AllocsPerRun =
+      static_cast<double>(S.Misses) / static_cast<double>(Runs);
+  Out.RssDeltaBytes = RssAfter > RssBefore ? RssAfter - RssBefore : 0;
+  return Out;
 }
 
 } // namespace
@@ -102,6 +143,57 @@ int main(int argc, char **argv) {
   }
   std::printf("\n(paper: ACE reduces key memory by 84.8%% on average; "
               "ResNet-20 still needs 34.3 GB of evaluation keys)\n");
+
+  // Steady-state allocation churn: the long-running server story. One
+  // executor, one ciphertext, many inferences — count fresh heap
+  // allocations per run with the limb pool on vs bypassed.
+  {
+    const int Runs = 8;
+    onnx::Model Model = nn::buildMlp({24, 16, 12, 6}, 31);
+    nn::Dataset Data = nn::makeSyntheticDataset({1, 24}, 6, /*Count=*/4,
+                                                /*NoiseSigma=*/0.1, 77);
+    auto R = compileOrDie(Model, Data, benchOptions());
+    codegen::CkksExecutor Exec(R->Program, R->State);
+    if (Status S = Exec.setup()) {
+      std::fprintf(stderr, "setup failed: %s\n", S.message().c_str());
+      return 1;
+    }
+    auto Ct = Exec.encryptInput(Data.Images[0]);
+    if (!Ct.ok()) {
+      std::fprintf(stderr, "encrypt failed: %s\n",
+                   Ct.status().message().c_str());
+      return 1;
+    }
+    SteadyResult Off = steadyStateLeg(Exec, *Ct, Runs, /*PoolOn=*/false);
+    SteadyResult On = steadyStateLeg(Exec, *Ct, Runs, /*PoolOn=*/true);
+    double Reduction =
+        On.AllocsPerRun > 0.0 ? Off.AllocsPerRun / On.AllocsPerRun : 0.0;
+    std::printf("\n=== Steady-state limb allocations per inference ===\n");
+    std::printf("%-10s %16s %14s\n", "pool", "allocs/run",
+                "peak-rss-delta");
+    std::printf("%-10s %16.1f %14s\n", "off", Off.AllocsPerRun,
+                formatBytes(Off.RssDeltaBytes).c_str());
+    std::printf("%-10s %16.1f %14s\n", "on", On.AllocsPerRun,
+                formatBytes(On.RssDeltaBytes).c_str());
+    if (On.AllocsPerRun > 0.0)
+      std::printf("%-10s %15.1fx fewer heap allocations\n", "delta",
+                  Reduction);
+    else
+      std::printf("%-10s zero steady-state heap allocations with pool "
+                  "on\n", "delta");
+    char Row[384];
+    std::snprintf(Row, sizeof(Row),
+                  "{\"model\": \"steady_state_mlp\", "
+                  "\"pool_off_allocs_per_run\": %.1f, "
+                  "\"pool_on_allocs_per_run\": %.1f, "
+                  "\"alloc_reduction_x\": %.1f, "
+                  "\"pool_off_rss_delta_bytes\": %zu, "
+                  "\"pool_on_rss_delta_bytes\": %zu}",
+                  Off.AllocsPerRun, On.AllocsPerRun, Reduction,
+                  Off.RssDeltaBytes, On.RssDeltaBytes);
+    Rows += std::string(Rows.empty() ? "" : ",\n  ") + Row;
+  }
+
   if (!Args.JsonPath.empty())
     writeBenchJson(Args.JsonPath, "fig7_memory", "[" + Rows + "]");
   return 0;

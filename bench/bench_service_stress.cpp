@@ -7,11 +7,18 @@
 // CI soak job does exactly that) and counts them by error code.
 //
 //   bench_service_stress [--clients=N] [--requests=M] [--queue=K]
-//                        [--deadline=SECONDS] [--threads=N] [--json=PATH]
+//                        [--deadline=SECONDS] [--budget=BYTES]
+//                        [--threads=N] [--json=PATH]
+//
+// --budget installs a hard process memory budget (accepts the same
+// "512m"/"8g" suffixes as ACE_MEMORY_BUDGET). Under a tight budget the
+// expected outcome mix shifts toward ResourceExhausted: requests are
+// shed in-band, never by crashing the process.
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "service/InferenceService.h"
+#include "support/ResourceGovernor.h"
 #include "support/Rng.h"
 
 #include <atomic>
@@ -27,6 +34,7 @@ using namespace ace;
 int main(int Argc, char **Argv) {
   size_t Clients = 3, Requests = 4, QueueCap = 32;
   double DeadlineSeconds = 0.0;
+  size_t BudgetBytes = 0;
   for (int I = 1; I < Argc; ++I) {
     if (!std::strncmp(Argv[I], "--clients=", 10))
       Clients = std::strtoul(Argv[I] + 10, nullptr, 10);
@@ -36,6 +44,12 @@ int main(int Argc, char **Argv) {
       QueueCap = std::strtoul(Argv[I] + 8, nullptr, 10);
     else if (!std::strncmp(Argv[I], "--deadline=", 11))
       DeadlineSeconds = std::strtod(Argv[I] + 11, nullptr);
+    else if (!std::strncmp(Argv[I], "--budget=", 9)) {
+      if (!parseByteSize(Argv[I] + 9, BudgetBytes)) {
+        std::fprintf(stderr, "bad --budget value '%s'\n", Argv[I] + 9);
+        return 1;
+      }
+    }
   }
   bench::BenchArgs Args(Argc, Argv, 1, 1); // applies --threads, --json
 
@@ -64,6 +78,7 @@ int main(int Argc, char **Argv) {
   service::ServiceConfig Config;
   Config.QueueCapacity = QueueCap;
   Config.DefaultDeadlineSeconds = DeadlineSeconds;
+  Config.MemoryBudgetBytes = BudgetBytes;
   service::InferenceService Svc((*Compiled)->Program, (*Compiled)->State,
                                 Config);
 

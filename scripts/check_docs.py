@@ -12,6 +12,10 @@ Three invariants:
      free selection functions) is mentioned by name in docs/kernels.md,
      so the backend contract documentation cannot silently fall behind
      the interface.
+  4. Same for the memory-governance contract: every public entry point
+     of src/support/ResourceGovernor.h (governor methods, GovernorStats
+     helpers, the free parsing/naming functions) is mentioned by name
+     in docs/memory.md.
 
 Exits nonzero listing every violation.
 """
@@ -78,6 +82,48 @@ def check_backend_doc():
             for name in backend_entry_points() if name not in text]
 
 
+def governor_entry_points():
+    """Public names of the memory-governance contract: ResourceGovernor's
+    public methods, the GovernorStats helpers, and the namespace-scope
+    free functions in src/support/ResourceGovernor.h."""
+    header = (ROOT / "src/support/ResourceGovernor.h").read_text()
+    names = set()
+    access_public = True  # namespace scope; class bodies toggle it
+    for line in header.splitlines():
+        stripped = line.strip()
+        if stripped == "private:":
+            access_public = False
+            continue
+        if stripped == "public:" or stripped.startswith("};"):
+            access_public = True
+            continue
+        if not access_public:
+            continue
+        # Declarations sit at indent 0 (free functions) or 2 (members);
+        # deeper lines are inline bodies.
+        if not re.match(r"^(?:  )?\S", line):
+            continue
+        code = line.split("///")[0].split("//")[0]
+        if stripped.startswith(("//", "/*", "*", "#", "using", "struct",
+                                "class", "enum", "}", "{", "return")):
+            continue
+        m = re.search(r"[&*]?(\w+)\(", code)
+        if m:
+            names.add(m.group(1))
+    return sorted(names - GENERIC_NAMES)
+
+
+def check_governor_doc():
+    doc = ROOT / "docs/memory.md"
+    if not doc.exists():
+        return ["docs/memory.md: missing (the memory-governance contract "
+                "must be documented)"]
+    text = doc.read_text()
+    return [f"docs/memory.md: governance entry point '{name}' from "
+            "src/support/ResourceGovernor.h is not documented"
+            for name in governor_entry_points() if name not in text]
+
+
 def main():
     errors = []
     readme = (ROOT / "README.md").read_text()
@@ -88,14 +134,17 @@ def main():
     for path in markdown_files():
         errors.extend(check_links(path))
     errors.extend(check_backend_doc())
+    errors.extend(check_governor_doc())
     if errors:
         print("\n".join(errors), file=sys.stderr)
         return 1
     count = len(markdown_files())
     entry_points = len(backend_entry_points())
+    governor_points = len(governor_entry_points())
     print(f"docs check OK: {count} markdown files, all docs/ pages "
           "indexed, all relative links resolve, all "
-          f"{entry_points} poly-backend entry points documented")
+          f"{entry_points} poly-backend and {governor_points} "
+          "memory-governance entry points documented")
     return 0
 
 

@@ -43,6 +43,19 @@ REQUIRED_FAMILIES = [
     "ace_trace_events_total",
     "ace_trace_dropped_events_total",
     "ace_peak_rss_bytes",
+    # Resource governor / limb pool / key cache (docs/memory.md) —
+    # always exported, zero-valued when the feature is idle.
+    "ace_memory_budget_bytes",
+    "ace_memory_charged_bytes",
+    "ace_memory_remaining_bytes",
+    "ace_memory_shed_total",
+    "ace_memory_reclaimed_bytes_total",
+    "ace_limb_pool_resident_bytes",
+    "ace_limb_pool_free_bytes",
+    "ace_limb_pool_acquires_total",
+    "ace_key_cache_requests_total",
+    "ace_key_cache_evictions_total",
+    "ace_key_cache_hit_ratio",
 ]
 SERVICE_FAMILIES = [
     "ace_service_stage_seconds",

@@ -25,6 +25,11 @@ CkksExecutor::CkksExecutor(const IrFunction &F, const CompileState &State)
 
 CkksExecutor::~CkksExecutor() = default;
 
+void CkksExecutor::enableLazyRotationKeys(size_t CapacityBytes) {
+  LazyRotationKeys = true;
+  KeyCacheCapacity = CapacityBytes;
+}
+
 Status CkksExecutor::setup(uint64_t SeedOverride) {
   telemetry::TraceSpan Span("executor", "setup");
   WallTimer Clock;
@@ -38,11 +43,18 @@ Status CkksExecutor::setup(uint64_t SeedOverride) {
   if (State.Options.NumThreads > 0)
     ACE_RETURN_IF_ERROR(ThreadPool::instance().setNumThreads(
         static_cast<size_t>(State.Options.NumThreads)));
+  // The old cache (a re-setup) references the old Ctx/Gen; drop it
+  // before they are replaced.
+  KeyCache.reset();
   Ctx = std::make_unique<fhe::Context>(P);
   Enc = std::make_unique<fhe::Encoder>(*Ctx);
   Gen = std::make_unique<fhe::KeyGenerator>(*Ctx);
   Pub = Gen->makePublicKey();
-  Eval = std::make_unique<fhe::Evaluator>(*Ctx, *Enc, Keys);
+  if (LazyRotationKeys) {
+    KeyCache = std::make_unique<fhe::RotationKeyCache>(*Ctx, *Gen);
+    KeyCache->setCapacityBytes(KeyCacheCapacity);
+  }
+  Eval = std::make_unique<fhe::Evaluator>(*Ctx, *Enc, Keys, KeyCache.get());
 
   // Key generation restricted to the analyzed requirements (paper RQ2's
   // memory win over generating every power-of-two key). The Expert
@@ -58,7 +70,11 @@ Status CkksExecutor::setup(uint64_t SeedOverride) {
     Cfg.ChebyshevDegree = State.Options.BootstrapChebDegree;
     Boot = std::make_unique<fhe::Bootstrapper>(*Eval, Cfg);
     FullSteps = Boot->requiredRotations();
-    Gen->fillGaloisKeys(Keys, Boot->requiredGaloisElements());
+    if (KeyCache)
+      for (uint64_t Galois : Boot->requiredGaloisElements())
+        KeyCache->declareGalois(Galois);
+    else
+      Gen->fillGaloisKeys(Keys, Boot->requiredGaloisElements());
   }
   if (!State.Options.EnableRotationKeyAnalysis) {
     // Hand implementations generate every key their rotations might use -
@@ -72,8 +88,15 @@ Status CkksExecutor::setup(uint64_t SeedOverride) {
       FullSteps.push_back(static_cast<int64_t>(P.Slots - S));
     }
   }
-  Gen->fillEvalKeys(Keys, FullSteps, State.NeedsRelin,
-                    State.NeedsConjugation);
+  // In lazy mode only relin/conjugation are generated here; rotations
+  // are declared on the cache (bootstrap steps at full depth, analyzed
+  // steps at their truncation level — declareRotation keeps the widest
+  // when they overlap) and materialize on first use.
+  Gen->fillEvalKeys(Keys, KeyCache ? std::vector<int64_t>() : FullSteps,
+                    State.NeedsRelin, State.NeedsConjugation);
+  if (KeyCache)
+    for (int64_t Step : FullSteps)
+      KeyCache->declareRotation(Step);
   if (State.Options.EnableRotationKeyAnalysis) {
     // Level-aware key generation: each step's key truncates to the
     // deepest level the dataflow analysis saw it used at. Compute
@@ -82,12 +105,16 @@ Status CkksExecutor::setup(uint64_t SeedOverride) {
     for (int64_t Step : State.RotationSteps) {
       uint64_t Galois =
           fhe::galoisForRotation(Ctx->degree(), Ctx->slots(), Step);
-      if (Keys.Rotations.count(Galois))
-        continue;
       auto It = State.RotationStepMaxNumQ.find(Step);
       size_t MaxNumQ = It != State.RotationStepMaxNumQ.end()
                            ? It->second
                            : Ctx->chainLength();
+      if (KeyCache) {
+        KeyCache->declareRotation(Step, MaxNumQ);
+        continue;
+      }
+      if (Keys.Rotations.count(Galois))
+        continue;
       Keys.Rotations.emplace(Galois,
                              Gen->makeRotationKey(Step, MaxNumQ));
     }

@@ -331,13 +331,13 @@ StatusOr<Ciphertext> Bootstrapper::checkedBootstrap(const Ciphertext &Ct,
   if (!Keys.HasConjugate)
     return Status::keyMissing("bootstrap: conjugation key not generated");
   for (uint64_t Galois : requiredGaloisElements())
-    if (!Keys.Rotations.count(Galois))
+    if (!Eval.hasGaloisKey(Galois))
       return Status::keyMissing(
           "bootstrap: SubSum Galois key for element " +
           std::to_string(Galois) + " not generated");
   for (int64_t Step : requiredRotations()) {
     uint64_t Galois = galoisForRotation(Ctx.degree(), Ctx.slots(), Step);
-    if (Galois != 1 && !Keys.Rotations.count(Galois))
+    if (Galois != 1 && !Eval.hasGaloisKey(Galois))
       return Status::keyMissing(
           "bootstrap: BSGS rotation key for step " + std::to_string(Step) +
           " (galois element " + std::to_string(Galois) +

@@ -14,7 +14,9 @@
 #include "fhe/Evaluator.h"
 #include "fhe/PolyBackend.h"
 #include "fhe/Serializer.h"
+#include "support/LimbPool.h"
 #include "support/MetricsRegistry.h"
+#include "support/ResourceGovernor.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
@@ -728,3 +730,26 @@ int ace_set_poly_backend(const char *Name) {
 }
 
 const char *ace_poly_backend(void) { return activePolyBackendName(); }
+
+//===----------------------------------------------------------------------===//
+// Memory governance
+//===----------------------------------------------------------------------===//
+
+int ace_set_memory_budget(uint64_t Bytes) {
+  ResourceGovernor::instance().setBudgetBytes(
+      static_cast<size_t>(Bytes));
+  return ACE_OK;
+}
+
+uint64_t ace_memory_budget(void) {
+  return static_cast<uint64_t>(ResourceGovernor::instance().budgetBytes());
+}
+
+int ace_set_limb_pool(int Enabled) {
+  LimbPool::instance().setEnabled(Enabled != 0);
+  return ACE_OK;
+}
+
+int ace_limb_pool(void) {
+  return LimbPool::instance().enabled() ? 1 : 0;
+}

@@ -226,6 +226,33 @@ const char *ace_poly_backend(void);
 
 /// @}
 
+/// \name Memory governance (see docs/memory.md)
+/// A process-wide resource governor meters the big FHE allocations
+/// (pooled RNS limb storage, cached rotation keys, service sessions)
+/// against a hard byte budget. Over-budget charges first reclaim cold
+/// key-cache entries and trim the limb pool; what still does not fit is
+/// refused with ACE_ERR_RESOURCE_EXHAUSTED instead of aborting the
+/// process. The default budget comes from the ACE_MEMORY_BUDGET
+/// environment variable ("512m", "8g", plain bytes; unset = unlimited);
+/// the limb pool itself can be bypassed with ACE_LIMB_POOL=off for
+/// differential testing.
+/// @{
+
+/// Sets the process memory budget in bytes (0 = unlimited). Takes
+/// effect at the next admission check; already-resident allocations are
+/// never forcibly freed, only reclaimed lazily. Returns ACE_OK.
+int ace_set_memory_budget(uint64_t bytes);
+/// The configured budget in bytes (0 = unlimited).
+uint64_t ace_memory_budget(void);
+/// Enables (nonzero) or disables (zero) the RNS limb pool. Disabling
+/// routes new acquisitions to plain heap allocation; blocks already
+/// drawn from the pool return to it safely. Returns ACE_OK.
+int ace_set_limb_pool(int enabled);
+/// 1 when the limb pool is active, 0 when bypassed.
+int ace_limb_pool(void);
+
+/// @}
+
 #ifdef __cplusplus
 } // extern "C"
 #endif

@@ -111,9 +111,39 @@ static Status checkedEntry(const Context &Ctx, const char *What,
 }
 
 Evaluator::Evaluator(const Context &Ctx, const Encoder &Enc,
-                     const EvalKeys &Keys)
-    : Ctx(Ctx), Enc(Enc), Keys(Keys) {
+                     const EvalKeys &Keys, RotationKeyCache *KeyCache)
+    : Ctx(Ctx), Enc(Enc), Keys(Keys), KeyCache(KeyCache) {
   MonomialNtt.resize(Ctx.chainLength() + 1);
+}
+
+bool Evaluator::hasGaloisKey(uint64_t Galois) const {
+  if (Keys.Rotations.count(Galois))
+    return true;
+  return KeyCache && KeyCache->declared(Galois);
+}
+
+const SwitchKey *
+Evaluator::galoisKeyFor(uint64_t Galois,
+                        std::shared_ptr<const SwitchKey> &Hold,
+                        Status *WhyNot) const {
+  auto It = Keys.Rotations.find(Galois);
+  if (It != Keys.Rotations.end())
+    return &It->second;
+  if (KeyCache) {
+    auto KeyOr = KeyCache->get(Galois);
+    if (KeyOr.ok()) {
+      Hold = KeyOr.take();
+      return Hold.get();
+    }
+    if (WhyNot)
+      *WhyNot = KeyOr.status();
+    return nullptr;
+  }
+  if (WhyNot)
+    *WhyNot = Status::keyMissing(
+        "no switch key for Galois element " + std::to_string(Galois) +
+        "; the key analysis did not request it");
+  return nullptr;
 }
 
 double Evaluator::noiseBudgetBits(const Ciphertext &A) const {
@@ -591,10 +621,15 @@ Ciphertext Evaluator::rotate(const Ciphertext &A, int64_t Steps) const {
     Span.begin(telemetry::Counter::Rotate, A.numQ(), A.Scale,
                noiseBudgetBits(A));
   uint64_t Galois = galoisForRotation(Ctx.degree(), Slots, K);
-  auto It = Keys.Rotations.find(Galois);
-  assert(It != Keys.Rotations.end() &&
-         "rotation key missing; key analysis did not request this step");
-  return applyGalois(A, Galois, It->second);
+  std::shared_ptr<const SwitchKey> Hold;
+  Status WhyNot;
+  const SwitchKey *Key = galoisKeyFor(Galois, Hold, &WhyNot);
+  // The hot tier has no error channel; a lazy-keygen failure here is a
+  // caller bug (use checkedRotate under budget pressure), surfaced as a
+  // clean abort rather than UB.
+  if (!Key)
+    reportFatalError("rotate: " + WhyNot.message());
+  return applyGalois(A, Galois, *Key);
 }
 
 std::vector<Ciphertext>
@@ -605,14 +640,17 @@ Evaluator::rotateHoisted(const Ciphertext &A,
   std::vector<Ciphertext> Out(Steps.size());
 
   // Resolve keys up front; zero steps are plain copies and join neither
-  // the counters nor the batch.
+  // the counters nor the batch. Cache-served keys are pinned for the
+  // whole batch so a concurrent eviction cannot free one mid-rotation.
   struct Job {
     size_t Index;
     uint64_t Galois;
     const SwitchKey *Key;
   };
   std::vector<Job> Jobs;
+  std::vector<std::shared_ptr<const SwitchKey>> Holds;
   Jobs.reserve(Steps.size());
+  Holds.reserve(Steps.size());
   for (size_t I = 0; I < Steps.size(); ++I) {
     int64_t K = ((Steps[I] % Slots) + Slots) % Slots;
     if (K == 0) {
@@ -620,12 +658,16 @@ Evaluator::rotateHoisted(const Ciphertext &A,
       continue;
     }
     uint64_t Galois = galoisForRotation(Ctx.degree(), A.Slots, K);
-    auto It = Keys.Rotations.find(Galois);
-    assert(It != Keys.Rotations.end() &&
-           "rotation key missing; key analysis did not request this step");
-    assert(It->second.Parts.size() >= A.numQ() &&
+    std::shared_ptr<const SwitchKey> Hold;
+    Status WhyNot;
+    const SwitchKey *Key = galoisKeyFor(Galois, Hold, &WhyNot);
+    if (!Key)
+      reportFatalError("rotateHoisted: " + WhyNot.message());
+    if (Hold)
+      Holds.push_back(std::move(Hold));
+    assert(Key->Parts.size() >= A.numQ() &&
            "rotation key truncated below this ciphertext's level");
-    Jobs.push_back({I, Galois, &It->second});
+    Jobs.push_back({I, Galois, Key});
   }
   if (Jobs.empty())
     return Out;
@@ -675,9 +717,12 @@ Ciphertext Evaluator::rotateGalois(const Ciphertext &A,
   if (telemetry::enabled())
     Span.begin(telemetry::Counter::Rotate, A.numQ(), A.Scale,
                noiseBudgetBits(A));
-  auto It = Keys.Rotations.find(Galois);
-  assert(It != Keys.Rotations.end() && "Galois key missing");
-  return applyGalois(A, Galois, It->second);
+  std::shared_ptr<const SwitchKey> Hold;
+  Status WhyNot;
+  const SwitchKey *Key = galoisKeyFor(Galois, Hold, &WhyNot);
+  if (!Key)
+    reportFatalError("rotateGalois: " + WhyNot.message());
+  return applyGalois(A, Galois, *Key);
 }
 
 Ciphertext Evaluator::conjugate(const Ciphertext &A) const {
@@ -996,16 +1041,23 @@ StatusOr<Ciphertext> Evaluator::checkedRotate(const Ciphertext &A,
   if (K == 0)
     return A;
   uint64_t Galois = galoisForRotation(Ctx.degree(), A.Slots, K);
-  auto It = Keys.Rotations.find(Galois);
-  if (It == Keys.Rotations.end() || keyDropped(FaultKind::DropGaloisKey))
+  std::shared_ptr<const SwitchKey> Hold;
+  Status WhyNot;
+  const SwitchKey *Key = galoisKeyFor(Galois, Hold, &WhyNot);
+  if (Key && keyDropped(FaultKind::DropGaloisKey))
+    Key = nullptr;
+  if (!Key) {
+    if (!WhyNot.ok() && WhyNot.code() != ErrorCode::KeyMissing)
+      return WhyNot; // budget refusal from lazy keygen: ResourceExhausted
     return Status::keyMissing(
         "rotate: no rotation key for step " + std::to_string(Steps) +
         " (galois element " + std::to_string(Galois) +
         "); the key analysis did not request this step");
-  if (It->second.Parts.size() < A.numQ())
+  }
+  if (Key->Parts.size() < A.numQ())
     return Status::keyMissing(
         "rotate: rotation key for step " + std::to_string(Steps) +
-        " truncated to " + std::to_string(It->second.Parts.size()) +
+        " truncated to " + std::to_string(Key->Parts.size()) +
         " digits but the ciphertext has " + std::to_string(A.numQ()) +
         " active primes");
   ++Counters.Rotate;
@@ -1013,7 +1065,7 @@ StatusOr<Ciphertext> Evaluator::checkedRotate(const Ciphertext &A,
   if (telemetry::enabled())
     Span.begin(telemetry::Counter::Rotate, A.numQ(), A.Scale,
                noiseBudgetBits(A));
-  return applyGalois(A, Galois, It->second);
+  return applyGalois(A, Galois, *Key);
 }
 
 StatusOr<std::vector<Ciphertext>>
@@ -1025,21 +1077,35 @@ Evaluator::checkedRotateHoisted(const Ciphertext &A,
         "rotate: relinearize before rotating (ciphertext has " +
         std::to_string(A.size()) + " components)");
   int64_t Slots = static_cast<int64_t>(A.Slots);
+  // Pin every cache-served key across the validation AND the rotation:
+  // the Holds vector outlives the rotateHoisted call below, so a
+  // concurrent eviction between check and use cannot free a key (the
+  // batch re-resolves each key from the still-live cache entry).
+  std::vector<std::shared_ptr<const SwitchKey>> Holds;
   for (int64_t Step : Steps) {
     int64_t K = ((Step % Slots) + Slots) % Slots;
     if (K == 0)
       continue;
     uint64_t Galois = galoisForRotation(Ctx.degree(), A.Slots, K);
-    auto It = Keys.Rotations.find(Galois);
-    if (It == Keys.Rotations.end() || keyDropped(FaultKind::DropGaloisKey))
+    std::shared_ptr<const SwitchKey> Hold;
+    Status WhyNot;
+    const SwitchKey *Key = galoisKeyFor(Galois, Hold, &WhyNot);
+    if (Key && keyDropped(FaultKind::DropGaloisKey))
+      Key = nullptr;
+    if (!Key) {
+      if (!WhyNot.ok() && WhyNot.code() != ErrorCode::KeyMissing)
+        return WhyNot; // budget refusal from lazy keygen
       return Status::keyMissing(
           "rotate: no rotation key for step " + std::to_string(Step) +
           " (galois element " + std::to_string(Galois) +
           "); the key analysis did not request this step");
-    if (It->second.Parts.size() < A.numQ())
+    }
+    if (Hold)
+      Holds.push_back(std::move(Hold));
+    if (Key->Parts.size() < A.numQ())
       return Status::keyMissing(
           "rotate: rotation key for step " + std::to_string(Step) +
-          " truncated to " + std::to_string(It->second.Parts.size()) +
+          " truncated to " + std::to_string(Key->Parts.size()) +
           " digits but the ciphertext has " + std::to_string(A.numQ()) +
           " active primes");
   }

@@ -71,11 +71,20 @@ struct OpCounters {
 /// executor route through the checked tier; see docs/error-handling.md.
 class Evaluator {
 public:
-  Evaluator(const Context &Ctx, const Encoder &Enc, const EvalKeys &Keys);
+  /// \p KeyCache optionally backs rotation/Galois key lookups with LRU
+  /// on-demand generation: eager keys in \p Keys win, the cache serves
+  /// the rest (see docs/memory.md). Must outlive the evaluator.
+  Evaluator(const Context &Ctx, const Encoder &Enc, const EvalKeys &Keys,
+            RotationKeyCache *KeyCache = nullptr);
 
   const Context &context() const { return Ctx; }
   const Encoder &encoder() const { return Enc; }
   const EvalKeys &keys() const { return Keys; }
+
+  /// True when a switch key for \p Galois is available — eagerly in
+  /// keys(), or declared in the key cache (where it materializes on
+  /// first use).
+  bool hasGaloisKey(uint64_t Galois) const;
 
   /// \name Checked entry points (release-mode validated, recoverable).
   /// Each validates operand integrity (validateCiphertext), the
@@ -258,6 +267,9 @@ private:
   const Context &Ctx;
   const Encoder &Enc;
   const EvalKeys &Keys;
+  /// Optional lazy key source consulted when Keys.Rotations lacks an
+  /// element; not owned.
+  RotationKeyCache *KeyCache = nullptr;
   mutable OpCounters Counters;
   /// NTT form of the monomial X^{N/2} per modulus, built lazily.
   mutable std::vector<std::vector<uint64_t>> MonomialNtt;
@@ -266,6 +278,14 @@ private:
   mutable std::vector<double> LogQPrefix;
 
   const std::vector<uint64_t> &monomialNtt(size_t ModIndex) const;
+  /// Resolves the switch key for \p Galois: eager Keys.Rotations first,
+  /// then the key cache (generating on demand). A cache-served key is
+  /// pinned in \p Hold so eviction cannot free it mid-operation. Returns
+  /// nullptr on failure with the reason in \p WhyNot (KeyMissing, or
+  /// ResourceExhausted when the governor refused the generation).
+  const SwitchKey *galoisKeyFor(uint64_t Galois,
+                                std::shared_ptr<const SwitchKey> &Hold,
+                                Status *WhyNot = nullptr) const;
   /// Inner product of the lifted digits against the switch-key parts,
   /// with the Galois automorphism applied to each digit on the fly as an
   /// NTT-domain gather (\p Galois == 1 reads the digits directly). Free

@@ -9,6 +9,7 @@
 #include "fhe/Keys.h"
 
 #include "fhe/ModArith.h"
+#include "support/ResourceGovernor.h"
 
 #include <algorithm>
 #include <cassert>
@@ -200,4 +201,206 @@ void KeyGenerator::fillEvalKeys(EvalKeys &Keys,
       continue;
     Keys.Rotations.emplace(Galois, makeRotationKey(Step));
   }
+}
+
+//===----------------------------------------------------------------------===//
+// RotationKeyCache
+//===----------------------------------------------------------------------===//
+
+RotationKeyCache::RotationKeyCache(const Context &Ctx, KeyGenerator &Gen)
+    : Ctx(Ctx), Gen(Gen) {
+  // Cold keys are the cheapest memory to give back under pressure: they
+  // regenerate transparently on next use.
+  ReclaimerId = ResourceGovernor::instance().addReclaimer(
+      /*Priority=*/0, "rotation-key-cache",
+      [this](size_t WantBytes) { return evictColdest(WantBytes); });
+}
+
+RotationKeyCache::~RotationKeyCache() {
+  ResourceGovernor::instance().removeReclaimer(ReclaimerId);
+  releaseAll();
+}
+
+uint64_t RotationKeyCache::declareRotation(int64_t Steps, size_t MaxNumQ) {
+  uint64_t Galois = galoisForRotation(Ctx.degree(), Ctx.slots(), Steps);
+  if (Galois == 1)
+    return Galois; // rotation by 0 slots needs no key
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Galois);
+  if (It == Entries.end()) {
+    Entry E;
+    E.IsRotation = true;
+    E.Steps = Steps;
+    E.MaxNumQ = MaxNumQ;
+    Entries.emplace(Galois, std::move(E));
+    return Galois;
+  }
+  // Re-declaration: keep the widest truncation ever asked for (0 = full
+  // chain is widest). Widening drops a key cached at the narrower level
+  // so the next get() regenerates it at the right depth.
+  Entry &E = It->second;
+  size_t Widened =
+      (MaxNumQ == 0 || E.MaxNumQ == 0) ? 0 : std::max(E.MaxNumQ, MaxNumQ);
+  if (Widened != E.MaxNumQ) {
+    if (E.Key) {
+      ResidentBytes -= E.Bytes;
+      ResourceGovernor::instance().release(MemCategory::EvalKeys, E.Bytes);
+      E.Key.reset();
+      E.Bytes = 0;
+    }
+    E.MaxNumQ = Widened;
+  }
+  E.IsRotation = true;
+  E.Steps = Steps;
+  return Galois;
+}
+
+void RotationKeyCache::declareGalois(uint64_t Galois, size_t MaxNumQ) {
+  if (Galois == 1)
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entry &E = Entries[Galois];
+  if (!E.Key) {
+    E.IsRotation = false;
+    E.MaxNumQ = MaxNumQ;
+  }
+}
+
+bool RotationKeyCache::declared(uint64_t Galois) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.count(Galois) != 0;
+}
+
+size_t RotationKeyCache::estimateBytes(size_t MaxNumQ) const {
+  size_t NumQ = MaxNumQ == 0 ? Ctx.chainLength() : MaxNumQ;
+  // NumQ digit pairs, each polynomial over NumQ chain moduli + special.
+  return NumQ * 2 * (NumQ + 1) * Ctx.degree() * sizeof(uint64_t);
+}
+
+SwitchKey RotationKeyCache::generate(const Entry &E, uint64_t Galois) {
+  if (E.IsRotation)
+    return Gen.makeRotationKey(E.Steps, E.MaxNumQ);
+  SwitchKey Key = Gen.makeGaloisKey(Galois);
+  if (E.MaxNumQ != 0)
+    Key = KeyGenerator::truncateKey(Key, E.MaxNumQ);
+  return Key;
+}
+
+StatusOr<std::shared_ptr<const SwitchKey>>
+RotationKeyCache::get(uint64_t Galois) {
+  size_t Estimate = 0;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Entries.find(Galois);
+    if (It == Entries.end())
+      return Status::keyMissing("rotation key cache: Galois element " +
+                                std::to_string(Galois) + " was never declared");
+    if (It->second.Key) {
+      It->second.LastUse = ++UseClock;
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      ResourceGovernor::instance().noteKeyCacheHit();
+      return It->second.Key;
+    }
+    Estimate = estimateBytes(It->second.MaxNumQ);
+  }
+
+  // Miss: ask the governor before generating. Outside the cache mutex -
+  // the governor's reclaim pass re-enters evictColdest().
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  ResourceGovernor::instance().noteKeyCacheMiss();
+  ACE_RETURN_IF_ERROR(ResourceGovernor::instance().admit(
+      Estimate, "rotation key generation (Galois " + std::to_string(Galois) +
+                    ")"));
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Galois);
+  if (It == Entries.end())
+    return Status::keyMissing("rotation key cache: Galois element " +
+                              std::to_string(Galois) + " was never declared");
+  Entry &E = It->second;
+  if (E.Key) // another thread generated it while we were admitting
+    return E.Key;
+  // Generation holds the mutex: the KeyGenerator RNG is shared state.
+  auto Key = std::make_shared<const SwitchKey>(generate(E, Galois));
+  E.Bytes = Key->byteSize();
+  E.Key = Key;
+  E.LastUse = ++UseClock;
+  ResidentBytes += E.Bytes;
+  ResourceGovernor::instance().charge(MemCategory::EvalKeys, E.Bytes);
+  if (CapacityBytes != 0 && ResidentBytes > CapacityBytes)
+    evictColdestLocked(ResidentBytes - CapacityBytes);
+  return std::shared_ptr<const SwitchKey>(Key);
+}
+
+void RotationKeyCache::setCapacityBytes(size_t Bytes) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  CapacityBytes = Bytes;
+  if (CapacityBytes != 0 && ResidentBytes > CapacityBytes)
+    evictColdestLocked(ResidentBytes - CapacityBytes);
+}
+
+size_t RotationKeyCache::evictColdest(size_t WantBytes) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return evictColdestLocked(WantBytes);
+}
+
+size_t RotationKeyCache::evictColdestLocked(size_t WantBytes) {
+  size_t Released = 0;
+  while (Released < WantBytes) {
+    Entry *Coldest = nullptr;
+    for (auto &[Galois, E] : Entries) {
+      (void)Galois;
+      if (!E.Key)
+        continue;
+      // A key another thread still holds a handle to cannot actually be
+      // freed by evicting it; skip so the accounting stays honest.
+      if (E.Key.use_count() > 1)
+        continue;
+      if (!Coldest || E.LastUse < Coldest->LastUse)
+        Coldest = &E;
+    }
+    if (!Coldest)
+      break;
+    Released += Coldest->Bytes;
+    ResidentBytes -= Coldest->Bytes;
+    ResourceGovernor::instance().release(MemCategory::EvalKeys,
+                                         Coldest->Bytes);
+    ResourceGovernor::instance().noteKeyCacheEviction();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+    Coldest->Key.reset();
+    Coldest->Bytes = 0;
+  }
+  return Released;
+}
+
+size_t RotationKeyCache::releaseAll() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t Released = 0;
+  for (auto &[Galois, E] : Entries) {
+    (void)Galois;
+    if (!E.Key)
+      continue;
+    Released += E.Bytes;
+    ResidentBytes -= E.Bytes;
+    ResourceGovernor::instance().release(MemCategory::EvalKeys, E.Bytes);
+    E.Key.reset();
+    E.Bytes = 0;
+  }
+  return Released;
+}
+
+RotationKeyCache::Stats RotationKeyCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stats S;
+  S.Hits = Hits.load(std::memory_order_relaxed);
+  S.Misses = Misses.load(std::memory_order_relaxed);
+  S.Evictions = Evictions.load(std::memory_order_relaxed);
+  S.ResidentBytes = ResidentBytes;
+  S.DeclaredCount = Entries.size();
+  for (const auto &[Galois, E] : Entries) {
+    (void)Galois;
+    if (E.Key)
+      ++S.ResidentCount;
+  }
+  return S;
 }

@@ -22,10 +22,14 @@
 #include "fhe/Cipher.h"
 #include "fhe/RnsPoly.h"
 #include "support/Rng.h"
+#include "support/Status.h"
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 namespace ace {
@@ -150,6 +154,102 @@ private:
   RnsPoly sampleNoise(size_t NumQ, bool HasSpecial);
   /// Samples a uniform polynomial in NTT form over the given shape.
   RnsPoly sampleUniform(size_t NumQ, bool HasSpecial);
+};
+
+/// An LRU cache of rotation/Galois switch keys with on-demand generation,
+/// replacing the keep-everything-forever EvalKeys::Rotations map for
+/// long-running servers (ROADMAP item 4; see docs/memory.md).
+///
+/// The compiler's key analysis *declares* the Galois elements a program
+/// may use (with their truncation levels); keys are generated only when an
+/// op first asks for them, their bytes charged to the ResourceGovernor
+/// under MemCategory::EvalKeys, and cold keys are evicted — by the LRU
+/// capacity bound, or by the governor's reclaim pass under budget
+/// pressure. An evicted key regenerates transparently on next use (new
+/// randomness, equally valid key material; ciphertext results are
+/// unaffected because key switching is correct under any valid key).
+///
+/// get() hands out shared_ptr handles so an eviction can never free a key
+/// another thread is mid-way through using. Thread-safe; generation is
+/// serialized on the cache mutex (KeyGenerator's RNG is not thread-safe).
+class RotationKeyCache {
+public:
+  /// Binds the cache to a generator and registers it as a governor
+  /// reclaimer (priority 0: cold keys are reclaimed before pool trim).
+  RotationKeyCache(const Context &Ctx, KeyGenerator &Gen);
+  /// Releases all cached keys (and their governor charges) and
+  /// unregisters the reclaimer.
+  ~RotationKeyCache();
+
+  RotationKeyCache(const RotationKeyCache &) = delete;
+  RotationKeyCache &operator=(const RotationKeyCache &) = delete;
+
+  /// Declares the rotation by \p Steps as usable, truncated to
+  /// \p MaxNumQ moduli (0 = full chain). No key is generated yet.
+  /// Returns the Galois element it will be looked up under.
+  uint64_t declareRotation(int64_t Steps, size_t MaxNumQ = 0);
+
+  /// Declares a raw Galois automorphism (bootstrap SubSum, conjugation).
+  void declareGalois(uint64_t Galois, size_t MaxNumQ = 0);
+
+  /// True when \p Galois has been declared (cached or not).
+  bool declared(uint64_t Galois) const;
+
+  /// Returns the switch key for \p Galois, generating it on first use.
+  /// Errors: KeyMissing when \p Galois was never declared,
+  /// ResourceExhausted when the governor refuses the generation charge.
+  StatusOr<std::shared_ptr<const SwitchKey>> get(uint64_t Galois);
+
+  /// LRU capacity for cached key bytes; 0 = unbounded (the governor's
+  /// budget is then the only limit). Evicts immediately if over.
+  void setCapacityBytes(size_t Bytes);
+
+  /// Evicts least-recently-used keys until at least \p WantBytes are
+  /// released or nothing cold remains. Returns bytes released. This is
+  /// the governor reclaim callback.
+  size_t evictColdest(size_t WantBytes);
+
+  /// Drops every cached key (declarations survive). Returns bytes
+  /// released.
+  size_t releaseAll();
+
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;     ///< on-demand generations
+    uint64_t Evictions = 0;
+    size_t ResidentBytes = 0;
+    size_t ResidentCount = 0;
+    size_t DeclaredCount = 0;
+  };
+  Stats stats() const;
+
+private:
+  struct Entry {
+    bool IsRotation = false;
+    int64_t Steps = 0;   ///< valid when IsRotation
+    size_t MaxNumQ = 0;  ///< truncation level (0 = full chain)
+    std::shared_ptr<const SwitchKey> Key; ///< null until generated
+    size_t Bytes = 0;
+    uint64_t LastUse = 0;
+  };
+
+  /// Worst-case byte estimate for a key at truncation \p MaxNumQ, used
+  /// for governor admission before generating.
+  size_t estimateBytes(size_t MaxNumQ) const;
+  SwitchKey generate(const Entry &E, uint64_t Galois);
+  size_t evictColdestLocked(size_t WantBytes);
+
+  const Context &Ctx;
+  KeyGenerator &Gen;
+
+  mutable std::mutex Mutex;
+  std::map<uint64_t, Entry> Entries; ///< keyed by Galois element
+  uint64_t UseClock = 0;
+  size_t CapacityBytes = 0;
+  size_t ResidentBytes = 0;
+  uint64_t ReclaimerId = 0;
+
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Evictions{0};
 };
 
 } // namespace fhe

@@ -22,7 +22,7 @@ RnsPoly::RnsPoly(const Context &Ctx, size_t NumQ, bool HasSpecial,
     : Ctx(&Ctx), NumQ(NumQ), HasSpecial(HasSpecial), NttForm(NttForm) {
   assert(NumQ >= 1 && NumQ <= Ctx.chainLength() &&
          "active prime count out of range");
-  Data.assign(numComponents() * Ctx.degree(), 0);
+  Data.assignZero(numComponents() * Ctx.degree());
 }
 
 // Every loop below is parallel over RNS components (limbs): each index
@@ -177,11 +177,11 @@ void RnsPoly::dropLastQ() {
   assert(NumQ > 1 && "cannot drop the base modulus");
   assert(!HasSpecial && "drop the special prime first");
   --NumQ;
-  Data.resize(numComponents() * Ctx->degree());
+  Data.shrinkTo(numComponents() * Ctx->degree());
 }
 
 void RnsPoly::dropSpecial() {
   assert(HasSpecial && "no special component to drop");
   HasSpecial = false;
-  Data.resize(numComponents() * Ctx->degree());
+  Data.shrinkTo(numComponents() * Ctx->degree());
 }

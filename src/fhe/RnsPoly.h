@@ -21,6 +21,7 @@
 #define ACE_FHE_RNSPOLY_H
 
 #include "fhe/Context.h"
+#include "support/LimbPool.h"
 
 #include <cassert>
 #include <cstddef>
@@ -156,7 +157,10 @@ private:
   size_t NumQ = 0;
   bool HasSpecial = false;
   bool NttForm = false;
-  std::vector<uint64_t> Data;
+  /// Residue storage recycled through the process LimbPool so
+  /// steady-state evaluator ops stop hitting the heap allocator (see
+  /// docs/memory.md).
+  LimbStorage Data;
 };
 
 } // namespace fhe

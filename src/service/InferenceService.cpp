@@ -14,6 +14,7 @@
 #include "support/Crc32c.h"
 #include "support/EventLog.h"
 #include "support/MetricsRegistry.h"
+#include "support/ResourceGovernor.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
@@ -50,12 +51,14 @@ uint64_t splitmix64(uint64_t X) {
 } // namespace
 
 std::string ServiceStats::json() const {
-  char Buf[512];
+  char Buf[768];
   std::snprintf(
       Buf, sizeof(Buf),
       "{\"accepted\":%llu,\"rejected\":%llu,\"completed\":%llu,"
       "\"failed\":%llu,\"deadline_expired\":%llu,\"cancelled\":%llu,"
       "\"queue_depth\":%zu,\"in_flight\":%zu,\"open_sessions\":%zu,"
+      "\"budget_shed\":%llu,\"idle_key_evictions\":%llu,"
+      "\"key_cache_bytes\":%zu,"
       "\"p50_latency_seconds\":%.6f,\"p99_latency_seconds\":%.6f}",
       static_cast<unsigned long long>(Accepted),
       static_cast<unsigned long long>(Rejected),
@@ -63,7 +66,9 @@ std::string ServiceStats::json() const {
       static_cast<unsigned long long>(Failed),
       static_cast<unsigned long long>(DeadlineExpired),
       static_cast<unsigned long long>(Cancelled), QueueDepth, InFlight,
-      OpenSessions, P50LatencySeconds, P99LatencySeconds);
+      OpenSessions, static_cast<unsigned long long>(BudgetShed),
+      static_cast<unsigned long long>(IdleKeyEvictions), KeyCacheBytes,
+      P50LatencySeconds, P99LatencySeconds);
   return Buf;
 }
 
@@ -76,7 +81,18 @@ struct InferenceService::Session {
   std::unique_ptr<codegen::CkksExecutor> Exec;
   uint32_t Fingerprint = 0;
   std::mutex RunMutex;
+  /// steady_clock micros of the last request activity; the dispatcher's
+  /// idle sweep evicts cached keys of sessions cold past the TTL.
+  std::atomic<int64_t> LastUsedUs{0};
 };
+
+namespace {
+int64_t steadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+} // namespace
 
 struct InferenceService::Request {
   uint64_t Id = 0;
@@ -123,6 +139,11 @@ InferenceService::InferenceService(const air::IrFunction &F,
                                    const air::CompileState &State,
                                    ServiceConfig Config)
     : F(F), State(State), Config(Config) {
+  // Install the configured hard budget before any session can charge
+  // against it. 0 leaves an externally configured budget
+  // (ACE_MEMORY_BUDGET / ace_set_memory_budget) in place.
+  if (Config.MemoryBudgetBytes > 0)
+    ResourceGovernor::instance().setBudgetBytes(Config.MemoryBudgetBytes);
   // Export the service's health through the process metrics registry
   // (docs/observability.md). Callbacks run at export time only and take
   // the same locks stats() does; registrations are released in
@@ -153,6 +174,16 @@ InferenceService::InferenceService(const air::IrFunction &F,
         std::lock_guard<std::mutex> Lock(SessionsMutex);
         return static_cast<double>(Sessions.size());
       }));
+  MetricIds.push_back(Reg.addGauge(
+      "ace_service_key_cache_bytes",
+      "Rotation-key bytes cached across all open sessions.", "", [this] {
+        std::lock_guard<std::mutex> Lock(SessionsMutex);
+        size_t Bytes = 0;
+        for (const auto &[Id, S] : Sessions)
+          if (auto *Cache = S->Exec->keyCache())
+            Bytes += Cache->stats().ResidentBytes;
+        return static_cast<double>(Bytes);
+      }));
   Dispatcher = std::thread([this] { dispatchLoop(); });
 }
 
@@ -165,6 +196,12 @@ StatusOr<uint64_t> InferenceService::openSession() {
     S->Id = NextSessionId++;
   }
   S->Exec = std::make_unique<codegen::CkksExecutor>(F, State);
+  // Resident-server key discipline: rotation keys materialize on first
+  // use and stay evictable instead of being generated eagerly and held
+  // forever (docs/memory.md). Relin/conjugation keys stay eager.
+  if (Config.LazySessionKeys)
+    S->Exec->enableLazyRotationKeys(Config.KeyCacheBytesPerSession);
+  S->LastUsedUs.store(steadyNowUs(), std::memory_order_relaxed);
   // Reseed key generation per session: the compiled parameters carry one
   // deterministic seed, and two sessions sharing it would generate
   // IDENTICAL keys - indistinguishable fingerprints, no client isolation.
@@ -185,10 +222,26 @@ StatusOr<uint64_t> InferenceService::openSession() {
 }
 
 Status InferenceService::closeSession(uint64_t SessionId) {
-  std::lock_guard<std::mutex> Lock(SessionsMutex);
-  if (Sessions.erase(SessionId) == 0)
-    return Status::invalidArgument("closeSession: unknown session id " +
-                                   std::to_string(SessionId));
+  std::shared_ptr<Session> S;
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMutex);
+    auto It = Sessions.find(SessionId);
+    if (It == Sessions.end())
+      return Status::invalidArgument("closeSession: unknown session id " +
+                                     std::to_string(SessionId));
+    S = std::move(It->second);
+    Sessions.erase(It);
+  }
+  // Release cached keys through the governor NOW rather than waiting for
+  // the last shared_ptr to drop: the dispatcher can briefly hold a
+  // reference past finish(), and a close that leaves governor charges
+  // behind reads as a leak in ace_memory_charged_bytes until teardown.
+  // The session is already out of the map, so only an in-flight wave can
+  // hold RunMutex; blocking here orders the release after that request.
+  if (auto *Cache = S->Exec->keyCache()) {
+    std::lock_guard<std::mutex> Run(S->RunMutex);
+    Cache->releaseAll();
+  }
   return Status::success();
 }
 
@@ -361,6 +414,34 @@ Status InferenceService::cancel(uint64_t RequestId) {
   return Status::success();
 }
 
+void InferenceService::sweepIdleSessions() {
+  const int64_t TtlUs =
+      static_cast<int64_t>(Config.SessionIdleSeconds * 1e6);
+  const int64_t Now = steadyNowUs();
+  std::vector<std::shared_ptr<Session>> Snapshot;
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMutex);
+    for (const auto &[Id, S] : Sessions)
+      Snapshot.push_back(S);
+  }
+  for (const auto &S : Snapshot) {
+    auto *Cache = S->Exec->keyCache();
+    if (!Cache)
+      continue;
+    if (Now - S->LastUsedUs.load(std::memory_order_relaxed) < TtlUs)
+      continue;
+    // Never block on a busy session: try_lock skips one mid-request (it
+    // is not idle anyway) and a session a client is encrypting under.
+    std::unique_lock<std::mutex> Run(S->RunMutex, std::try_to_lock);
+    if (!Run.owns_lock())
+      continue;
+    if (Cache->releaseAll() > 0) {
+      std::lock_guard<std::mutex> SLock(StatsMutex);
+      ++Counters.IdleKeyEvictions;
+    }
+  }
+}
+
 void InferenceService::dispatchLoop() {
   telemetry::Telemetry::instance().nameThread("ace-svc-dispatcher");
   while (true) {
@@ -368,7 +449,22 @@ void InferenceService::dispatchLoop() {
     bool Draining = false;
     {
       std::unique_lock<std::mutex> Lock(QueueMutex);
-      QueueCv.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      if (Config.SessionIdleSeconds > 0.0) {
+        // Bounded wait so idle-session sweeps run even with an empty
+        // queue; half the TTL keeps eviction latency under one TTL.
+        bool HasWork = QueueCv.wait_for(
+            Lock,
+            std::chrono::duration<double>(
+                std::min(Config.SessionIdleSeconds / 2.0, 1.0)),
+            [&] { return Stopping || !Queue.empty(); });
+        if (!HasWork) {
+          Lock.unlock();
+          sweepIdleSessions();
+          continue;
+        }
+      } else {
+        QueueCv.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      }
       if (Stopping) {
         Batch.assign(Queue.begin(), Queue.end());
         Queue.clear();
@@ -465,6 +561,29 @@ void InferenceService::execute(const std::shared_ptr<Request> &R) {
                               " was closed while the request was queued"),
            {});
     return;
+  }
+  S->LastUsedUs.store(steadyNowUs(), std::memory_order_relaxed);
+  // Memory-budget preflight (graceful degradation): when the process is
+  // over budget even after the governor reclaims cold keys and trims the
+  // limb pool, shed THIS incoming request in-band with ResourceExhausted
+  // rather than letting an allocation fail deep inside an op. The
+  // working-set estimate is a small multiple of the ciphertext payload
+  // (input + output + temporaries at the same level).
+  {
+    size_t PayloadBytes = R->Bytes.size() > frame::kRequestHeaderBytes
+                              ? R->Bytes.size() - frame::kRequestHeaderBytes
+                              : 0;
+    Status Admit = ResourceGovernor::instance().admit(
+        4 * PayloadBytes,
+        "request " + std::to_string(R->Id) + " admission");
+    if (!Admit.ok()) {
+      {
+        std::lock_guard<std::mutex> SLock(StatsMutex);
+        ++Counters.BudgetShed;
+      }
+      finish(R, std::move(Admit), {});
+      return;
+    }
   }
   std::vector<uint8_t> CtBytes;
   Status Outcome;
@@ -689,6 +808,9 @@ ServiceStats InferenceService::stats() const {
   {
     std::lock_guard<std::mutex> Lock(SessionsMutex);
     Out.OpenSessions = Sessions.size();
+    for (const auto &[Id, S] : Sessions)
+      if (auto *Cache = S->Exec->keyCache())
+        Out.KeyCacheBytes += Cache->stats().ResidentBytes;
   }
   // Percentiles come from the end-to-end histogram (completed requests
   // only, matching the counter semantics): within one log-linear bucket

@@ -121,6 +121,27 @@ struct ServiceConfig {
   /// Deadline applied to requests that carry none (0 = no default). A
   /// client opts out explicitly with encryptRequest(DeadlineSeconds=0).
   double DefaultDeadlineSeconds = 0.0;
+  /// Hard process memory budget installed on the ResourceGovernor at
+  /// construction (0 = leave the governor's current budget untouched,
+  /// e.g. one set via ACE_MEMORY_BUDGET). Requests whose working set
+  /// would exceed it are shed in-band with ResourceExhausted after cold
+  /// keys have been reclaimed; in-flight work is never crashed. See
+  /// docs/memory.md.
+  size_t MemoryBudgetBytes = 0;
+  /// Generate each session's rotation keys lazily through an LRU
+  /// RotationKeyCache (on-demand keygen, governor-charged, evictable
+  /// under pressure) instead of eagerly at openSession(). Defaults on:
+  /// a resident server must not hold every session's full key set
+  /// forever. Off restores the PR 6 eager behavior.
+  bool LazySessionKeys = true;
+  /// Per-session LRU bound on cached rotation-key bytes (0 = only the
+  /// process budget limits them). Meaningful only with LazySessionKeys.
+  size_t KeyCacheBytesPerSession = 0;
+  /// When > 0, the dispatcher evicts the cached rotation keys of
+  /// sessions idle longer than this many seconds (the keys regenerate
+  /// transparently on the session's next request). 0 disables the
+  /// sweep.
+  double SessionIdleSeconds = 0.0;
 };
 
 /// Point-in-time service health, the serving analogue of the bench
@@ -137,6 +158,13 @@ struct ServiceStats {
   size_t QueueDepth = 0;
   size_t InFlight = 0;
   size_t OpenSessions = 0;
+  /// Requests shed by the memory-budget preflight (each also counts as
+  /// Failed — it resolved with a failure Status).
+  uint64_t BudgetShed = 0;
+  /// Idle-TTL sweeps that evicted a session's cached rotation keys.
+  uint64_t IdleKeyEvictions = 0;
+  /// Rotation-key bytes currently cached across all open sessions.
+  size_t KeyCacheBytes = 0;
   /// Submit-to-completion latency percentiles over completed requests.
   double P50LatencySeconds = 0.0;
   double P99LatencySeconds = 0.0;
@@ -272,6 +300,10 @@ private:
   struct Request;
 
   std::shared_ptr<Session> findSession(uint64_t SessionId) const;
+  /// Evicts the cached rotation keys of sessions idle past
+  /// Config.SessionIdleSeconds. Runs on the dispatcher between waves;
+  /// busy sessions (RunMutex held) are skipped, never blocked on.
+  void sweepIdleSessions();
   void dispatchLoop();
   void execute(const std::shared_ptr<Request> &R);
   void finish(const std::shared_ptr<Request> &R, Status Outcome,

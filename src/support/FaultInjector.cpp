@@ -34,6 +34,8 @@ const char *ace::faultKindName(FaultKind Kind) {
     return "short-write";
   case FaultKind::ChecksumCorrupt:
     return "checksum-corrupt";
+  case FaultKind::BudgetExceeded:
+    return "budget-exceeded";
   case FaultKind::KindCount:
     break;
   }

@@ -62,6 +62,10 @@ enum class FaultKind : unsigned {
   /// Flip bits in a wire-format checksum as it is written, so the next
   /// load of those bytes must fail CRC verification.
   ChecksumCorrupt,
+  /// Pretend the memory budget is exhausted at a ResourceGovernor
+  /// admission point, forcing the eviction/shed path without needing a
+  /// real tight budget.
+  BudgetExceeded,
   KindCount,
 };
 

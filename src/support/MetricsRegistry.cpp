@@ -8,6 +8,8 @@
 
 #include "support/MetricsRegistry.h"
 
+#include "support/LimbPool.h"
+#include "support/ResourceGovernor.h"
 #include "support/Telemetry.h"
 
 #include <algorithm>
@@ -183,6 +185,85 @@ void MetricsRegistry::writePrometheus(std::ostream &OS) const {
   OS << "# TYPE ace_peak_rss_bytes gauge\n";
   writeSampleLine(OS, "ace_peak_rss_bytes", "",
                   static_cast<double>(T.peakRssBytes()));
+
+  // Built-in: resource governor accounting (docs/memory.md). A
+  // long-running server is tuned off these four families: how much of
+  // the budget is charged (by category), how often admission shed work,
+  // and how the limb pool / key caches behave under that budget.
+  GovernorStats G = ResourceGovernor::instance().stats();
+  OS << "# HELP ace_memory_budget_bytes Configured process memory "
+        "budget (0 = unlimited).\n";
+  OS << "# TYPE ace_memory_budget_bytes gauge\n";
+  writeSampleLine(OS, "ace_memory_budget_bytes", "",
+                  static_cast<double>(G.BudgetBytes));
+  OS << "# HELP ace_memory_charged_bytes Bytes currently charged to the "
+        "resource governor, by category.\n";
+  OS << "# TYPE ace_memory_charged_bytes gauge\n";
+  for (size_t I = 0;
+       I < static_cast<size_t>(MemCategory::CategoryCount); ++I) {
+    std::string Label = std::string("category=\"") +
+                        memCategoryName(static_cast<MemCategory>(I)) +
+                        "\"";
+    writeSampleLine(OS, "ace_memory_charged_bytes", Label,
+                    static_cast<double>(G.ChargedBytes[I]));
+  }
+  OS << "# HELP ace_memory_remaining_bytes Budget headroom "
+        "(budget - charged; 0 when over budget or unlimited).\n";
+  OS << "# TYPE ace_memory_remaining_bytes gauge\n";
+  writeSampleLine(OS, "ace_memory_remaining_bytes", "",
+                  G.BudgetBytes == 0
+                      ? 0.0
+                      : static_cast<double>(G.remainingBytes()));
+  OS << "# HELP ace_memory_shed_total Admissions refused with "
+        "ResourceExhausted after reclaim could not cover the charge.\n";
+  OS << "# TYPE ace_memory_shed_total counter\n";
+  writeSampleLine(OS, "ace_memory_shed_total", "",
+                  static_cast<double>(G.Sheds));
+  OS << "# HELP ace_memory_reclaimed_bytes_total Bytes recovered by "
+        "governor reclaim callbacks (cold keys, pool trims).\n";
+  OS << "# TYPE ace_memory_reclaimed_bytes_total counter\n";
+  writeSampleLine(OS, "ace_memory_reclaimed_bytes_total", "",
+                  static_cast<double>(G.ReclaimedBytes));
+
+  LimbPoolStats PoolStats = LimbPool::instance().stats();
+  OS << "# HELP ace_limb_pool_resident_bytes RNS limb blocks owned by "
+        "the pool (free + in use).\n";
+  OS << "# TYPE ace_limb_pool_resident_bytes gauge\n";
+  writeSampleLine(OS, "ace_limb_pool_resident_bytes", "",
+                  static_cast<double>(PoolStats.residentBytes()));
+  OS << "# HELP ace_limb_pool_free_bytes Parked limb blocks available "
+        "for reuse.\n";
+  OS << "# TYPE ace_limb_pool_free_bytes gauge\n";
+  writeSampleLine(OS, "ace_limb_pool_free_bytes", "",
+                  static_cast<double>(PoolStats.FreeBytes));
+  OS << "# HELP ace_limb_pool_acquires_total Limb block acquisitions, "
+        "split by whether a parked block was reused.\n";
+  OS << "# TYPE ace_limb_pool_acquires_total counter\n";
+  writeSampleLine(OS, "ace_limb_pool_acquires_total", "kind=\"hit\"",
+                  static_cast<double>(PoolStats.Hits));
+  writeSampleLine(OS, "ace_limb_pool_acquires_total", "kind=\"miss\"",
+                  static_cast<double>(PoolStats.Misses));
+
+  OS << "# HELP ace_key_cache_requests_total Rotation-key cache "
+        "lookups across all sessions, split by hit/miss.\n";
+  OS << "# TYPE ace_key_cache_requests_total counter\n";
+  writeSampleLine(OS, "ace_key_cache_requests_total", "kind=\"hit\"",
+                  static_cast<double>(G.KeyCacheHits));
+  writeSampleLine(OS, "ace_key_cache_requests_total", "kind=\"miss\"",
+                  static_cast<double>(G.KeyCacheMisses));
+  OS << "# HELP ace_key_cache_evictions_total Rotation keys dropped by "
+        "LRU/budget/idle eviction (regenerated on next use).\n";
+  OS << "# TYPE ace_key_cache_evictions_total counter\n";
+  writeSampleLine(OS, "ace_key_cache_evictions_total", "",
+                  static_cast<double>(G.KeyCacheEvictions));
+  OS << "# HELP ace_key_cache_hit_ratio Hits / (hits + misses) since "
+        "process start; 0 before any lookup.\n";
+  OS << "# TYPE ace_key_cache_hit_ratio gauge\n";
+  uint64_t Lookups = G.KeyCacheHits + G.KeyCacheMisses;
+  writeSampleLine(OS, "ace_key_cache_hit_ratio", "",
+                  Lookups == 0 ? 0.0
+                               : static_cast<double>(G.KeyCacheHits) /
+                                     static_cast<double>(Lookups));
 
   // Built-in: run metadata as a constant-1 info gauge, labels from the
   // telemetry metadata map (the runtime stamps poly_backend there when

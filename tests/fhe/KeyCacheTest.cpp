@@ -1,0 +1,208 @@
+//===----------------------------------------------------------------------===//
+// Rotation-key cache tests: declare/generate-on-first-use semantics, LRU
+// and capacity eviction, transparent regeneration, truncation widening,
+// pinning via shared_ptr handles, and budget refusals propagating as
+// clean ResourceExhausted through the checked evaluator tier.
+//===----------------------------------------------------------------------===//
+
+#include "fhe/Encryptor.h"
+#include "fhe/Evaluator.h"
+#include "support/FaultInjector.h"
+#include "support/ResourceGovernor.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace ace;
+using namespace ace::fhe;
+
+namespace {
+
+struct KeyCacheTest : ::testing::Test {
+  KeyCacheTest() : SavedBudget(ResourceGovernor::instance().budgetBytes()) {
+    CkksParams P;
+    P.RingDegree = 1024;
+    P.Slots = 64;
+    P.LogScale = 45;
+    P.LogFirstModulus = 55;
+    P.NumRescaleModuli = 11;
+    P.LogSpecialModulus = 60;
+    P.Seed = 17;
+    Ctx = std::make_unique<Context>(P);
+    Enc = std::make_unique<Encoder>(*Ctx);
+    Gen = std::make_unique<KeyGenerator>(*Ctx);
+    Pub = Gen->makePublicKey();
+    Cache = std::make_unique<RotationKeyCache>(*Ctx, *Gen);
+    Eval = std::make_unique<Evaluator>(*Ctx, *Enc, Keys, Cache.get());
+    Encrypt = std::make_unique<Encryptor>(*Ctx, Pub);
+    Decrypt = std::make_unique<Decryptor>(*Ctx, Gen->secretKey());
+  }
+  ~KeyCacheTest() override {
+    FaultInjector::instance().reset();
+    ResourceGovernor::instance().setBudgetBytes(SavedBudget);
+    ResourceGovernor::instance().resetCounters();
+  }
+
+  std::vector<double> randomSlots(uint64_t Seed) {
+    Rng R(Seed);
+    std::vector<double> X(Ctx->slots());
+    for (auto &V : X)
+      V = R.uniformReal(-1, 1);
+    return X;
+  }
+
+  size_t SavedBudget;
+  std::unique_ptr<Context> Ctx;
+  std::unique_ptr<Encoder> Enc;
+  std::unique_ptr<KeyGenerator> Gen;
+  PublicKey Pub;
+  EvalKeys Keys;
+  std::unique_ptr<RotationKeyCache> Cache;
+  std::unique_ptr<Evaluator> Eval;
+  std::unique_ptr<Encryptor> Encrypt;
+  std::unique_ptr<Decryptor> Decrypt;
+};
+
+TEST_F(KeyCacheTest, GeneratesOnFirstUseThenHits) {
+  uint64_t Galois = Cache->declareRotation(3);
+  EXPECT_TRUE(Cache->declared(Galois));
+  EXPECT_EQ(Cache->stats().ResidentCount, 0u); // declared, not built
+
+  auto First = Cache->get(Galois);
+  ASSERT_TRUE(First.ok()) << First.status().message();
+  EXPECT_EQ(Cache->stats().Misses, 1u);
+  EXPECT_EQ(Cache->stats().ResidentCount, 1u);
+  EXPECT_GT(Cache->stats().ResidentBytes, 0u);
+
+  auto Second = Cache->get(Galois);
+  ASSERT_TRUE(Second.ok());
+  EXPECT_EQ(Cache->stats().Hits, 1u);
+  EXPECT_EQ(Cache->stats().Misses, 1u);
+  EXPECT_EQ(First->get(), Second->get()); // same resident key
+}
+
+TEST_F(KeyCacheTest, UndeclaredGaloisIsKeyMissing) {
+  auto Out = Cache->get(12345);
+  ASSERT_FALSE(Out.ok());
+  EXPECT_EQ(Out.status().code(), ErrorCode::KeyMissing);
+}
+
+TEST_F(KeyCacheTest, CachedRotationMatchesEagerKey) {
+  // The cache draws fresh key material (different RNG order than an
+  // eager fill), so compare decrypted values, not ciphertext bits.
+  uint64_t G5 = galoisForRotation(Ctx->degree(), Ctx->slots(), 5);
+  EvalKeys EagerKeys;
+  EagerKeys.Rotations.emplace(G5, Gen->makeRotationKey(5));
+  Evaluator EagerEval(*Ctx, *Enc, EagerKeys);
+  Cache->declareRotation(5);
+
+  std::vector<double> X = randomSlots(3);
+  Ciphertext Ct = Encrypt->encryptValues(*Enc, X, 3);
+  auto Cached = Decrypt->decryptRealValues(*Enc, Eval->rotate(Ct, 5));
+  auto Eager = Decrypt->decryptRealValues(*Enc, EagerEval.rotate(Ct, 5));
+  for (size_t I = 0; I < X.size(); ++I) {
+    EXPECT_NEAR(Cached[I], X[(I + 5) % Ctx->slots()], 1e-5);
+    EXPECT_NEAR(Cached[I], Eager[I], 1e-5);
+  }
+}
+
+TEST_F(KeyCacheTest, EvictionRegeneratesTransparently) {
+  Cache->declareRotation(2);
+  std::vector<double> X = randomSlots(7);
+  Ciphertext Ct = Encrypt->encryptValues(*Enc, X, 3);
+  auto Before = Decrypt->decryptRealValues(*Enc, Eval->rotate(Ct, 2));
+
+  size_t Released = Cache->evictColdest(SIZE_MAX);
+  EXPECT_GT(Released, 0u);
+  EXPECT_EQ(Cache->stats().ResidentCount, 0u);
+  EXPECT_EQ(Cache->stats().Evictions, 1u);
+
+  // Regenerated key: fresh material, same rotation semantics.
+  auto After = Decrypt->decryptRealValues(*Enc, Eval->rotate(Ct, 2));
+  for (size_t I = 0; I < X.size(); ++I)
+    EXPECT_NEAR(After[I], Before[I], 1e-5);
+  EXPECT_EQ(Cache->stats().Misses, 2u);
+}
+
+TEST_F(KeyCacheTest, CapacityBoundEvictsLeastRecentlyUsed) {
+  uint64_t G1 = Cache->declareRotation(1);
+  uint64_t G2 = Cache->declareRotation(2);
+  auto K1 = Cache->get(G1);
+  ASSERT_TRUE(K1.ok());
+  size_t OneKeyBytes = Cache->stats().ResidentBytes;
+  // Room for one key only; drop our handle so G1 is evictable.
+  *K1 = nullptr;
+  Cache->setCapacityBytes(OneKeyBytes);
+
+  auto K2 = Cache->get(G2);
+  ASSERT_TRUE(K2.ok());
+  EXPECT_EQ(Cache->stats().ResidentCount, 1u);
+  EXPECT_GE(Cache->stats().Evictions, 1u);
+  EXPECT_LE(Cache->stats().ResidentBytes, OneKeyBytes);
+  // G1 is still declared and regenerates on demand.
+  EXPECT_TRUE(Cache->declared(G1));
+  EXPECT_TRUE(Cache->get(G1).ok());
+}
+
+TEST_F(KeyCacheTest, PinnedKeysAreNotEvicted) {
+  uint64_t G = Cache->declareRotation(4);
+  auto Pinned = Cache->get(G);
+  ASSERT_TRUE(Pinned.ok());
+  // The shared_ptr handle keeps the entry hot: eviction must skip it so
+  // accounting stays honest while an op is mid-flight with the key.
+  EXPECT_EQ(Cache->evictColdest(SIZE_MAX), 0u);
+  EXPECT_EQ(Cache->stats().ResidentCount, 1u);
+
+  *Pinned = nullptr; // drop the pin
+  EXPECT_GT(Cache->evictColdest(SIZE_MAX), 0u);
+  EXPECT_EQ(Cache->stats().ResidentCount, 0u);
+}
+
+TEST_F(KeyCacheTest, RedeclarationWidensTruncation) {
+  uint64_t G = Cache->declareRotation(6, /*MaxNumQ=*/3);
+  auto Narrow = Cache->get(G);
+  ASSERT_TRUE(Narrow.ok());
+  EXPECT_EQ((*Narrow)->Parts.size(), 3u);
+
+  // Widening to the full chain drops the narrower cached key; the next
+  // get() builds the wide one.
+  Cache->declareRotation(6, /*MaxNumQ=*/0);
+  auto Wide = Cache->get(G);
+  ASSERT_TRUE(Wide.ok());
+  EXPECT_EQ((*Wide)->Parts.size(), Ctx->chainLength());
+}
+
+TEST_F(KeyCacheTest, BudgetRefusalIsResourceExhaustedNotACrash) {
+  Cache->declareRotation(7);
+  std::vector<double> X = randomSlots(11);
+  Ciphertext Ct = Encrypt->encryptValues(*Enc, X, 3);
+
+  // Force the admission refusal without a real tight budget. The
+  // checked tier must surface it verbatim (not misclassify it as a
+  // missing key) and leave no partial entry behind.
+  FaultInjector::instance().arm(FaultKind::BudgetExceeded, /*Count=*/1);
+  auto Refused = Eval->checkedRotate(Ct, 7);
+  ASSERT_FALSE(Refused.ok());
+  EXPECT_EQ(Refused.status().code(), ErrorCode::ResourceExhausted);
+  EXPECT_EQ(Cache->stats().ResidentCount, 0u);
+
+  // The fault fired once; the same op now succeeds end to end.
+  auto Ok = Eval->checkedRotate(Ct, 7);
+  ASSERT_TRUE(Ok.ok()) << Ok.status().message();
+  auto Out = Decrypt->decryptRealValues(*Enc, *Ok);
+  for (size_t I = 0; I < X.size(); ++I)
+    EXPECT_NEAR(Out[I], X[(I + 7) % Ctx->slots()], 1e-5);
+}
+
+TEST_F(KeyCacheTest, ReleaseAllKeepsDeclarations) {
+  Cache->declareRotation(1);
+  Cache->declareGalois(2 * Ctx->degree() - 1); // conjugation element
+  uint64_t G1 = galoisForRotation(Ctx->degree(), Ctx->slots(), 1);
+  ASSERT_TRUE(Cache->get(G1).ok());
+  EXPECT_GT(Cache->releaseAll(), 0u);
+  EXPECT_EQ(Cache->stats().ResidentBytes, 0u);
+  EXPECT_EQ(Cache->stats().DeclaredCount, 2u);
+  EXPECT_TRUE(Cache->get(G1).ok());
+}
+
+} // namespace

@@ -18,6 +18,7 @@
 #include "support/Crc32c.h"
 #include "support/EventLog.h"
 #include "support/FaultInjector.h"
+#include "support/ResourceGovernor.h"
 #include "support/Rng.h"
 #include "support/Telemetry.h"
 #include "support/ThreadPool.h"
@@ -658,6 +659,126 @@ TEST_F(InferenceServiceTest, CApiRoundTrip) {
   EXPECT_EQ(ace_service_close_session(Svc, Session), ACE_OK);
   EXPECT_EQ(ace_service_open_session(nullptr), 0u); // invalid handle
   ace_service_destroy(Svc);
+}
+
+/// Session teardown must return every cached-key byte to the governor:
+/// the EvalKeys gauge goes back to its pre-session value (never negative,
+/// never stale) and the service-level key-cache gauge reads zero.
+TEST_F(InferenceServiceTest, ClosingSessionsReleasesKeyCacheCharges) {
+  size_t Baseline =
+      ResourceGovernor::instance().stats().ChargedBytes[static_cast<size_t>(
+          MemCategory::EvalKeys)];
+  InferenceService Svc(Compiled->Program, Compiled->State);
+  auto A = Svc.openSession();
+  auto B = Svc.openSession();
+  ASSERT_TRUE(A.ok() && B.ok());
+  for (uint64_t Sid : {*A, *B}) {
+    auto Frame = Svc.encryptRequest(Sid, makeInput(21));
+    ASSERT_TRUE(Frame.ok());
+    auto T = Svc.submit(*Frame);
+    ASSERT_TRUE(T.ok());
+    InferenceResponse R = T->Result.get();
+    ASSERT_TRUE(R.Outcome.ok()) << R.Outcome.message();
+  }
+  // Lazy keygen materialized rotation keys under the governor.
+  EXPECT_GT(Svc.stats().KeyCacheBytes, 0u);
+  EXPECT_GT(ResourceGovernor::instance().stats().ChargedBytes
+                [static_cast<size_t>(MemCategory::EvalKeys)],
+            Baseline);
+
+  ASSERT_TRUE(Svc.closeSession(*A).ok());
+  ASSERT_TRUE(Svc.closeSession(*B).ok());
+  EXPECT_EQ(Svc.stats().KeyCacheBytes, 0u);
+  EXPECT_EQ(ResourceGovernor::instance().stats().ChargedBytes
+                [static_cast<size_t>(MemCategory::EvalKeys)],
+            Baseline);
+}
+
+/// A hard budget the process is already over sheds requests in-band:
+/// the ticket resolves with ResourceExhausted (no crash, no hung
+/// future), and raising the budget restores service on the same frame.
+TEST_F(InferenceServiceTest, TightBudgetShedsRequestsInBand) {
+  size_t SavedBudget = ResourceGovernor::instance().budgetBytes();
+  ServiceConfig Cfg;
+  Cfg.MemoryBudgetBytes = 1 << 20; // far below the session working set
+  InferenceService Svc(Compiled->Program, Compiled->State, Cfg);
+  auto Sid = Svc.openSession();
+  ASSERT_TRUE(Sid.ok()) << Sid.status().message();
+  auto Frame = Svc.encryptRequest(*Sid, makeInput(22));
+  ASSERT_TRUE(Frame.ok()) << Frame.status().message();
+
+  auto Shed = Svc.submit(*Frame);
+  ASSERT_TRUE(Shed.ok()); // queue admission is not the budget gate
+  InferenceResponse R = Shed->Result.get();
+  EXPECT_EQ(R.Outcome.code(), ErrorCode::ResourceExhausted)
+      << R.Outcome.message();
+  drain(Svc);
+  EXPECT_GE(Svc.stats().Failed, 1u);
+
+  // Headroom restored: the SAME frame now completes.
+  ResourceGovernor::instance().setBudgetBytes(0);
+  auto Ok = Svc.submit(*Frame);
+  ASSERT_TRUE(Ok.ok());
+  InferenceResponse R2 = Ok->Result.get();
+  EXPECT_TRUE(R2.Outcome.ok()) << R2.Outcome.message();
+  ResourceGovernor::instance().setBudgetBytes(SavedBudget);
+}
+
+/// An injected BudgetExceeded fault (the ACE_FAULT_INJECT=budget-exceeded
+/// soak leg) fails exactly one request with ResourceExhausted and leaves
+/// no residue: the next request on the same session completes.
+TEST_F(InferenceServiceTest, BudgetFaultFailsOneRequestCleanly) {
+  InferenceService Svc(Compiled->Program, Compiled->State);
+  auto Sid = Svc.openSession();
+  ASSERT_TRUE(Sid.ok());
+  auto Frame = Svc.encryptRequest(*Sid, makeInput(23));
+  ASSERT_TRUE(Frame.ok());
+
+  FaultInjector::instance().arm(FaultKind::BudgetExceeded, /*Count=*/1);
+  auto Faulted = Svc.submit(*Frame);
+  ASSERT_TRUE(Faulted.ok());
+  InferenceResponse R = Faulted->Result.get();
+  EXPECT_EQ(R.Outcome.code(), ErrorCode::ResourceExhausted)
+      << R.Outcome.message();
+
+  FaultInjector::instance().reset();
+  auto Healthy = Svc.submit(*Frame);
+  ASSERT_TRUE(Healthy.ok());
+  InferenceResponse R2 = Healthy->Result.get();
+  EXPECT_TRUE(R2.Outcome.ok()) << R2.Outcome.message();
+}
+
+/// Idle sessions lose their cached keys after the TTL (the long-running
+/// server reclaiming memory from quiet clients) and regenerate them
+/// transparently on the next request.
+TEST_F(InferenceServiceTest, IdleTtlEvictsSessionKeysAndRecovers) {
+  ServiceConfig Cfg;
+  Cfg.SessionIdleSeconds = 0.05;
+  InferenceService Svc(Compiled->Program, Compiled->State, Cfg);
+  auto Sid = Svc.openSession();
+  ASSERT_TRUE(Sid.ok());
+  auto Frame = Svc.encryptRequest(*Sid, makeInput(24));
+  ASSERT_TRUE(Frame.ok());
+  auto T = Svc.submit(*Frame);
+  ASSERT_TRUE(T.ok());
+  ASSERT_TRUE(T->Result.get().Outcome.ok());
+  ASSERT_GT(Svc.stats().KeyCacheBytes, 0u);
+
+  // The dispatcher sweeps at TTL/2 when idle; give it a few periods.
+  bool Evicted = false;
+  for (int I = 0; I < 100 && !Evicted; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ServiceStats S = Svc.stats();
+    Evicted = S.IdleKeyEvictions >= 1 && S.KeyCacheBytes == 0;
+  }
+  EXPECT_TRUE(Evicted) << Svc.stats().json();
+
+  // The session is still open; keys regenerate on demand.
+  auto T2 = Svc.submit(*Frame);
+  ASSERT_TRUE(T2.ok());
+  InferenceResponse R2 = T2->Result.get();
+  EXPECT_TRUE(R2.Outcome.ok()) << R2.Outcome.message();
+  EXPECT_GT(Svc.stats().KeyCacheBytes, 0u);
 }
 
 } // namespace

@@ -102,6 +102,8 @@ TEST_F(FaultInjectorTest, KindNamesRoundTrip) {
   EXPECT_STREQ(faultKindName(FaultKind::DropGaloisKey), "drop-galois-key");
   EXPECT_STREQ(faultKindName(FaultKind::DropRelinKey), "drop-relin-key");
   EXPECT_STREQ(faultKindName(FaultKind::AllocFail), "alloc-fail");
+  EXPECT_STREQ(faultKindName(FaultKind::BudgetExceeded),
+               "budget-exceeded");
 }
 
 } // namespace

@@ -1,0 +1,174 @@
+//===----------------------------------------------------------------------===//
+// Resource governor tests: byte-size parsing, charge/release clamping,
+// admission under and over the budget, reclaimer priority ordering, the
+// BudgetExceeded fault hook, and the aggregated key-cache counters the
+// metrics exporter reads.
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+#include "support/ResourceGovernor.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace ace;
+
+namespace {
+
+/// Restores the process-global governor around each test: the budget,
+/// any Other-category charge the test added, and the counters.
+struct ResourceGovernorTest : ::testing::Test {
+  ResourceGovernorTest()
+      : SavedBudget(ResourceGovernor::instance().budgetBytes()) {
+    ResourceGovernor::instance().resetCounters();
+  }
+  ~ResourceGovernorTest() override {
+    ResourceGovernor &Gov = ResourceGovernor::instance();
+    Gov.setBudgetBytes(SavedBudget);
+    // Clamp-at-zero makes a blanket release a safe way to drop whatever
+    // Other-category charge a test left behind.
+    Gov.release(MemCategory::Other, SIZE_MAX / 2);
+    Gov.resetCounters();
+    FaultInjector::instance().reset();
+  }
+  size_t SavedBudget;
+};
+
+TEST_F(ResourceGovernorTest, ParseByteSize) {
+  size_t Out = 0;
+  EXPECT_TRUE(parseByteSize("0", Out));
+  EXPECT_EQ(Out, 0u);
+  EXPECT_TRUE(parseByteSize("12345", Out));
+  EXPECT_EQ(Out, 12345u);
+  EXPECT_TRUE(parseByteSize("4k", Out));
+  EXPECT_EQ(Out, 4096u);
+  EXPECT_TRUE(parseByteSize("512M", Out));
+  EXPECT_EQ(Out, 512u << 20);
+  EXPECT_TRUE(parseByteSize("2g", Out));
+  EXPECT_EQ(Out, size_t(2) << 30);
+  EXPECT_FALSE(parseByteSize("", Out));
+  EXPECT_FALSE(parseByteSize("-5", Out));
+  EXPECT_FALSE(parseByteSize("12q", Out));
+  EXPECT_FALSE(parseByteSize("m", Out));
+}
+
+TEST_F(ResourceGovernorTest, ChargeReleaseClampsAtZero) {
+  ResourceGovernor &Gov = ResourceGovernor::instance();
+  size_t Before =
+      Gov.stats().ChargedBytes[static_cast<size_t>(MemCategory::Other)];
+  Gov.charge(MemCategory::Other, 1000);
+  EXPECT_EQ(
+      Gov.stats().ChargedBytes[static_cast<size_t>(MemCategory::Other)],
+      Before + 1000);
+  // A stray double-release clamps instead of wrapping the gauge.
+  Gov.release(MemCategory::Other, Before + 5000);
+  EXPECT_EQ(
+      Gov.stats().ChargedBytes[static_cast<size_t>(MemCategory::Other)],
+      0u);
+}
+
+TEST_F(ResourceGovernorTest, AdmitIsOkWithoutABudget) {
+  ResourceGovernor &Gov = ResourceGovernor::instance();
+  Gov.setBudgetBytes(0);
+  EXPECT_TRUE(Gov.admit(SIZE_MAX / 4, "unbounded").ok());
+  EXPECT_EQ(Gov.stats().Sheds, 0u);
+}
+
+TEST_F(ResourceGovernorTest, OverBudgetShedsWithResourceExhausted) {
+  ResourceGovernor &Gov = ResourceGovernor::instance();
+  Gov.setBudgetBytes(1 << 20);
+  Gov.charge(MemCategory::Other, 1 << 20); // exactly at the limit
+  Status S = Gov.admit(4096, "test charge");
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::ResourceExhausted);
+  EXPECT_NE(S.message().find("test charge"), std::string::npos);
+  EXPECT_EQ(Gov.stats().Sheds, 1u);
+  // Headroom restored -> admitted again.
+  Gov.release(MemCategory::Other, 1 << 19);
+  EXPECT_TRUE(Gov.admit(4096, "after release").ok());
+}
+
+TEST_F(ResourceGovernorTest, ReclaimersRunInPriorityOrderUntilCovered) {
+  ResourceGovernor &Gov = ResourceGovernor::instance();
+  Gov.setBudgetBytes(1 << 20);
+  Gov.charge(MemCategory::Other, 1 << 20);
+
+  std::vector<int> CallOrder;
+  // Registered high-priority-number first to prove ordering is by
+  // priority, not registration sequence.
+  uint64_t PoolId = Gov.addReclaimer(10, "fake-pool", [&](size_t Want) {
+    CallOrder.push_back(10);
+    ResourceGovernor::instance().release(MemCategory::Other, Want);
+    return Want;
+  });
+  uint64_t CacheId = Gov.addReclaimer(0, "fake-cache", [&](size_t) {
+    CallOrder.push_back(0);
+    return size_t(0); // nothing cold: the next reclaimer must run
+  });
+
+  EXPECT_TRUE(Gov.admit(8192, "reclaimable").ok());
+  ASSERT_EQ(CallOrder.size(), 2u);
+  EXPECT_EQ(CallOrder[0], 0);
+  EXPECT_EQ(CallOrder[1], 10);
+  EXPECT_GE(Gov.stats().ReclaimedBytes, 8192u);
+  EXPECT_EQ(Gov.stats().Sheds, 0u);
+
+  Gov.removeReclaimer(PoolId);
+  Gov.removeReclaimer(CacheId);
+}
+
+TEST_F(ResourceGovernorTest, RemovedReclaimerIsNeverCalled) {
+  ResourceGovernor &Gov = ResourceGovernor::instance();
+  Gov.setBudgetBytes(1024);
+  Gov.charge(MemCategory::Other, 2048);
+  bool Called = false;
+  uint64_t Id = Gov.addReclaimer(0, "gone", [&](size_t) {
+    Called = true;
+    return size_t(0);
+  });
+  Gov.removeReclaimer(Id);
+  EXPECT_FALSE(Gov.admit(64, "x").ok());
+  EXPECT_FALSE(Called);
+}
+
+TEST_F(ResourceGovernorTest, BudgetExceededFaultForcesShedPath) {
+  ResourceGovernor &Gov = ResourceGovernor::instance();
+  Gov.setBudgetBytes(0); // unlimited: only the fault can refuse
+  FaultInjector::instance().arm(FaultKind::BudgetExceeded, /*Count=*/1);
+  Status S = Gov.admit(64, "faulted");
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), ErrorCode::ResourceExhausted);
+  EXPECT_EQ(Gov.stats().Sheds, 1u);
+  // One firing only: the next admission is clean.
+  EXPECT_TRUE(Gov.admit(64, "after fault").ok());
+}
+
+TEST_F(ResourceGovernorTest, KeyCacheCountersAggregate) {
+  ResourceGovernor &Gov = ResourceGovernor::instance();
+  Gov.noteKeyCacheHit();
+  Gov.noteKeyCacheHit();
+  Gov.noteKeyCacheMiss();
+  Gov.noteKeyCacheEviction();
+  GovernorStats S = Gov.stats();
+  EXPECT_EQ(S.KeyCacheHits, 2u);
+  EXPECT_EQ(S.KeyCacheMisses, 1u);
+  EXPECT_EQ(S.KeyCacheEvictions, 1u);
+  Gov.resetCounters();
+  EXPECT_EQ(Gov.stats().KeyCacheHits, 0u);
+}
+
+TEST_F(ResourceGovernorTest, RemainingBytesAndCategoryNames) {
+  ResourceGovernor &Gov = ResourceGovernor::instance();
+  Gov.setBudgetBytes(1 << 20);
+  Gov.charge(MemCategory::Other, 1 << 19);
+  GovernorStats S = Gov.stats();
+  EXPECT_EQ(S.BudgetBytes, size_t(1) << 20);
+  EXPECT_LE(S.remainingBytes(), size_t(1) << 19);
+  EXPECT_STREQ(memCategoryName(MemCategory::LimbPool), "limb_pool");
+  EXPECT_STREQ(memCategoryName(MemCategory::EvalKeys), "eval_keys");
+  EXPECT_STREQ(memCategoryName(MemCategory::Sessions), "sessions");
+  EXPECT_STREQ(memCategoryName(MemCategory::Other), "other");
+}
+
+} // namespace
