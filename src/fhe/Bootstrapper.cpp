@@ -330,18 +330,33 @@ StatusOr<Ciphertext> Bootstrapper::checkedBootstrap(const Ciphertext &Ct,
         "bootstrap: relinearization key not generated");
   if (!Keys.HasConjugate)
     return Status::keyMissing("bootstrap: conjugation key not generated");
-  for (uint64_t Galois : requiredGaloisElements())
-    if (!Eval.hasGaloisKey(Galois))
-      return Status::keyMissing(
-          "bootstrap: SubSum Galois key for element " +
-          std::to_string(Galois) + " not generated");
+  // Materialize and pin every rotation/Galois key the refresh will use
+  // BEFORE entering the unchecked hot tier. Lazy (cache-backed) keygen
+  // goes through the governor here, so under budget pressure the refusal
+  // comes back in-band as ResourceExhausted instead of hitting
+  // reportFatalError mid-bootstrap; the pins keep cache-served keys
+  // resident for the whole refresh (eviction skips held keys), so every
+  // hot-tier lookup below is a guaranteed hit. SubSum and CoeffToSlot
+  // run at the raised level, so each key must cover Raised digits.
+  std::vector<std::shared_ptr<const SwitchKey>> Pins;
+  for (uint64_t Galois : requiredGaloisElements()) {
+    Status S = Eval.materializeGaloisKey(Galois, Raised, Pins);
+    if (!S.ok())
+      return Status::error(S.code(), "bootstrap: SubSum Galois key for "
+                                     "element " +
+                                         std::to_string(Galois) + ": " +
+                                         S.message());
+  }
   for (int64_t Step : requiredRotations()) {
     uint64_t Galois = galoisForRotation(Ctx.degree(), Ctx.slots(), Step);
-    if (Galois != 1 && !Eval.hasGaloisKey(Galois))
-      return Status::keyMissing(
-          "bootstrap: BSGS rotation key for step " + std::to_string(Step) +
-          " (galois element " + std::to_string(Galois) +
-          ") not generated");
+    if (Galois == 1)
+      continue;
+    Status S = Eval.materializeGaloisKey(Galois, Raised, Pins);
+    if (!S.ok())
+      return Status::error(S.code(), "bootstrap: BSGS rotation key for "
+                                     "step " +
+                                         std::to_string(Step) + ": " +
+                                         S.message());
   }
   return bootstrap(Ct, TargetNumQ);
 }

@@ -146,6 +146,24 @@ Evaluator::galoisKeyFor(uint64_t Galois,
   return nullptr;
 }
 
+Status Evaluator::materializeGaloisKey(
+    uint64_t Galois, size_t MinNumQ,
+    std::vector<std::shared_ptr<const SwitchKey>> &Pins) const {
+  std::shared_ptr<const SwitchKey> Hold;
+  Status WhyNot;
+  const SwitchKey *Key = galoisKeyFor(Galois, Hold, &WhyNot);
+  if (!Key)
+    return WhyNot; // KeyMissing, or ResourceExhausted from lazy keygen
+  if (Key->Parts.size() < MinNumQ)
+    return Status::keyMissing(
+        "switch key for Galois element " + std::to_string(Galois) +
+        " truncated to " + std::to_string(Key->Parts.size()) +
+        " digits but " + std::to_string(MinNumQ) + " are required");
+  if (Hold)
+    Pins.push_back(std::move(Hold));
+  return Status::success();
+}
+
 double Evaluator::noiseBudgetBits(const Ciphertext &A) const {
   if (LogQPrefix.empty()) {
     LogQPrefix.resize(Ctx.chainLength() + 1, 0.0);

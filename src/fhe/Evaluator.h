@@ -86,6 +86,18 @@ public:
   /// first use).
   bool hasGaloisKey(uint64_t Galois) const;
 
+  /// Materializes the switch key for \p Galois through the Status path
+  /// (lazy keygen runs the governor's admit here, so budget refusals
+  /// come back in-band as ResourceExhausted instead of aborting in the
+  /// hot tier) and verifies it covers \p MinNumQ decomposition digits.
+  /// A cache-served key is appended to \p Pins; holding the pins keeps
+  /// it resident (eviction skips held keys), so a caller about to run a
+  /// long unchecked sequence — the bootstrapper — can guarantee every
+  /// hot-tier lookup hits. Eager keys pin nothing (they never move).
+  Status materializeGaloisKey(
+      uint64_t Galois, size_t MinNumQ,
+      std::vector<std::shared_ptr<const SwitchKey>> &Pins) const;
+
   /// \name Checked entry points (release-mode validated, recoverable).
   /// Each validates operand integrity (validateCiphertext), the
   /// operation's level/scale/key preconditions, and honors the

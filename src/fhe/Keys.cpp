@@ -235,21 +235,9 @@ uint64_t RotationKeyCache::declareRotation(int64_t Steps, size_t MaxNumQ) {
     Entries.emplace(Galois, std::move(E));
     return Galois;
   }
-  // Re-declaration: keep the widest truncation ever asked for (0 = full
-  // chain is widest). Widening drops a key cached at the narrower level
-  // so the next get() regenerates it at the right depth.
+  // Re-declaration: keep the widest truncation ever asked for.
   Entry &E = It->second;
-  size_t Widened =
-      (MaxNumQ == 0 || E.MaxNumQ == 0) ? 0 : std::max(E.MaxNumQ, MaxNumQ);
-  if (Widened != E.MaxNumQ) {
-    if (E.Key) {
-      ResidentBytes -= E.Bytes;
-      ResourceGovernor::instance().release(MemCategory::EvalKeys, E.Bytes);
-      E.Key.reset();
-      E.Bytes = 0;
-    }
-    E.MaxNumQ = Widened;
-  }
+  widenLocked(E, MaxNumQ);
   E.IsRotation = true;
   E.Steps = Steps;
   return Galois;
@@ -259,11 +247,34 @@ void RotationKeyCache::declareGalois(uint64_t Galois, size_t MaxNumQ) {
   if (Galois == 1)
     return;
   std::lock_guard<std::mutex> Lock(Mutex);
-  Entry &E = Entries[Galois];
-  if (!E.Key) {
+  auto It = Entries.find(Galois);
+  if (It == Entries.end()) {
+    Entry E;
     E.IsRotation = false;
     E.MaxNumQ = MaxNumQ;
+    Entries.emplace(Galois, std::move(E));
+    return;
   }
+  // Re-declaration widens exactly like declareRotation: a key already
+  // cached (or declared) at a narrower depth must not keep serving once
+  // a deeper use is announced — the release-build hot tier has no depth
+  // check, so a too-shallow key would corrupt results silently.
+  widenLocked(It->second, MaxNumQ);
+}
+
+void RotationKeyCache::widenLocked(Entry &E, size_t MaxNumQ) {
+  // 0 = full chain is widest.
+  size_t Widened =
+      (MaxNumQ == 0 || E.MaxNumQ == 0) ? 0 : std::max(E.MaxNumQ, MaxNumQ);
+  if (Widened == E.MaxNumQ)
+    return;
+  if (E.Key) {
+    ResidentBytes -= E.Bytes;
+    ResourceGovernor::instance().release(MemCategory::EvalKeys, E.Bytes);
+    E.Key.reset();
+    E.Bytes = 0;
+  }
+  E.MaxNumQ = Widened;
 }
 
 bool RotationKeyCache::declared(uint64_t Galois) const {

@@ -236,6 +236,11 @@ private:
   /// Worst-case byte estimate for a key at truncation \p MaxNumQ, used
   /// for governor admission before generating.
   size_t estimateBytes(size_t MaxNumQ) const;
+  /// Widens \p E to cover \p MaxNumQ moduli if that is wider than its
+  /// current truncation (0 = full chain is widest; never narrows),
+  /// dropping a key cached at the narrower depth so the next get()
+  /// regenerates it at the right one. Caller holds Mutex.
+  void widenLocked(Entry &E, size_t MaxNumQ);
   SwitchKey generate(const Entry &E, uint64_t Galois);
   size_t evictColdestLocked(size_t WantBytes);
 

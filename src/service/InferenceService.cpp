@@ -444,24 +444,36 @@ void InferenceService::sweepIdleSessions() {
 
 void InferenceService::dispatchLoop() {
   telemetry::Telemetry::instance().nameThread("ace-svc-dispatcher");
+  // Idle-session sweeps run on a fixed cadence (TTL/2, capped at 1 s)
+  // checked at the top of every iteration, not only when the queue wait
+  // times out: under sustained load the queue never goes quiet, and cold
+  // sessions' keys must still age out on schedule rather than waiting
+  // for budget pressure.
+  const double SweepPeriod =
+      Config.SessionIdleSeconds > 0.0
+          ? std::min(Config.SessionIdleSeconds / 2.0, 1.0)
+          : 0.0;
+  auto LastSweep = std::chrono::steady_clock::now();
   while (true) {
+    if (SweepPeriod > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      LastSweep)
+                .count() >= SweepPeriod) {
+      sweepIdleSessions();
+      LastSweep = std::chrono::steady_clock::now();
+    }
     std::vector<std::shared_ptr<Request>> Batch;
     bool Draining = false;
     {
       std::unique_lock<std::mutex> Lock(QueueMutex);
-      if (Config.SessionIdleSeconds > 0.0) {
-        // Bounded wait so idle-session sweeps run even with an empty
-        // queue; half the TTL keeps eviction latency under one TTL.
+      if (SweepPeriod > 0.0) {
+        // Bounded wait so the sweep cadence holds over an empty queue; a
+        // timeout loops back to the sweep check above.
         bool HasWork = QueueCv.wait_for(
-            Lock,
-            std::chrono::duration<double>(
-                std::min(Config.SessionIdleSeconds / 2.0, 1.0)),
+            Lock, std::chrono::duration<double>(SweepPeriod),
             [&] { return Stopping || !Queue.empty(); });
-        if (!HasWork) {
-          Lock.unlock();
-          sweepIdleSessions();
+        if (!HasWork)
           continue;
-        }
       } else {
         QueueCv.wait(Lock, [&] { return Stopping || !Queue.empty(); });
       }
@@ -617,6 +629,10 @@ void InferenceService::execute(const std::shared_ptr<Request> &R) {
                        std::chrono::steady_clock::now() - DequeuedAt)
                        .count();
   StageHist[static_cast<size_t>(Stage::Exec)].recordSeconds(R->ExecSeconds);
+  // Re-stamp at completion: a request running longer than the idle TTL
+  // must not leave its session looking idle (and its freshly built keys
+  // sweepable) the instant it finishes.
+  S->LastUsedUs.store(steadyNowUs(), std::memory_order_relaxed);
   if (!Outcome.ok())
     CtBytes.clear();
   finish(R, std::move(Outcome), std::move(CtBytes));

@@ -11,6 +11,7 @@
 #include "support/FaultInjector.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -116,8 +117,13 @@ Status ResourceGovernor::admit(size_t Bytes, const std::string &What) {
 }
 
 size_t ResourceGovernor::reclaim(size_t WantBytes) {
-  // Snapshot under the lock, call without it: reclaimers re-enter
-  // release() and may take their own locks.
+  // The shared invoke lock spans the snapshot AND every callback:
+  // removeReclaimer acquires it exclusively after erasing, so a consumer
+  // tearing down (e.g. ~RotationKeyCache on closeSession) cannot free
+  // its state while a concurrent pass still holds a snapshotted copy of
+  // its callback. Taken BEFORE snapshotting — a snapshot made outside
+  // the lock could otherwise be invoked after removal completes.
+  std::shared_lock<std::shared_mutex> Invoke(InvokeMutex);
   std::vector<Reclaimer> Snapshot;
   {
     std::lock_guard<std::mutex> Lock(ReclaimerMutex);
@@ -147,12 +153,19 @@ uint64_t ResourceGovernor::addReclaimer(int Priority, std::string Name,
 }
 
 void ResourceGovernor::removeReclaimer(uint64_t Id) {
-  std::lock_guard<std::mutex> Lock(ReclaimerMutex);
-  Reclaimers.erase(std::remove_if(Reclaimers.begin(), Reclaimers.end(),
-                                  [Id](const Reclaimer &R) {
-                                    return R.Id == Id;
-                                  }),
-                   Reclaimers.end());
+  {
+    std::lock_guard<std::mutex> Lock(ReclaimerMutex);
+    Reclaimers.erase(std::remove_if(Reclaimers.begin(), Reclaimers.end(),
+                                    [Id](const Reclaimer &R) {
+                                      return R.Id == Id;
+                                    }),
+                     Reclaimers.end());
+  }
+  // Drain in-flight reclaim passes: any pass that snapshotted this
+  // reclaimer holds InvokeMutex shared for its whole run, so once the
+  // exclusive lock is granted no snapshot can still call the callback
+  // and the caller may free its captured state.
+  std::unique_lock<std::shared_mutex> Drain(InvokeMutex);
 }
 
 GovernorStats ResourceGovernor::stats() const {
@@ -181,6 +194,7 @@ bool parseByteSize(const std::string &Text, size_t &OutBytes) {
   if (Text.empty() || Text[0] < '0' || Text[0] > '9')
     return false;
   char *End = nullptr;
+  errno = 0;
   unsigned long long Value = std::strtoull(Text.c_str(), &End, 10);
   if (End == Text.c_str())
     return false;
@@ -205,6 +219,11 @@ bool parseByteSize(const std::string &Text, size_t &OutBytes) {
     if (*(End + 1))
       return false;
   }
+  // Reject anything that would wrap: a budget like "17179869184g" must
+  // fail loudly, not silently truncate to a tiny (or 0 = unlimited)
+  // value. Errno catches inputs strtoull itself clamped to ULLONG_MAX.
+  if (errno == ERANGE || Value > SIZE_MAX / Mult)
+    return false;
   OutBytes = static_cast<size_t>(Value) * Mult;
   return true;
 }

@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -110,9 +111,15 @@ public:
 
   /// Registers a reclaimer; lower \p Priority runs first (key caches at
   /// 0, pool trim at 10). Returns an id for removeReclaimer. The
-  /// callback runs without governor locks held and may call
-  /// charge/release; it must not call admit().
+  /// callback may call charge/release; it must not call admit() or
+  /// add/remove reclaimers (removeReclaimer from inside a callback
+  /// self-deadlocks on the invoke lock).
   uint64_t addReclaimer(int Priority, std::string Name, ReclaimFn Fn);
+  /// Unregisters \p Id and BLOCKS until every in-flight reclaim pass
+  /// that may have snapshotted the callback has finished invoking it.
+  /// On return the callback will never run again, so the caller can
+  /// safely free any state it captured (this is what lets
+  /// ~RotationKeyCache tear down while another thread is mid-admit()).
   void removeReclaimer(uint64_t Id);
 
   /// Aggregated key-cache telemetry: caches live in the fhe layer, the
@@ -154,6 +161,10 @@ private:
     ReclaimFn Fn;
   };
   mutable std::mutex ReclaimerMutex; ///< guards the list, not the calls
+  /// Held shared across each reclaim pass (snapshot + callback calls),
+  /// exclusively by removeReclaimer: removal synchronizes with in-flight
+  /// invocations so a removed callback's state can be freed immediately.
+  mutable std::shared_mutex InvokeMutex;
   std::vector<Reclaimer> Reclaimers; ///< kept sorted by Priority
   uint64_t NextReclaimerId = 1;
 };

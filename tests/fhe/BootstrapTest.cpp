@@ -7,6 +7,7 @@
 #include "fhe/Bootstrapper.h"
 
 #include "fhe/Encryptor.h"
+#include "support/FaultInjector.h"
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -142,6 +143,49 @@ TEST_F(BootstrapFixture, DepthCostIsStable) {
   int Depth = Boot->depthCost();
   EXPECT_GT(Depth, 5);
   EXPECT_LE(Depth, 26);
+}
+
+/// Lazy (cache-backed) sessions bootstrap through the checked tier:
+/// checkedBootstrap materializes every rotation/Galois key up front, so
+/// a governor refusal comes back in-band as ResourceExhausted BEFORE the
+/// unchecked hot tier runs (where a lazy-keygen failure is a fatal
+/// abort), and once the keys materialize the refresh works normally.
+TEST_F(BootstrapFixture, LazyKeyBudgetRefusalShedsInBandBeforeBootstrap) {
+  build(16);
+  // Cache-backed twin of the fixture's evaluator: relin + conjugation
+  // stay eager, every rotation/Galois key is declared only and
+  // materializes through the governor on first use.
+  RotationKeyCache Cache(*Ctx, *Gen);
+  EvalKeys LazyKeys;
+  Gen->fillEvalKeys(LazyKeys, {}, /*NeedRelin=*/true,
+                    /*NeedConjugate=*/true);
+  Evaluator LazyEval(*Ctx, *Enc, LazyKeys, &Cache);
+  Bootstrapper LazyBoot(LazyEval, BootstrapConfig{
+                                      /*RangeK=*/12,
+                                      /*DoubleAngleCount=*/2,
+                                      /*ChebyshevDegree=*/39,
+                                      /*ArcsineCorrection=*/true,
+                                  });
+  for (uint64_t G : LazyBoot.requiredGaloisElements())
+    Cache.declareGalois(G);
+  for (int64_t S : LazyBoot.requiredRotations())
+    Cache.declareRotation(S);
+
+  std::vector<double> X(Ctx->slots(), 0.3);
+  Ciphertext Ct = Encrypt->encryptValues(*Enc, X, 1);
+
+  FaultInjector::instance().arm(FaultKind::BudgetExceeded, /*Count=*/1);
+  auto Refused = LazyBoot.checkedBootstrap(Ct, 3);
+  FaultInjector::instance().reset();
+  ASSERT_FALSE(Refused.ok());
+  EXPECT_EQ(Refused.status().code(), ErrorCode::ResourceExhausted);
+
+  auto Ok = LazyBoot.checkedBootstrap(Ct, 3);
+  ASSERT_TRUE(Ok.ok()) << Ok.status().message();
+  EXPECT_EQ(Ok->numQ(), 3u);
+  auto Out = Decrypt->decryptRealValues(*Enc, *Ok);
+  for (size_t I = 0; I < X.size(); ++I)
+    EXPECT_NEAR(Out[I], 0.3, 2e-2);
 }
 
 } // namespace

@@ -172,6 +172,31 @@ TEST_F(KeyCacheTest, RedeclarationWidensTruncation) {
   EXPECT_EQ((*Wide)->Parts.size(), Ctx->chainLength());
 }
 
+TEST_F(KeyCacheTest, GaloisRedeclarationWidensAndNeverNarrows) {
+  // Raw Galois declarations (bootstrap SubSum, conjugation) follow the
+  // same widen-and-invalidate rule as rotations: a key cached at a
+  // narrower truncation must not keep serving once a deeper use is
+  // declared — the hot tier's depth assert is compiled out in release.
+  uint64_t G = galoisForConjugation(Ctx->degree());
+  Cache->declareGalois(G, /*MaxNumQ=*/3);
+  auto Narrow = Cache->get(G);
+  ASSERT_TRUE(Narrow.ok());
+  EXPECT_EQ((*Narrow)->Parts.size(), 3u);
+  *Narrow = nullptr; // unpin so the widening can drop it
+
+  Cache->declareGalois(G, /*MaxNumQ=*/0);
+  auto Wide = Cache->get(G);
+  ASSERT_TRUE(Wide.ok());
+  EXPECT_EQ((*Wide)->Parts.size(), Ctx->chainLength());
+  *Wide = nullptr;
+
+  // A later narrower declaration keeps the full-depth key resident.
+  Cache->declareGalois(G, /*MaxNumQ=*/2);
+  auto Kept = Cache->get(G);
+  ASSERT_TRUE(Kept.ok());
+  EXPECT_EQ((*Kept)->Parts.size(), Ctx->chainLength());
+}
+
 TEST_F(KeyCacheTest, BudgetRefusalIsResourceExhaustedNotACrash) {
   Cache->declareRotation(7);
   std::vector<double> X = randomSlots(11);

@@ -10,6 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
 #include <vector>
 
 using namespace ace;
@@ -51,6 +55,15 @@ TEST_F(ResourceGovernorTest, ParseByteSize) {
   EXPECT_FALSE(parseByteSize("-5", Out));
   EXPECT_FALSE(parseByteSize("12q", Out));
   EXPECT_FALSE(parseByteSize("m", Out));
+  // Overflow must be rejected, not silently wrapped: 2^34 gibibytes
+  // would multiply to 2^64 and truncate to 0 (= unlimited).
+  EXPECT_FALSE(parseByteSize("17179869184g", Out));
+  EXPECT_FALSE(parseByteSize("18014398509481984k", Out));
+  // Past ULLONG_MAX strtoull clamps; errno catches it.
+  EXPECT_FALSE(parseByteSize("99999999999999999999999", Out));
+  // The largest representable value still parses.
+  EXPECT_TRUE(parseByteSize("18446744073709551615", Out));
+  EXPECT_EQ(Out, SIZE_MAX);
 }
 
 TEST_F(ResourceGovernorTest, ChargeReleaseClampsAtZero) {
@@ -130,6 +143,37 @@ TEST_F(ResourceGovernorTest, RemovedReclaimerIsNeverCalled) {
   Gov.removeReclaimer(Id);
   EXPECT_FALSE(Gov.admit(64, "x").ok());
   EXPECT_FALSE(Called);
+}
+
+TEST_F(ResourceGovernorTest, RemoveReclaimerWaitsForInFlightInvocation) {
+  ResourceGovernor &Gov = ResourceGovernor::instance();
+  Gov.setBudgetBytes(1024);
+  Gov.charge(MemCategory::Other, 2048); // every admit reclaims then sheds
+
+  // State the callback touches late in its run, freed right after
+  // removeReclaimer returns. If removal did not drain the in-flight
+  // invocation this is a use-after-free (ASan) and a data race (TSan);
+  // the deterministic check below also fails on plain builds.
+  auto State = std::make_unique<std::atomic<int>>(0);
+  std::atomic<int> *Raw = State.get();
+  std::atomic<bool> Entered{false};
+  uint64_t Id =
+      Gov.addReclaimer(0, "slow", [&Entered, Raw](size_t) -> size_t {
+        Entered.store(true, std::memory_order_release);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        Raw->store(1, std::memory_order_relaxed);
+        return 0;
+      });
+
+  std::thread Admitter([&Gov] { (void)Gov.admit(64, "pressure"); });
+  while (!Entered.load(std::memory_order_acquire))
+    std::this_thread::yield();
+  // Mid-invocation removal: must block until the callback returns.
+  Gov.removeReclaimer(Id);
+  EXPECT_EQ(Raw->load(std::memory_order_relaxed), 1)
+      << "removeReclaimer returned while the callback was still running";
+  State.reset(); // what ~RotationKeyCache does with the cache itself
+  Admitter.join();
 }
 
 TEST_F(ResourceGovernorTest, BudgetExceededFaultForcesShedPath) {
