@@ -72,14 +72,15 @@ inline air::CompileOptions benchOptions(uint64_t Seed = 13) {
 }
 
 /// Parses `--models=N`, `--images=N`, `--all`, `--threads=N`,
-/// `--thread-sweep`, `--json=PATH` style flags. A positive --threads is
-/// applied to the process-wide pool immediately (see
-/// support/ThreadPool.h); otherwise the ACE_THREADS default stands.
+/// `--thread-sweep`, `--pipeline-sweep`, `--json=PATH` style flags. A
+/// positive --threads is applied to the process-wide pool immediately
+/// (see support/ThreadPool.h); otherwise the ACE_THREADS default stands.
 struct BenchArgs {
   size_t Models;
   size_t Images;
   int Threads = 0;
   bool ThreadSweep = false;
+  bool PipelineSweep = false;
   std::string JsonPath;
   BenchArgs(int Argc, char **Argv, size_t DefaultModels,
             size_t DefaultImages)
@@ -95,6 +96,8 @@ struct BenchArgs {
         Threads = std::atoi(Argv[I] + 10);
       else if (!std::strcmp(Argv[I], "--thread-sweep"))
         ThreadSweep = true;
+      else if (!std::strcmp(Argv[I], "--pipeline-sweep"))
+        PipelineSweep = true;
       else if (!std::strncmp(Argv[I], "--json=", 7))
         JsonPath = Argv[I] + 7;
     }

@@ -8,8 +8,11 @@
 // --all or --models=N for the full sweep. --thread-sweep instead runs
 // the MLP end-to-end at 1/2/4/8 worker threads, verifies the decrypted
 // logits are bit-identical at every count, and reports the speedup
-// (docs/performance.md quotes this table). --json=PATH writes either
-// mode's numbers with git-rev/build-type/threads metadata.
+// (docs/performance.md quotes this table). --pipeline-sweep compiles
+// the MLP under each rescale-placement mode and packing strategy
+// (docs/compiler.md) and reports compiled op budgets plus measured
+// per-image seconds per policy. --json=PATH writes any mode's numbers
+// with git-rev/build-type/threads metadata.
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -146,12 +149,85 @@ int runThreadSweep(const std::string &JsonPath) {
   return 0;
 }
 
+// Compiles the MLP under each rescale-placement policy (packing pinned
+// to bsgs) and, under lazy placement, each packing strategy, then runs
+// one encrypted image per policy. The compiled rescale/relin budget is
+// the headline (EXPERIMENTS.md quotes it); the measured seconds show
+// the runtime saving the removed ops buy.
+int runPipelineSweep(const std::string &JsonPath) {
+  const int Classes = 6;
+  onnx::Model Model = nn::buildMlp({24, 16, 12, Classes}, 31);
+  nn::Dataset Data = nn::makeSyntheticDataset({1, 24}, Classes,
+                                              /*Count=*/8,
+                                              /*NoiseSigma=*/0.1, 77);
+
+  struct Leg {
+    RescaleMode Rescale;
+    PackingStrategy Packing;
+  };
+  const Leg Legs[] = {
+      {RescaleMode::RM_Eager, PackingStrategy::PS_Bsgs},
+      {RescaleMode::RM_Waterline, PackingStrategy::PS_Bsgs},
+      {RescaleMode::RM_Lazy, PackingStrategy::PS_Bsgs},
+      {RescaleMode::RM_Lazy, PackingStrategy::PS_Diag},
+      {RescaleMode::RM_Lazy, PackingStrategy::PS_Column},
+  };
+
+  std::printf("=== Pipeline policy sweep: MLP encrypted inference ===\n");
+  std::printf("%10s %-7s | %8s %8s %8s | %8s %9s\n", "rescale", "packing",
+              "rescales", "relins", "rotates", "seconds", "vs eager");
+  std::string Rows;
+  double EagerSeconds = 0;
+  for (const Leg &L : Legs) {
+    air::CompileOptions Opt = benchOptions();
+    Opt.Rescale = L.Rescale;
+    Opt.Packing = L.Packing;
+    auto R = compileOrDie(Model, Data, Opt);
+    codegen::CkksExecutor Exec(R->Program, R->State);
+    if (Status S = Exec.setup()) {
+      std::fprintf(stderr, "setup failed: %s\n", S.message().c_str());
+      return 1;
+    }
+    WallTimer Clock;
+    auto Logits = Exec.infer(Data.Images[0]);
+    if (!Logits.ok()) {
+      std::fprintf(stderr, "inference failed under %s/%s: %s\n",
+                   rescaleModeName(L.Rescale),
+                   packingStrategyName(L.Packing),
+                   Logits.status().message().c_str());
+      return 1;
+    }
+    double Seconds = Clock.seconds();
+    if (L.Rescale == RescaleMode::RM_Eager)
+      EagerSeconds = Seconds;
+    const air::CkksOpBudget &B = R->State.Budget;
+    std::printf("%10s %-7s | %8zu %8zu %8zu | %8.2f %8.2fx\n",
+                rescaleModeName(L.Rescale), packingStrategyName(L.Packing),
+                B.Rescale, B.Relinearize, B.Rotate, Seconds,
+                EagerSeconds / Seconds);
+    char Row[256];
+    std::snprintf(Row, sizeof(Row),
+                  "%s{\"pipeline\": {\"rescale\": \"%s\", "
+                  "\"packing\": \"%s\"}, \"budget\": {\"rescale\": %zu, "
+                  "\"relin\": %zu, \"rotate\": %zu}, \"seconds\": %.4f}",
+                  Rows.empty() ? "" : ",\n  ", rescaleModeName(L.Rescale),
+                  packingStrategyName(L.Packing), B.Rescale, B.Relinearize,
+                  B.Rotate, Seconds);
+    Rows += Row;
+  }
+  if (!JsonPath.empty())
+    writeBenchJson(JsonPath, "fig6_pipeline_sweep", "[" + Rows + "]");
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   BenchArgs Args(argc, argv, /*DefaultModels=*/2, /*DefaultImages=*/1);
   if (Args.ThreadSweep)
     return runThreadSweep(Args.JsonPath);
+  if (Args.PipelineSweep)
+    return runPipelineSweep(Args.JsonPath);
   auto Models = buildPaperModels(Args.Models);
   telemetry::Telemetry::instance().setEnabled(true);
 

@@ -13,9 +13,13 @@
 // by an automatically placed bootstrap.
 //
 // Run: ./encrypted_mlp [--telemetry-report[=json]] [--threads=N]
-//                       [--metrics-dump=FILE]
+//                       [--metrics-dump=FILE] [--rescale=MODE]
+//                       [--packing=STRATEGY]
 //   ACE_TRACE=trace.json ./encrypted_mlp   # chrome://tracing span dump
 //   --metrics-dump writes the Prometheus exposition on exit
+//   --rescale: eager | waterline | lazy (default: ACE_LAZY_RESCALE,
+//     then waterline); --packing: auto | diag | bsgs | column (default:
+//     ACE_PACKING, then the per-layer cost model). See docs/compiler.md.
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +27,7 @@
 #include "driver/AceCompiler.h"
 #include "nn/ModelZoo.h"
 #include "support/MetricsRegistry.h"
+#include "support/PipelineConfig.h"
 #include "support/Telemetry.h"
 
 #include <cstdio>
@@ -37,6 +42,8 @@ int main(int argc, char **argv) {
   bool Report = false, ReportJson = false;
   int Threads = 0;
   std::string MetricsDump;
+  RescaleMode Rescale = RescaleMode::RM_Auto;
+  PackingStrategy Packing = PackingStrategy::PS_Auto;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--telemetry-report") == 0)
       Report = true;
@@ -46,6 +53,18 @@ int main(int argc, char **argv) {
       Threads = std::atoi(argv[I] + 10);
     else if (std::strncmp(argv[I], "--metrics-dump=", 15) == 0)
       MetricsDump = argv[I] + 15;
+    else if (std::strncmp(argv[I], "--rescale=", 10) == 0) {
+      if (!parseRescaleMode(argv[I] + 10, Rescale)) {
+        std::fprintf(stderr, "unknown --rescale mode '%s'\n", argv[I] + 10);
+        return 2;
+      }
+    } else if (std::strncmp(argv[I], "--packing=", 10) == 0) {
+      if (!parsePackingStrategy(argv[I] + 10, Packing)) {
+        std::fprintf(stderr, "unknown --packing strategy '%s'\n",
+                     argv[I] + 10);
+        return 2;
+      }
+    }
   }
   if (Report || !MetricsDump.empty())
     telemetry::Telemetry::instance().setEnabled(true);
@@ -62,6 +81,8 @@ int main(int argc, char **argv) {
 
   air::CompileOptions Opt;
   Opt.NumThreads = Threads; // 0 keeps the ACE_THREADS default
+  Opt.Rescale = Rescale;    // RM_Auto keeps the ACE_LAZY_RESCALE default
+  Opt.Packing = Packing;    // PS_Auto keeps the ACE_PACKING default
   driver::AceCompiler Compiler(Opt);
   auto Result = Compiler.compile(Model, Data.Images);
   if (!Result.ok()) {
@@ -74,6 +95,18 @@ int main(int argc, char **argv) {
               "%zu rotation steps\n",
               R.PhaseNodeCounts["CKKS"], R.State.BootstrapCount,
               R.State.MaxComputeDepth, R.State.RotationSteps.size());
+  std::printf("pipeline: rescale=%s ops[rescale=%zu relin=%zu rotate=%zu "
+              "ctct=%zu ctpt=%zu]\n",
+              rescaleModeName(R.State.ResolvedRescale), R.State.Budget.Rescale,
+              R.State.Budget.Relinearize, R.State.Budget.Rotate,
+              R.State.Budget.CtCtMul, R.State.Budget.CtPtMul);
+  for (const auto &D : R.State.PackingDecisions)
+    std::printf("  gemm %-8s -> %-6s%s (rot %zu, keys %zu, muls %zu, "
+                "depth %zu)\n",
+                D.Layer.c_str(), packingStrategyName(D.Strategy),
+                D.Forced ? (D.Fallback ? " [forced, fell back]" : " [forced]")
+                         : "",
+                D.Rotations, D.RotationKeys, D.CtPtMuls, D.RescaleDepth);
 
   codegen::CkksExecutor Exec(R.Program, R.State);
   if (Status S = Exec.setup()) {

@@ -16,6 +16,10 @@ Three invariants:
      of src/support/ResourceGovernor.h (governor methods, GovernorStats
      helpers, the free parsing/naming functions) is mentioned by name
      in docs/memory.md.
+  5. Same for the compiler pipeline-policy contract: every public entry
+     point of src/support/PipelineConfig.h (knob enums, parse/resolve
+     functions, the ACE_LAZY_RESCALE / ACE_PACKING environment
+     variables) is mentioned by name in docs/compiler.md.
 
 Exits nonzero listing every violation.
 """
@@ -124,6 +128,30 @@ def check_governor_doc():
             for name in governor_entry_points() if name not in text]
 
 
+def pipeline_entry_points():
+    """Public names of the compiler pipeline-policy contract: the free
+    functions of src/support/PipelineConfig.h plus the knob enum values
+    and the environment variables they resolve from."""
+    header = (ROOT / "src/support/PipelineConfig.h").read_text()
+    names = set(m for m in FREE_FUNCTION.findall(header)
+                if m not in ("namespace", "endif", "include", "define",
+                             "ifndef"))
+    names.update(re.findall(r"\b(RM_\w+|PS_\w+)\b", header))
+    names.update(("ACE_LAZY_RESCALE", "ACE_PACKING"))
+    return sorted(names - GENERIC_NAMES)
+
+
+def check_pipeline_doc():
+    doc = ROOT / "docs/compiler.md"
+    if not doc.exists():
+        return ["docs/compiler.md: missing (the pipeline policy contract "
+                "must be documented)"]
+    text = doc.read_text()
+    return [f"docs/compiler.md: pipeline entry point '{name}' from "
+            "src/support/PipelineConfig.h is not documented"
+            for name in pipeline_entry_points() if name not in text]
+
+
 def main():
     errors = []
     readme = (ROOT / "README.md").read_text()
@@ -135,16 +163,19 @@ def main():
         errors.extend(check_links(path))
     errors.extend(check_backend_doc())
     errors.extend(check_governor_doc())
+    errors.extend(check_pipeline_doc())
     if errors:
         print("\n".join(errors), file=sys.stderr)
         return 1
     count = len(markdown_files())
     entry_points = len(backend_entry_points())
     governor_points = len(governor_entry_points())
+    pipeline_points = len(pipeline_entry_points())
     print(f"docs check OK: {count} markdown files, all docs/ pages "
           "indexed, all relative links resolve, all "
-          f"{entry_points} poly-backend and {governor_points} "
-          "memory-governance entry points documented")
+          f"{entry_points} poly-backend, {governor_points} "
+          f"memory-governance and {pipeline_points} pipeline-policy "
+          "entry points documented")
     return 0
 
 

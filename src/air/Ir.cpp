@@ -383,16 +383,48 @@ ace::air::verifyFunction(const IrFunction &F,
                  "mul requires Cipher x (Cipher|Plain)");
       break;
     case NodeKind::NK_CkksMul:
-      // ct*ct yields Cipher3 (paper Table 6); ct*pt stays Cipher.
+      // ct*ct yields Cipher3 (paper Table 6); ct*pt keeps the operand's
+      // degree (the lazy pipeline multiplies plaintexts into deferred
+      // Cipher3 values, see docs/compiler.md).
       if (N->Operands.size() == 2 &&
           N->Operands[1]->Type == TypeKind::TK_Cipher)
-        S = Expect(N->Type == TypeKind::TK_Cipher3,
-                   "ciphertext product must produce Cipher3");
+        S = Expect(N->Operands[0]->Type == TypeKind::TK_Cipher &&
+                       N->Type == TypeKind::TK_Cipher3,
+                   "ciphertext product must be Cipher x Cipher -> Cipher3");
       else
         S = Expect(N->Operands.size() == 2 &&
                        N->Operands[1]->Type == TypeKind::TK_Plain &&
-                       N->Type == TypeKind::TK_Cipher,
-                   "plaintext product must produce Cipher");
+                       N->Type == N->Operands[0]->Type &&
+                       (N->Type == TypeKind::TK_Cipher ||
+                        N->Type == TypeKind::TK_Cipher3),
+                   "plaintext product must keep the ciphertext operand's "
+                   "degree");
+      break;
+    case NodeKind::NK_CkksAdd:
+    case NodeKind::NK_CkksSub:
+      // Additions carry the widest operand degree so a deferred (fused)
+      // relinearization downstream sees a Cipher3-typed value.
+      if (N->Operands.size() == 2 &&
+          N->Operands[1]->Type != TypeKind::TK_Plain) {
+        bool AnyC3 = N->Operands[0]->Type == TypeKind::TK_Cipher3 ||
+                     N->Operands[1]->Type == TypeKind::TK_Cipher3;
+        S = Expect(N->Type == (AnyC3 ? TypeKind::TK_Cipher3
+                                     : TypeKind::TK_Cipher),
+                   "add/sub must carry the widest operand degree");
+      } else {
+        S = Expect(N->Operands.size() == 2 &&
+                       N->Type == N->Operands[0]->Type,
+                   "plaintext add/sub must keep the ciphertext operand's "
+                   "degree");
+      }
+      break;
+    case NodeKind::NK_CkksMulConst:
+    case NodeKind::NK_CkksAddConst:
+      S = Expect(N->Operands.size() == 1 &&
+                     N->Type == N->Operands[0]->Type &&
+                     (N->Type == TypeKind::TK_Cipher ||
+                      N->Type == TypeKind::TK_Cipher3),
+                 "scalar ops must keep the ciphertext operand's degree");
       break;
     case NodeKind::NK_CkksRelin:
       S = Expect(N->Operands.size() == 1 &&

@@ -20,6 +20,7 @@
 #include "air/Layout.h"
 #include "fhe/Context.h"
 #include "onnx/Model.h"
+#include "support/PipelineConfig.h"
 #include "support/Telemetry.h"
 #include "support/Timer.h"
 
@@ -50,7 +51,17 @@ struct CompileOptions {
   /// Disable optimizations for ablation studies and the Expert baseline.
   bool EnableRotationKeyAnalysis = true;
   bool EnableMinimalBootstrapLevel = true;
+  /// Legacy ablation switch: false forces RescaleMode::RM_Eager (the
+  /// Expert baseline settles and relinearizes at every producer).
   bool EnableRescalePlacement = true;
+  /// Rescale/relinearize placement policy of the SIHE->CKKS lowering
+  /// (docs/compiler.md). RM_Auto resolves through the process default,
+  /// then ACE_LAZY_RESCALE, then the builtin waterline policy.
+  RescaleMode Rescale = RescaleMode::RM_Auto;
+  /// Matrix-vector packing strategy of the NN->VECTOR lowering. PS_Auto
+  /// resolves through the process default, then ACE_PACKING; an Auto
+  /// result means the per-layer cost model chooses.
+  PackingStrategy Packing = PackingStrategy::PS_Auto;
   /// Extra chain levels a hand implementation budgets conservatively
   /// (0 under compiler-driven parameter selection).
   int ExpertMarginLevels = 0;
@@ -65,10 +76,52 @@ struct CompileOptions {
   int NumThreads = 0;
 };
 
+/// Per-layer packing choice made by the NN->VECTOR cost model
+/// (docs/compiler.md). One record per lowered gemm, in program order.
+struct PackingDecision {
+  /// NN-level layer name (the gemm's output value).
+  std::string Layer;
+  /// The strategy actually lowered.
+  PackingStrategy Strategy = PackingStrategy::PS_Bsgs;
+  /// True when the knob forced the strategy (no cost comparison ran).
+  bool Forced = false;
+  /// True when a forced strategy was ineligible (e.g. column on a
+  /// spatial layout) and the lowering fell back to Strategy.
+  bool Fallback = false;
+  /// Modeled cost per candidate (arbitrary units; lower is better).
+  /// A negative value marks the candidate ineligible for this layer.
+  double CostDiag = -1.0, CostBsgs = -1.0, CostColumn = -1.0;
+  /// Modeled op footprint of the chosen strategy.
+  size_t Rotations = 0, CtPtMuls = 0, RotationKeys = 0, RescaleDepth = 0;
+};
+
+/// Static op budget of the lowered CKKS program: node counts by kind,
+/// recorded by the SIHE->CKKS lowering. Executed telemetry adds the
+/// bootstrap internals on top of these (tests/passes/OpBudgetTest.cpp
+/// pins both).
+struct CkksOpBudget {
+  size_t Rescale = 0;
+  size_t Relinearize = 0;
+  size_t Rotate = 0;
+  size_t ModSwitch = 0;
+  size_t CtCtMul = 0;
+  size_t CtPtMul = 0;
+  size_t Bootstrap = 0;
+};
+
 /// State threaded through the whole pipeline.
 struct CompileState {
   CompileOptions Options;
   const onnx::Model *Model = nullptr;
+
+  /// Concrete pipeline knobs after resolution (driver/AceCompiler fills
+  /// these before the passes run; ResolvedRescale is never RM_Auto).
+  RescaleMode ResolvedRescale = RescaleMode::RM_Waterline;
+  PackingStrategy ResolvedPacking = PackingStrategy::PS_Auto;
+  /// Per-gemm packing decisions (NN->VECTOR cost model).
+  std::vector<PackingDecision> PackingDecisions;
+  /// Static CKKS op budget of the compiled program.
+  CkksOpBudget Budget;
 
   /// Shapes for every ONNX value (filled by the frontend).
   std::map<std::string, std::vector<int64_t>> Shapes;

@@ -141,6 +141,19 @@ struct GraphBuilder {
     return Out;
   }
 
+  std::string avgPool(const std::string &In, int64_t K) {
+    std::string Out = fresh("pool");
+    Node N;
+    N.Kind = OpKind::OK_AveragePool;
+    N.Name = Out;
+    N.Inputs = {In};
+    N.Outputs = {Out};
+    N.Attributes["kernel_shape"] = Attribute{{K, K}, {}};
+    N.Attributes["strides"] = Attribute{{K, K}, {}};
+    G.Nodes.push_back(std::move(N));
+    return Out;
+  }
+
   std::string gemm(const std::string &In, int64_t C, int64_t K,
                    const std::string &Name) {
     std::string Out = Name;
@@ -187,6 +200,37 @@ Model ace::nn::buildMlp(const std::vector<int64_t> &Dims, uint64_t Seed) {
       Cur = B.unary(OpKind::OK_Relu, Cur, "act");
   }
   G.Outputs.push_back({Cur, {1, Dims.back()}});
+  return M;
+}
+
+Model ace::nn::buildLeNet(int64_t Classes, uint64_t Seed) {
+  Model M;
+  M.ProducerName = "lenet";
+  Graph &G = M.MainGraph;
+  G.Name = "lenet";
+  G.Inputs.push_back({"image", {1, 1, 8, 8}});
+  GraphBuilder B{G, Rng(Seed)};
+  // Feature stack: the packed layout stays spatial, so the classifier
+  // head reduces each channel to its base slot (global average) before
+  // the flatten - the slot-packing analogue of LeNet's flatten.
+  std::string Cur = B.conv("image", 1, 4, 3, 1, 1);
+  Cur = B.unary(OpKind::OK_Relu, Cur, "act");
+  Cur = B.avgPool(Cur, 2);
+  Cur = B.conv(Cur, 4, 8, 3, 1, 1);
+  Cur = B.unary(OpKind::OK_Relu, Cur, "act");
+  Cur = B.avgPool(Cur, 2);
+  Cur = B.unary(OpKind::OK_GlobalAveragePool, Cur, "gap");
+  Cur = B.unary(OpKind::OK_Flatten, Cur, "flat");
+  // Head widths stay within the conv stack's channel count (8): a wider
+  // flat layer would pad the channel grid past the logical channels, and
+  // the garbage the conv fan leaves there exceeds the bootstrap range of
+  // the following ReLU (bootstrapping is not slot-local; see
+  // docs/compiler.md "Layout legality").
+  assert(Classes <= 8 && "lenet head is capped by the channel capacity");
+  Cur = B.gemm(Cur, 8, 8, "fc1");
+  Cur = B.unary(OpKind::OK_Relu, Cur, "act");
+  Cur = B.gemm(Cur, 8, Classes, "fc2");
+  G.Outputs.push_back({Cur, {1, Classes}});
   return M;
 }
 

@@ -52,6 +52,13 @@ onnx::Model buildLinearInfer(uint64_t Seed);
 /// A gemm/relu MLP with the given layer widths (first = input dim).
 onnx::Model buildMlp(const std::vector<int64_t> &Dims, uint64_t Seed);
 
+/// A LeNet-shaped convnet at toy scale: two conv/relu/avgpool stages, a
+/// global spatial average, then two fully connected layers. Mixes the
+/// channel-mode gemm path (conv feature stack) with the nonlinear path,
+/// so op-budget contracts pin both. Classifies 8x8 single-channel
+/// images into \p Classes classes.
+onnx::Model buildLeNet(int64_t Classes, uint64_t Seed);
+
 /// Nano-ResNet configuration (CIFAR-style topology at reduced scale).
 struct NanoResNetSpec {
   std::string Name = "nano-resnet-20";

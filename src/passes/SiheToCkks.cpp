@@ -36,25 +36,69 @@ int levelCost(const IrNode *N) {
              : 0;
 }
 
-/// Forward rebuild state.
+/// Forward rebuild state. The rescale-mode legality rules this builder
+/// implements are documented in docs/compiler.md; the three policies are:
+///
+///  - RM_Eager: settle the pending rescale (and relinearize) immediately
+///    after every producer. Every mapped value is canonical.
+///  - RM_Waterline: the historical default. One rescale per value is
+///    postponed (scale Delta^2 "waterline") and settled, unmemoized, at
+///    every consumer that cannot take a pending operand: a value read by
+///    several such consumers is re-settled per consumer.
+///  - RM_Lazy: last-responsible-moment placement. Settles, level drops,
+///    and relinearizations are memoized (CSE over scale management),
+///    degree-3 products flow through additions / scalar ops / ct-pt
+///    multiplies, and canonical form (scale Delta, degree 2) is demanded
+///    only at rotations, ct-ct multiply operands, bootstrap inputs, and
+///    the return value.
 struct CkksBuilder {
   IrFunction &Out;
   CompileState &State;
+  RescaleMode Mode;
   std::map<const IrNode *, IrNode *> Map;
   std::map<IrNode *, size_t> NumQ;
   std::map<IrNode *, bool> Pending; ///< scale Delta*q, rescale postponed
+  std::map<IrNode *, int> Degree;   ///< ciphertext components (2 or 3)
+  /// Lazy-mode memoization: each value settles / drops to a given level /
+  /// relinearizes at most once, no matter how many consumers demand it.
+  std::map<IrNode *, IrNode *> SettleCache;
+  std::map<std::pair<IrNode *, size_t>, IrNode *> DropCache;
+  std::map<IrNode *, IrNode *> RelinCache;
 
-  /// Emits the postponed rescale (waterline policy).
-  IrNode *settle(IrNode *V) {
-    if (!Pending[V])
-      return V;
+  int degreeOf(IrNode *V) {
+    auto It = Degree.find(V);
+    return It == Degree.end() ? 2 : It->second;
+  }
+
+  IrNode *makeRescale(IrNode *V) {
     assert(NumQ[V] >= 2 && "rescale would drop the base modulus");
     IrNode *R = Out.create(NodeKind::NK_CkksRescale, V->Type, {V},
                            V->Origin);
     NumQ[R] = NumQ[V] - 1;
     Pending[R] = false;
+    Degree[R] = degreeOf(V);
     R->CkksLevel = static_cast<int>(NumQ[R]) - 1;
     return R;
+  }
+
+  /// Emits the postponed rescale. Memoized under RM_Lazy; the waterline
+  /// policy re-settles per consumer (its historical behavior).
+  IrNode *settle(IrNode *V) {
+    if (Mode != RescaleMode::RM_Lazy)
+      return Pending[V] ? makeRescale(V) : V;
+    IrNode *S = V;
+    if (Pending[V]) {
+      auto [It, Inserted] = SettleCache.try_emplace(V, nullptr);
+      if (Inserted)
+        It->second = makeRescale(V);
+      S = It->second;
+    }
+    // Canonical forwarding: once some consumer has relinearized this
+    // settled value, every later consumer takes the degree-2 form —
+    // same scale, lower degree, and downstream sums stop re-carrying
+    // (and re-relinearizing) the third component.
+    auto RIt = RelinCache.find(S);
+    return RIt != RelinCache.end() ? RIt->second : S;
   }
 
   /// Mod-switches \p V down to \p Target active primes.
@@ -62,14 +106,49 @@ struct CkksBuilder {
     if (NumQ[V] == Target)
       return V;
     assert(NumQ[V] > Target && "cannot raise a level without bootstrapping");
+    if (Mode == RescaleMode::RM_Lazy) {
+      auto [It, Inserted] = DropCache.try_emplace({V, Target}, nullptr);
+      if (!Inserted)
+        return It->second;
+      It->second = makeDrop(V, Target);
+      return It->second;
+    }
+    return makeDrop(V, Target);
+  }
+
+  IrNode *makeDrop(IrNode *V, size_t Target) {
     IrNode *M = Out.create(NodeKind::NK_CkksModSwitch, V->Type, {V},
                            V->Origin);
     M->Ints = {static_cast<int64_t>(Target)};
     NumQ[M] = Target;
     Pending[M] = Pending[V];
+    Degree[M] = degreeOf(V);
     M->CkksLevel = static_cast<int>(Target) - 1;
     return M;
   }
+
+  /// Reduces a degree-3 product back to two components. Memoized; only
+  /// RM_Lazy ever sees a degree-3 value here (the other modes
+  /// relinearize at the producing multiply).
+  IrNode *relin(IrNode *V) {
+    if (degreeOf(V) == 2)
+      return V;
+    auto [It, Inserted] = RelinCache.try_emplace(V, nullptr);
+    if (!Inserted)
+      return It->second;
+    IrNode *R = Out.create(NodeKind::NK_CkksRelin, TypeKind::TK_Cipher, {V},
+                           V->Origin);
+    NumQ[R] = NumQ[V];
+    Pending[R] = Pending[V];
+    Degree[R] = 2;
+    R->CkksLevel = static_cast<int>(NumQ[R]) - 1;
+    It->second = R;
+    return R;
+  }
+
+  /// Canonical form: scale Delta, degree 2. Settling first relinearizes
+  /// at the lower level, which shortens the key-switch.
+  IrNode *canonical(IrNode *V) { return relin(settle(V)); }
 
   /// Settles mismatched pending states and aligns levels for a binary
   /// ciphertext operation.
@@ -83,9 +162,10 @@ struct CkksBuilder {
     B = dropTo(B, Target);
   }
 
-  IrNode *finish(IrNode *N, size_t Q, bool IsPending) {
+  IrNode *finish(IrNode *N, size_t Q, bool IsPending, int Deg = 2) {
     NumQ[N] = Q;
     Pending[N] = IsPending;
+    Degree[N] = Deg;
     N->CkksLevel = static_cast<int>(Q) - 1;
     N->CkksScale = IsPending ? 2.0 : 1.0; // symbolic: Delta^2 vs Delta
     return N;
@@ -143,8 +223,16 @@ Status SiheToCkksPass::run(IrFunction &F, CompileState &State) {
   }
 
   // --- Forward rebuild ----------------------------------------------------
+  // Resolve the placement policy here (not in the driver) so the pass
+  // behaves identically when driven standalone by tests. The legacy
+  // ablation switch maps to the eager policy.
+  RescaleMode Mode = State.Options.EnableRescalePlacement
+                         ? resolveRescaleMode(State.Options.Rescale)
+                         : RescaleMode::RM_Eager;
+  State.ResolvedRescale = Mode;
+
   IrFunction NewF(F.name());
-  CkksBuilder B{NewF, State, {}, {}, {}};
+  CkksBuilder B{NewF, State, Mode, {}, {}, {}, {}, {}, {}, {}};
   std::map<const IrNode *, IrNode *> Refreshed;
 
   int MaxBootTarget = 0;
@@ -158,7 +246,10 @@ Status SiheToCkksPass::run(IrFunction &F, CompileState &State) {
     if (N->RefreshBefore) {
       const IrNode *XOld = N->Operands[0];
       if (!Refreshed.count(XOld)) {
-        IrNode *X = B.settle(B.Map.at(XOld));
+        // Bootstrapping demands canonical form (degree 2, scale Delta).
+        IrNode *X = Mode == RescaleMode::RM_Lazy
+                        ? B.canonical(B.Map.at(XOld))
+                        : B.settle(B.Map.at(XOld));
         int Target = RefreshNeed.at(XOld) + 1;
         if (!State.Options.EnableMinimalBootstrapLevel) {
           // Expert-style: refresh to the deepest level any ReLU needs,
@@ -204,6 +295,13 @@ Status SiheToCkksPass::run(IrFunction &F, CompileState &State) {
     }
     case NodeKind::NK_SiheRotate: {
       IrNode *X = B.Map.at(N->Operands[0]);
+      // Rotation key-switches a degree-2 ciphertext; under the lazy
+      // policy this is the canonical-form demand point. The memoized
+      // settle hoists one rescale above a rotation fan-out (e.g. the
+      // BSGS baby steps) instead of re-settling per rotation, and
+      // rotating at the settled (lower) level truncates the key.
+      if (Mode == RescaleMode::RM_Lazy)
+        X = B.canonical(X);
       Lowered = NewF.create(NodeKind::NK_CkksRotate, TypeKind::TK_Cipher,
                             {X}, N->Origin);
       Lowered->Ints = N->Ints;
@@ -224,38 +322,62 @@ Status SiheToCkksPass::run(IrFunction &F, CompileState &State) {
       IrNode *A = B.Map.at(N->Operands[0]);
       IrNode *C = B.Map.at(N->Operands[1]);
       if (C->Type == TypeKind::TK_Plain) {
+        // A pending Delta*q scale would make the product doubly pending;
+        // settle first. The lazy policy lets a degree-3 operand through
+        // (plaintext products touch every component independently).
         A = B.settle(A);
-        Lowered = NewF.create(NodeKind::NK_CkksMul, TypeKind::TK_Cipher,
+        Lowered = NewF.create(NodeKind::NK_CkksMul, A->Type, {A, C},
+                              N->Origin);
+        B.finish(Lowered, B.NumQ[A], /*IsPending=*/true, B.degreeOf(A));
+        if (Mode == RescaleMode::RM_Eager)
+          Lowered = B.settle(Lowered);
+      } else if (Mode == RescaleMode::RM_Lazy) {
+        // Ciphertext products need canonical degree-2 operands at the
+        // plain scale; the relinearization of the product itself is
+        // deferred until a consumer demands canonical form, so a sum of
+        // products relinearizes once.
+        A = B.canonical(A);
+        C = B.canonical(C);
+        size_t Target = std::min(B.NumQ[A], B.NumQ[C]);
+        A = B.dropTo(A, Target);
+        C = B.dropTo(C, Target);
+        Lowered = NewF.create(NodeKind::NK_CkksMul, TypeKind::TK_Cipher3,
                               {A, C}, N->Origin);
-        B.finish(Lowered, B.NumQ[A], /*IsPending=*/true);
+        B.finish(Lowered, Target, true, /*Deg=*/3);
+        State.NeedsRelin = true;
       } else {
         B.alignPair(A, C, /*RequireSettled=*/true);
         IrNode *M = NewF.create(NodeKind::NK_CkksMul, TypeKind::TK_Cipher3,
                                 {A, C}, N->Origin);
-        B.finish(M, B.NumQ[A], true);
+        B.finish(M, B.NumQ[A], true, /*Deg=*/3);
         Lowered = NewF.create(NodeKind::NK_CkksRelin, TypeKind::TK_Cipher,
                               {M}, N->Origin);
         B.finish(Lowered, B.NumQ[A], true);
         State.NeedsRelin = true;
+        if (Mode == RescaleMode::RM_Eager)
+          Lowered = B.settle(Lowered);
       }
       break;
     }
     case NodeKind::NK_SiheMulConst: {
       IrNode *A = B.settle(B.Map.at(N->Operands[0]));
-      Lowered = NewF.create(NodeKind::NK_CkksMulConst, TypeKind::TK_Cipher,
-                            {A}, N->Origin);
+      Lowered = NewF.create(NodeKind::NK_CkksMulConst, A->Type, {A},
+                            N->Origin);
       Lowered->Scalar = N->Scalar;
-      B.finish(Lowered, B.NumQ[A], true);
+      B.finish(Lowered, B.NumQ[A], true, B.degreeOf(A));
+      if (Mode == RescaleMode::RM_Eager)
+        Lowered = B.settle(Lowered);
       break;
     }
     case NodeKind::NK_SiheAddConst: {
       // Constants are added at the ciphertext scale; settle a pending
-      // Delta^2 scale first so the integer constant stays within range.
+      // Delta^2 scale first so the integer constant stays within range
+      // (the runtime encodes |value * Scale| < 2^62).
       IrNode *A = B.settle(B.Map.at(N->Operands[0]));
-      Lowered = NewF.create(NodeKind::NK_CkksAddConst, TypeKind::TK_Cipher,
-                            {A}, N->Origin);
+      Lowered = NewF.create(NodeKind::NK_CkksAddConst, A->Type, {A},
+                            N->Origin);
       Lowered->Scalar = N->Scalar;
-      B.finish(Lowered, B.NumQ[A], B.Pending[A]);
+      B.finish(Lowered, B.NumQ[A], B.Pending[A], B.degreeOf(A));
       break;
     }
     case NodeKind::NK_SiheAdd:
@@ -269,13 +391,31 @@ Status SiheToCkksPass::run(IrFunction &F, CompileState &State) {
         // Plaintexts are encoded at the ciphertext scale; a pending
         // Delta^2 scale would overflow the encoder, so settle first.
         A = B.settle(A);
-        Lowered =
-            NewF.create(Kind, TypeKind::TK_Cipher, {A, C}, N->Origin);
-        B.finish(Lowered, B.NumQ[A], B.Pending[A]);
+        Lowered = NewF.create(Kind, A->Type, {A, C}, N->Origin);
+        B.finish(Lowered, B.NumQ[A], B.Pending[A], B.degreeOf(A));
+      } else if (Mode == RescaleMode::RM_Lazy) {
+        // Pending operands add directly: the rescale primes are balanced
+        // around 2^LogScale, so two pending values agree on scale within
+        // the runtime tolerance even at different levels. A settled and
+        // a pending operand differ by a factor ~Delta and must not mix.
+        if (B.Pending[A] != B.Pending[C]) {
+          A = B.settle(A);
+          C = B.settle(C);
+        }
+        size_t Target = std::min(B.NumQ[A], B.NumQ[C]);
+        A = B.dropTo(A, Target);
+        C = B.dropTo(C, Target);
+        int Deg = std::max(B.degreeOf(A), B.degreeOf(C));
+        Lowered = NewF.create(Kind,
+                              Deg == 3 ? TypeKind::TK_Cipher3
+                                       : TypeKind::TK_Cipher,
+                              {A, C}, N->Origin);
+        B.finish(Lowered, Target, B.Pending[A], Deg);
       } else {
-        // Eager-rescale ablation: settle before every addition.
-        bool Eager = !State.Options.EnableRescalePlacement;
-        B.alignPair(A, C, /*RequireSettled=*/Eager);
+        // Eager mode keeps every value settled, so RequireSettled only
+        // normalizes level alignment there.
+        B.alignPair(A, C,
+                    /*RequireSettled=*/Mode == RescaleMode::RM_Eager);
         Lowered =
             NewF.create(Kind, TypeKind::TK_Cipher, {A, C}, N->Origin);
         B.finish(Lowered, B.NumQ[A], B.Pending[A]);
@@ -283,7 +423,10 @@ Status SiheToCkksPass::run(IrFunction &F, CompileState &State) {
       break;
     }
     case NodeKind::NK_Return: {
-      Result = B.settle(B.Map.at(N->Operands[0]));
+      // The decryptor expects canonical form.
+      Result = Mode == RescaleMode::RM_Lazy
+                   ? B.canonical(B.Map.at(N->Operands[0]))
+                   : B.settle(B.Map.at(N->Operands[0]));
       continue;
     }
     default:
@@ -296,6 +439,39 @@ Status SiheToCkksPass::run(IrFunction &F, CompileState &State) {
     return Status::error("SIHE function has no return value");
   NewF.setReturn(Result);
   NewF.renumber();
+
+  // --- Static op budget (tests/passes/OpBudgetTest.cpp) ------------------
+  State.Budget = CkksOpBudget{};
+  for (const auto &NPtr : NewF.nodes()) {
+    switch (NPtr->Kind) {
+    case NodeKind::NK_CkksRescale:
+      ++State.Budget.Rescale;
+      break;
+    case NodeKind::NK_CkksRelin:
+      ++State.Budget.Relinearize;
+      break;
+    case NodeKind::NK_CkksRotate:
+      ++State.Budget.Rotate;
+      break;
+    case NodeKind::NK_CkksModSwitch:
+      ++State.Budget.ModSwitch;
+      break;
+    case NodeKind::NK_CkksBootstrap:
+      ++State.Budget.Bootstrap;
+      break;
+    case NodeKind::NK_CkksMulConst:
+      ++State.Budget.CtPtMul; // scalar products execute as ct-pt muls
+      break;
+    case NodeKind::NK_CkksMul:
+      if (NPtr->Operands[1]->Type == TypeKind::TK_Plain)
+        ++State.Budget.CtPtMul;
+      else
+        ++State.Budget.CtCtMul;
+      break;
+    default:
+      break;
+    }
+  }
 
   // --- Automatic parameter selection (paper Table 10) --------------------
   const CompileOptions &Opt = State.Options;

@@ -1,0 +1,152 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the ANT-ACE reproduction, under the Apache License v2.0 with LLVM
+// Exceptions. See LICENSE for license information.
+// SPDX-License-Identifier: Apache-2.0 WITH LLVM-exception
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/PipelineConfig.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace ace;
+
+namespace {
+
+std::atomic<RescaleMode> ProcessRescale{RescaleMode::RM_Auto};
+std::atomic<PackingStrategy> ProcessPacking{PackingStrategy::PS_Auto};
+
+bool equalsIgnoreCase(const char *A, const char *B) {
+  for (; *A && *B; ++A, ++B)
+    if ((*A | 0x20) != (*B | 0x20))
+      return false;
+  return *A == *B;
+}
+
+void warnOnce(const char *Var, const char *Value, const char *Want) {
+  static std::atomic<bool> Warned{false};
+  if (Warned.exchange(true))
+    return;
+  std::fprintf(stderr, "ace: ignoring unknown %s='%s' (want %s)\n", Var,
+               Value, Want);
+}
+
+} // namespace
+
+const char *ace::rescaleModeName(RescaleMode Mode) {
+  switch (Mode) {
+  case RescaleMode::RM_Auto:
+    return "auto";
+  case RescaleMode::RM_Eager:
+    return "eager";
+  case RescaleMode::RM_Waterline:
+    return "waterline";
+  case RescaleMode::RM_Lazy:
+    return "lazy";
+  }
+  return "auto";
+}
+
+const char *ace::packingStrategyName(PackingStrategy Strategy) {
+  switch (Strategy) {
+  case PackingStrategy::PS_Auto:
+    return "auto";
+  case PackingStrategy::PS_Diag:
+    return "diag";
+  case PackingStrategy::PS_Bsgs:
+    return "bsgs";
+  case PackingStrategy::PS_Column:
+    return "column";
+  }
+  return "auto";
+}
+
+bool ace::parseRescaleMode(const char *Spec, RescaleMode &Out) {
+  if (!Spec)
+    return false;
+  if (equalsIgnoreCase(Spec, "auto")) {
+    Out = RescaleMode::RM_Auto;
+  } else if (equalsIgnoreCase(Spec, "eager")) {
+    Out = RescaleMode::RM_Eager;
+  } else if (equalsIgnoreCase(Spec, "waterline") ||
+             equalsIgnoreCase(Spec, "off") || equalsIgnoreCase(Spec, "0") ||
+             equalsIgnoreCase(Spec, "false")) {
+    Out = RescaleMode::RM_Waterline;
+  } else if (equalsIgnoreCase(Spec, "lazy") ||
+             equalsIgnoreCase(Spec, "on") || equalsIgnoreCase(Spec, "1") ||
+             equalsIgnoreCase(Spec, "true")) {
+    Out = RescaleMode::RM_Lazy;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ace::parsePackingStrategy(const char *Spec, PackingStrategy &Out) {
+  if (!Spec)
+    return false;
+  if (equalsIgnoreCase(Spec, "auto")) {
+    Out = PackingStrategy::PS_Auto;
+  } else if (equalsIgnoreCase(Spec, "diag")) {
+    Out = PackingStrategy::PS_Diag;
+  } else if (equalsIgnoreCase(Spec, "bsgs")) {
+    Out = PackingStrategy::PS_Bsgs;
+  } else if (equalsIgnoreCase(Spec, "column")) {
+    Out = PackingStrategy::PS_Column;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void ace::setProcessRescaleMode(RescaleMode Mode) {
+  ProcessRescale.store(Mode, std::memory_order_relaxed);
+}
+
+void ace::setProcessPackingStrategy(PackingStrategy Strategy) {
+  ProcessPacking.store(Strategy, std::memory_order_relaxed);
+}
+
+RescaleMode ace::processRescaleMode() {
+  return ProcessRescale.load(std::memory_order_relaxed);
+}
+
+PackingStrategy ace::processPackingStrategy() {
+  return ProcessPacking.load(std::memory_order_relaxed);
+}
+
+RescaleMode ace::resolveRescaleMode(RescaleMode Option) {
+  if (Option != RescaleMode::RM_Auto)
+    return Option;
+  RescaleMode Process = processRescaleMode();
+  if (Process != RescaleMode::RM_Auto)
+    return Process;
+  if (const char *Env = std::getenv("ACE_LAZY_RESCALE")) {
+    RescaleMode Parsed;
+    if (parseRescaleMode(Env, Parsed) && Parsed != RescaleMode::RM_Auto)
+      return Parsed;
+    if (*Env)
+      warnOnce("ACE_LAZY_RESCALE", Env, "on|off|lazy|waterline|eager");
+  }
+  return RescaleMode::RM_Waterline;
+}
+
+PackingStrategy ace::resolvePackingStrategy(PackingStrategy Option) {
+  if (Option != PackingStrategy::PS_Auto)
+    return Option;
+  PackingStrategy Process = processPackingStrategy();
+  if (Process != PackingStrategy::PS_Auto)
+    return Process;
+  if (const char *Env = std::getenv("ACE_PACKING")) {
+    PackingStrategy Parsed;
+    if (parsePackingStrategy(Env, Parsed))
+      return Parsed;
+    if (*Env)
+      warnOnce("ACE_PACKING", Env, "auto|diag|bsgs|column");
+  }
+  return PackingStrategy::PS_Auto;
+}

@@ -26,7 +26,12 @@ std::unique_ptr<driver::CompileResult> compileLinear() {
     for (auto &V : T.Values)
       V = static_cast<float>(R.uniformReal(-1, 1));
   }
-  driver::AceCompiler Compiler(air::CompileOptions{});
+  // The emitted-program shape assertions below (const counts, sqrt-scale
+  // key set) are BSGS facts; pin the strategy against the ACE_PACKING
+  // CI matrix.
+  air::CompileOptions Opt;
+  Opt.Packing = PackingStrategy::PS_Bsgs;
+  driver::AceCompiler Compiler(Opt);
   auto Result = Compiler.compile(M, Calib);
   EXPECT_TRUE(Result.ok());
   return Result.take();

@@ -29,6 +29,9 @@ air::CompileOptions toyOptions() {
   Opt.LogFirstModulus = 55;
   Opt.CalibrationSamples = 4;
   Opt.Seed = 11;
+  // This test proves BSGS baby-step hoisting; pin the strategy so the
+  // ACE_PACKING CI matrix cannot redirect the gemv lowering.
+  Opt.Packing = PackingStrategy::PS_Bsgs;
   return Opt;
 }
 

@@ -1,0 +1,232 @@
+//===----------------------------------------------------------------------===//
+// Op-count contract tests for the rescale/relinearize placement policies
+// and the packing cost model (docs/compiler.md). The budgets below are
+// exact: any change to lowering, placement legality, or the cost model
+// that moves an op count must update these numbers deliberately, with
+// the reasoning in the commit. The eager-vs-lazy deltas are the PR's
+// headline claim (>=20% fewer rescale+relin ops on the MLP zoo model).
+//===----------------------------------------------------------------------===//
+
+#include "codegen/CkksExecutor.h"
+#include "driver/AceCompiler.h"
+#include "nn/ModelZoo.h"
+#include "passes/SiheToCkks.h"
+#include "support/Rng.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+using namespace ace;
+
+namespace {
+
+std::vector<nn::Tensor> randomInputs(const std::vector<int64_t> &Shape,
+                                     int Count, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<nn::Tensor> Out;
+  for (int I = 0; I < Count; ++I) {
+    nn::Tensor T;
+    T.Shape = Shape;
+    T.Values.resize(T.elementCount());
+    for (auto &V : T.Values)
+      V = static_cast<float>(R.uniformReal(-1.0, 1.0));
+    Out.push_back(std::move(T));
+  }
+  return Out;
+}
+
+/// Compiles \p M under an explicit rescale mode with the packing pinned
+/// to BSGS, so the budgets are functions of the placement policy alone
+/// (immune to the ACE_PACKING / ACE_LAZY_RESCALE CI matrix).
+std::unique_ptr<driver::CompileResult>
+compileWithMode(const onnx::Model &M, const std::vector<nn::Tensor> &Inputs,
+                RescaleMode Mode) {
+  air::CompileOptions Opt;
+  Opt.Rescale = Mode;
+  Opt.Packing = PackingStrategy::PS_Bsgs;
+  driver::AceCompiler Compiler(Opt);
+  auto R = Compiler.compile(M, Inputs);
+  EXPECT_TRUE(R.ok()) << R.status().message();
+  return R.ok() ? R.take() : nullptr;
+}
+
+struct Budgets {
+  air::CkksOpBudget Eager, Waterline, Lazy;
+};
+
+Budgets budgetsOf(const onnx::Model &M,
+                  const std::vector<nn::Tensor> &Inputs) {
+  Budgets B;
+  auto E = compileWithMode(M, Inputs, RescaleMode::RM_Eager);
+  auto W = compileWithMode(M, Inputs, RescaleMode::RM_Waterline);
+  auto L = compileWithMode(M, Inputs, RescaleMode::RM_Lazy);
+  if (E)
+    B.Eager = E->State.Budget;
+  if (W)
+    B.Waterline = W->State.Budget;
+  if (L)
+    B.Lazy = L->State.Budget;
+  return B;
+}
+
+// The MLP zoo model of the acceptance criterion: {64,48,32,10}, seed 7.
+TEST(OpBudgetTest, MlpBudgetsAreExactPerMode) {
+  onnx::Model M = nn::buildMlp({64, 48, 32, 10}, 7);
+  Budgets B = budgetsOf(M, randomInputs({1, 64}, 2, 7));
+
+  // Rescale counts are the policy's whole story; everything else is
+  // invariant across modes (same graph, same Need analysis).
+  EXPECT_EQ(B.Eager.Rescale, 223u);
+  EXPECT_EQ(B.Waterline.Rescale, 184u);
+  EXPECT_EQ(B.Lazy.Rescale, 58u);
+
+  // Canonical forwarding makes lazy relinearize exactly as often as
+  // eager: once per ct-ct product, never per consumer.
+  EXPECT_EQ(B.Eager.Relinearize, 26u);
+  EXPECT_EQ(B.Waterline.Relinearize, 26u);
+  EXPECT_EQ(B.Lazy.Relinearize, 26u);
+
+  // Mode-invariant counters pin the rest of the lowering.
+  for (const air::CkksOpBudget *Budget :
+       {&B.Eager, &B.Waterline, &B.Lazy}) {
+    EXPECT_EQ(Budget->Rotate, 40u);
+    EXPECT_EQ(Budget->CtCtMul, 26u);
+    EXPECT_EQ(Budget->CtPtMul, 197u);
+    EXPECT_EQ(Budget->Bootstrap, 2u);
+  }
+
+  // The acceptance criterion: lazy placement removes >=20% of the
+  // rescale+relin work relative to eager (measured: 84 vs 249, 66%).
+  size_t EagerTotal = B.Eager.Rescale + B.Eager.Relinearize;
+  size_t LazyTotal = B.Lazy.Rescale + B.Lazy.Relinearize;
+  EXPECT_LE(LazyTotal * 5, EagerTotal * 4)
+      << "lazy " << LazyTotal << " vs eager " << EagerTotal;
+}
+
+// The LeNet-shaped model exercises the channel-mode (conv) path where
+// pools and convolutions generate wide mask-multiply fans.
+TEST(OpBudgetTest, LeNetBudgetsAreExactPerMode) {
+  onnx::Model M = nn::buildLeNet(/*Classes=*/8, 11);
+  Budgets B = budgetsOf(M, randomInputs({1, 1, 8, 8}, 2, 13));
+
+  // On the conv fan the waterline's per-consumer re-settling costs one
+  // more rescale than plain eager placement; only the memoized lazy
+  // policy collapses the fan-out.
+  EXPECT_EQ(B.Eager.Rescale, 208u);
+  EXPECT_EQ(B.Waterline.Rescale, 209u);
+  EXPECT_EQ(B.Lazy.Rescale, 63u);
+
+  EXPECT_EQ(B.Eager.Relinearize, 39u);
+  EXPECT_EQ(B.Waterline.Relinearize, 39u);
+  EXPECT_EQ(B.Lazy.Relinearize, 39u);
+
+  for (const air::CkksOpBudget *Budget :
+       {&B.Eager, &B.Waterline, &B.Lazy}) {
+    EXPECT_EQ(Budget->Rotate, 122u);
+    EXPECT_EQ(Budget->CtCtMul, 39u);
+    EXPECT_EQ(Budget->CtPtMul, 169u);
+    EXPECT_EQ(Budget->Bootstrap, 3u);
+  }
+
+  size_t EagerTotal = B.Eager.Rescale + B.Eager.Relinearize;
+  size_t LazyTotal = B.Lazy.Rescale + B.Lazy.Relinearize;
+  EXPECT_LE(LazyTotal * 5, EagerTotal * 4)
+      << "lazy " << LazyTotal << " vs eager " << EagerTotal;
+}
+
+// The static budget is not just an estimate: executing the compiled
+// program performs exactly the budgeted number of rescales/relins plus
+// the (mode-invariant) bootstrap internals. Comparing executed telemetry
+// deltas across modes therefore reproduces the budget deltas exactly.
+TEST(OpBudgetTest, ExecutedTelemetryMatchesBudgetDelta) {
+  using telemetry::Counter;
+  using telemetry::CounterSnapshot;
+  using telemetry::Telemetry;
+
+  onnx::Model M = nn::buildMlp({24, 16, 12, 6}, 31);
+  auto Inputs = randomInputs({1, 24}, 2, 3);
+
+  auto RunOnce = [&](RescaleMode Mode, air::CkksOpBudget &Budget)
+      -> CounterSnapshot {
+    air::CompileOptions Opt;
+    Opt.ToyParameters = true;
+    Opt.LogScale = 45;
+    Opt.LogFirstModulus = 55;
+    Opt.CalibrationSamples = 2;
+    Opt.Seed = 11;
+    Opt.Rescale = Mode;
+    Opt.Packing = PackingStrategy::PS_Bsgs;
+    driver::AceCompiler Compiler(Opt);
+    auto R = Compiler.compile(M, Inputs);
+    EXPECT_TRUE(R.ok()) << R.status().message();
+    Budget = (*R)->State.Budget;
+    codegen::CkksExecutor Exec((*R)->Program, (*R)->State);
+    EXPECT_FALSE(Exec.setup());
+    Telemetry::instance().setEnabled(true);
+    CounterSnapshot Before = Telemetry::instance().counters();
+    auto Logits = Exec.infer(Inputs[0]);
+    EXPECT_TRUE(Logits.ok());
+    CounterSnapshot After = Telemetry::instance().counters();
+    Telemetry::instance().setEnabled(false);
+    return After.deltaSince(Before);
+  };
+
+  air::CkksOpBudget EagerBudget, LazyBudget;
+  CounterSnapshot Eager = RunOnce(RescaleMode::RM_Eager, EagerBudget);
+  CounterSnapshot Lazy = RunOnce(RescaleMode::RM_Lazy, LazyBudget);
+
+  // Same params, same bootstrap targets: the executed difference is the
+  // compiled difference, to the op.
+  EXPECT_EQ(Eager.get(Counter::Rescale) - Lazy.get(Counter::Rescale),
+            EagerBudget.Rescale - LazyBudget.Rescale);
+  EXPECT_EQ(Eager.get(Counter::Relinearize) - Lazy.get(Counter::Relinearize),
+            EagerBudget.Relinearize - LazyBudget.Relinearize);
+  EXPECT_EQ(Eager.get(Counter::Rotate), Lazy.get(Counter::Rotate));
+  EXPECT_GT(EagerBudget.Rescale, LazyBudget.Rescale);
+}
+
+// The relin-fusion contract at its smallest: a sum of two squares. Lazy
+// placement keeps both Cipher3 products unrelinearized through the
+// addition and relinearizes the sum once; eager placement pays one
+// relin per product.
+TEST(OpBudgetTest, SumOfProductsRelinearizesOnce) {
+  auto CountOps = [](RescaleMode Mode, size_t &Relins, size_t &Rescales) {
+    air::IrFunction F("sihe");
+    air::IrNode *X = F.addInput("x", air::TypeKind::TK_Cipher);
+    air::IrNode *P1 = F.create(air::NodeKind::NK_SiheMul,
+                               air::TypeKind::TK_Cipher, {X, X},
+                               air::OriginKind::OR_Other);
+    air::IrNode *Y = F.create(air::NodeKind::NK_SiheRotate,
+                              air::TypeKind::TK_Cipher, {X},
+                              air::OriginKind::OR_Other);
+    Y->Ints = {1};
+    air::IrNode *P2 = F.create(air::NodeKind::NK_SiheMul,
+                               air::TypeKind::TK_Cipher, {Y, Y},
+                               air::OriginKind::OR_Other);
+    air::IrNode *S = F.create(air::NodeKind::NK_SiheAdd,
+                              air::TypeKind::TK_Cipher, {P1, P2},
+                              air::OriginKind::OR_Other);
+    F.setReturn(S);
+    F.renumber();
+
+    air::CompileState State;
+    State.Options.Rescale = Mode;
+    State.InputLayout.W0 = State.InputLayout.W = 8;
+
+    passes::SiheToCkksPass Pass;
+    ASSERT_TRUE(Pass.run(F, State).ok());
+    Relins = State.Budget.Relinearize;
+    Rescales = State.Budget.Rescale;
+  };
+
+  size_t LazyRelins = 0, LazyRescales = 0;
+  size_t EagerRelins = 0, EagerRescales = 0;
+  CountOps(RescaleMode::RM_Lazy, LazyRelins, LazyRescales);
+  CountOps(RescaleMode::RM_Eager, EagerRelins, EagerRescales);
+
+  EXPECT_EQ(EagerRelins, 2u); // one per product
+  EXPECT_EQ(LazyRelins, 1u);  // the fused sum
+  EXPECT_LT(LazyRescales, EagerRescales);
+}
+
+} // namespace

@@ -3,6 +3,7 @@
 // selection, rotation-key analysis, POLY lowering and its fusions.
 //===----------------------------------------------------------------------===//
 
+#include "codegen/CkksExecutor.h"
 #include "driver/AceCompiler.h"
 #include "expert/ExpertBaseline.h"
 #include "nn/ModelZoo.h"
@@ -11,6 +12,8 @@
 #include "support/Rng.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 using namespace ace;
 
@@ -71,7 +74,11 @@ TEST(PipelineTest, PhaseCountsGrowDownTheStack) {
 
 TEST(PipelineTest, RotationAnalysisFindsGemvDiagonals) {
   onnx::Model M = nn::buildLinearInfer(3);
-  driver::AceCompiler Compiler(air::CompileOptions{});
+  // The step bounds below are BSGS facts; pin the strategy so the
+  // ACE_PACKING CI matrix cannot redirect this contract.
+  air::CompileOptions Opt;
+  Opt.Packing = PackingStrategy::PS_Bsgs;
+  driver::AceCompiler Compiler(Opt);
   auto R = Compiler.compile(M, randomInputs(84, 2, 3));
   ASSERT_TRUE(R.ok());
   // Halevi-Shoup over a 128-wide layout: steps are multiples of the
@@ -142,6 +149,156 @@ TEST(PolyLoweringTest, FusionReducesLoopAndOpCounts) {
   EXPECT_LT(Fused.totalHwOps(), Plain.totalHwOps());
   // Both are valid POLY-dialect programs.
   EXPECT_TRUE(air::verifyFunction(P2, {air::DialectKind::DK_Poly}).ok());
+}
+
+// A single-gemm model with explicit control over the weight matrix, for
+// exercising the cost model's degenerate branches (docs/compiler.md).
+onnx::Model singleGemm(int64_t C, int64_t K, bool WithBias, uint64_t Seed,
+                       double BandWidth = -1.0) {
+  onnx::Model M;
+  M.ProducerName = "gemm_edge";
+  onnx::Graph &G = M.MainGraph;
+  G.Name = "gemm_edge";
+  G.Inputs.push_back({"x", {1, C}});
+  Rng R(Seed);
+  onnx::TensorData W;
+  W.Shape = {K, C};
+  W.Values.resize(K * C);
+  for (int64_t Ko = 0; Ko < K; ++Ko)
+    for (int64_t Ci = 0; Ci < C; ++Ci) {
+      // BandWidth >= 0 zeroes everything off the band: few distinct
+      // diagonals survive, which is the regime where explicit diagonal
+      // lowering beats BSGS.
+      bool OnBand = BandWidth < 0 || std::llabs(Ko - Ci) <= BandWidth;
+      W.Values[Ko * C + Ci] =
+          OnBand ? static_cast<float>(R.uniformReal(-1, 1)) : 0.0f;
+    }
+  G.Initializers.emplace("w", std::move(W));
+  onnx::Node N;
+  N.Kind = onnx::OpKind::OK_Gemm;
+  N.Name = "out";
+  N.Inputs = {"x", "w"};
+  if (WithBias) {
+    onnx::TensorData B;
+    B.Shape = {K};
+    for (int64_t Ko = 0; Ko < K; ++Ko)
+      B.Values.push_back(static_cast<float>(R.uniformReal(-0.1, 0.1)));
+    G.Initializers.emplace("b", std::move(B));
+    N.Inputs.push_back("b");
+  }
+  N.Outputs = {"out"};
+  N.Attributes["transB"] = onnx::Attribute{{1}, {}};
+  G.Nodes.push_back(std::move(N));
+  G.Outputs.push_back({"out", {1, K}});
+  return M;
+}
+
+// Compiles under the per-layer cost model and checks encrypted inference
+// against the cleartext executor.
+void checkGemmEdgeCase(const onnx::Model &M, int64_t C,
+                       PackingStrategy Expect) {
+  // These tests assert what the *cost model* chooses; a forced
+  // ACE_PACKING from the CI matrix must not redirect them.
+  unsetenv("ACE_PACKING");
+  air::CompileOptions Opt;
+  Opt.ToyParameters = true;
+  Opt.LogScale = 45;
+  Opt.LogFirstModulus = 55;
+  Opt.CalibrationSamples = 2;
+  Opt.Seed = 11;
+  Opt.Packing = PackingStrategy::PS_Auto;
+  driver::AceCompiler Compiler(Opt);
+  auto Inputs = randomInputs(C, 2, 23);
+  auto R = Compiler.compile(M, Inputs);
+  ASSERT_TRUE(R.ok()) << R.status().message();
+  ASSERT_EQ((*R)->State.PackingDecisions.size(), 1u);
+  const air::PackingDecision &D = (*R)->State.PackingDecisions[0];
+  EXPECT_EQ(D.Strategy, Expect)
+      << "costs diag=" << D.CostDiag << " bsgs=" << D.CostBsgs
+      << " column=" << D.CostColumn;
+  EXPECT_FALSE(D.Forced);
+
+  codegen::CkksExecutor Exec((*R)->Program, (*R)->State);
+  ASSERT_FALSE(Exec.setup());
+  auto Clear = nn::executeSingle(M.MainGraph, Inputs[0]);
+  ASSERT_TRUE(Clear.ok());
+  auto Logits = Exec.infer(Inputs[0]);
+  ASSERT_TRUE(Logits.ok()) << Logits.status().message();
+  ASSERT_EQ(Logits->size(), Clear->Values.size());
+  for (size_t I = 0; I < Logits->size(); ++I)
+    EXPECT_NEAR((*Logits)[I], Clear->Values[I], 0.02) << "logit " << I;
+}
+
+TEST(PackingCostModelTest, OneRowGemmPrefersColumnPacking) {
+  // K=1: a single output replicated from every input element. Column
+  // packing does the whole reduction in log2(C) rotations with one wide
+  // ct-pt mul; the diagonal forms need a rotation per diagonal.
+  checkGemmEdgeCase(singleGemm(/*C=*/16, /*K=*/1, /*WithBias=*/true, 41),
+                    16, PackingStrategy::PS_Column);
+}
+
+TEST(PackingCostModelTest, OneColumnGemmCompilesAndMatches) {
+  // C=1: every output is a scalar multiple of the one input element.
+  // The shape degenerates to a single diagonal; any strategy is one
+  // mask-multiply, the contract is just correctness.
+  onnx::Model M = singleGemm(/*C=*/1, /*K=*/6, /*WithBias=*/true, 43);
+  air::CompileOptions Opt;
+  Opt.ToyParameters = true;
+  Opt.LogScale = 45;
+  Opt.LogFirstModulus = 55;
+  Opt.CalibrationSamples = 2;
+  Opt.Seed = 11;
+  driver::AceCompiler Compiler(Opt);
+  auto Inputs = randomInputs(1, 2, 29);
+  auto R = Compiler.compile(M, Inputs);
+  ASSERT_TRUE(R.ok()) << R.status().message();
+  codegen::CkksExecutor Exec((*R)->Program, (*R)->State);
+  ASSERT_FALSE(Exec.setup());
+  auto Clear = nn::executeSingle(M.MainGraph, Inputs[0]);
+  auto Logits = Exec.infer(Inputs[0]);
+  ASSERT_TRUE(Clear.ok() && Logits.ok());
+  for (size_t I = 0; I < Logits->size(); ++I)
+    EXPECT_NEAR((*Logits)[I], Clear->Values[I], 0.02) << "logit " << I;
+}
+
+TEST(PackingCostModelTest, BandedGemmPrefersExplicitDiagonals) {
+  // A tridiagonal 24x24 weight matrix populates 3 of 32 diagonals; the
+  // explicit diagonal form pays 3 rotations against BSGS's baby/giant
+  // fixed cost, so the cost model must pick it.
+  checkGemmEdgeCase(singleGemm(/*C=*/24, /*K=*/24, /*WithBias=*/true, 47,
+                               /*BandWidth=*/1.0),
+                    24, PackingStrategy::PS_Diag);
+}
+
+TEST(PackingCostModelTest, RaggedAndZeroBiasGemmsMatchCleartext) {
+  // Ragged (non-power-of-two, K != C) and bias-less shapes walk the
+  // padding and optional-operand branches of every lowering.
+  for (PackingStrategy S :
+       {PackingStrategy::PS_Diag, PackingStrategy::PS_Bsgs,
+        PackingStrategy::PS_Column}) {
+    onnx::Model M = singleGemm(/*C=*/13, /*K=*/7, /*WithBias=*/false, 53);
+    air::CompileOptions Opt;
+    Opt.ToyParameters = true;
+    Opt.LogScale = 45;
+    Opt.LogFirstModulus = 55;
+    Opt.CalibrationSamples = 2;
+    Opt.Seed = 11;
+    Opt.Packing = S;
+    driver::AceCompiler Compiler(Opt);
+    auto Inputs = randomInputs(13, 2, 31);
+    auto R = Compiler.compile(M, Inputs);
+    ASSERT_TRUE(R.ok()) << R.status().message();
+    ASSERT_EQ((*R)->State.PackingDecisions.size(), 1u);
+    EXPECT_TRUE((*R)->State.PackingDecisions[0].Forced);
+    codegen::CkksExecutor Exec((*R)->Program, (*R)->State);
+    ASSERT_FALSE(Exec.setup());
+    auto Clear = nn::executeSingle(M.MainGraph, Inputs[0]);
+    auto Logits = Exec.infer(Inputs[0]);
+    ASSERT_TRUE(Clear.ok() && Logits.ok());
+    for (size_t I = 0; I < Logits->size(); ++I)
+      EXPECT_NEAR((*Logits)[I], Clear->Values[I], 0.02)
+          << "strategy " << packingStrategyName(S) << " logit " << I;
+  }
 }
 
 } // namespace
